@@ -1,0 +1,102 @@
+package mobirep
+
+import "mobirep/internal/analytic"
+
+// Closed-form results from the paper, re-exported for library users.
+// theta is the probability the next relevant request is a write; omega is
+// the control/data message cost ratio; k is the (odd) window size.
+
+// PiK returns the steady-state probability that the MC holds a copy under
+// SWk (equation 4).
+func PiK(k int, theta float64) float64 { return analytic.PiK(k, theta) }
+
+// Connection model (section 5).
+
+// ExpST1Conn returns EXP_ST1 = 1 - theta (equation 2).
+func ExpST1Conn(theta float64) float64 { return analytic.ExpST1Conn(theta) }
+
+// ExpST2Conn returns EXP_ST2 = theta (equation 2).
+func ExpST2Conn(theta float64) float64 { return analytic.ExpST2Conn(theta) }
+
+// ExpSWConn returns EXP_SWk of Theorem 1 (equation 5).
+func ExpSWConn(k int, theta float64) float64 { return analytic.ExpSWConn(k, theta) }
+
+// AvgSWConn returns AVG_SWk = 1/4 + 1/(4(k+2)) of Theorem 3 (equation 6).
+func AvgSWConn(k int) float64 { return analytic.AvgSWConn(k) }
+
+// ExpT1Conn returns the section 7.1 expected cost of T1m.
+func ExpT1Conn(m int, theta float64) float64 { return analytic.ExpT1Conn(m, theta) }
+
+// ExpT2Conn returns the section 7.1 expected cost of T2m.
+func ExpT2Conn(m int, theta float64) float64 { return analytic.ExpT2Conn(m, theta) }
+
+// CompetitiveSWConn returns SWk's tight factor k+1 (Theorem 4).
+func CompetitiveSWConn(k int) float64 { return analytic.CompetitiveSWConn(k) }
+
+// Message model (section 6).
+
+// ExpST1Msg returns EXP_ST1 = (1+omega)(1-theta) (equation 7).
+func ExpST1Msg(theta, omega float64) float64 { return analytic.ExpST1Msg(theta, omega) }
+
+// ExpST2Msg returns EXP_ST2 = theta (equation 7).
+func ExpST2Msg(theta float64) float64 { return analytic.ExpST2Msg(theta) }
+
+// ExpSW1Msg returns EXP_SW1 = theta(1-theta)(1+2omega) of Theorem 5.
+func ExpSW1Msg(theta, omega float64) float64 { return analytic.ExpSW1Msg(theta, omega) }
+
+// ExpSWMsg returns EXP_SWk of Theorem 8 (equation 11).
+func ExpSWMsg(k int, theta, omega float64) float64 { return analytic.ExpSWMsg(k, theta, omega) }
+
+// AvgSW1Msg returns AVG_SW1 = (1+2omega)/6 of Theorem 7 (equation 10).
+func AvgSW1Msg(omega float64) float64 { return analytic.AvgSW1Msg(omega) }
+
+// AvgSWMsg returns AVG_SWk of Theorem 10 (equation 12).
+func AvgSWMsg(k int, omega float64) float64 { return analytic.AvgSWMsg(k, omega) }
+
+// CompetitiveSW1Msg returns SW1's tight factor 1+2omega (Theorem 11).
+func CompetitiveSW1Msg(omega float64) float64 { return analytic.CompetitiveSW1Msg(omega) }
+
+// CompetitiveSWMsg returns SWk's tight factor (1+omega/2)(k+1)+omega
+// (Theorem 12).
+func CompetitiveSWMsg(k int, omega float64) float64 { return analytic.CompetitiveSWMsg(k, omega) }
+
+// Algorithm identifies an allocation method in dominance queries.
+type Algorithm = analytic.Algorithm
+
+// Dominance constants.
+const (
+	AlgST1 = analytic.AlgST1
+	AlgST2 = analytic.AlgST2
+	AlgSW1 = analytic.AlgSW1
+)
+
+// BestExpectedMsg returns the algorithm with the lowest expected cost at
+// (theta, omega) among ST1, ST2 and SW1 — the Figure 1 / Theorem 6 map.
+func BestExpectedMsg(theta, omega float64) Algorithm {
+	return analytic.BestExpectedMsg(theta, omega)
+}
+
+// BestExpectedConn returns the better static method at theta in the
+// connection model.
+func BestExpectedConn(theta float64) Algorithm { return analytic.BestExpectedConn(theta) }
+
+// MinOddKBeatingSW1 returns the smallest odd window size whose average
+// expected cost beats SW1 at the given omega, or 0 when none does
+// (Corollaries 3 and 4; Figure 2).
+func MinOddKBeatingSW1(omega float64) int { return analytic.MinOddKBeatingSW1(omega) }
+
+// RecommendWindow suggests a window size balancing average expected cost
+// against worst-case competitiveness: the smallest odd k whose average
+// expected cost (connection model) is within slack of the optimum 1/4.
+// The paper's discussion corresponds to slack = 0.10 -> k = 9 and
+// slack = 0.06 -> k = 15. It panics unless 0 < slack <= 1.
+func RecommendWindow(slack float64) int {
+	if slack <= 0 || slack > 1 {
+		panic("mobirep: slack must be in (0, 1]")
+	}
+	for k := 1; ; k += 2 {
+		if analytic.AvgSWConn(k)/analytic.OptimumAvgConn-1 <= slack {
+			return k
+		}
+	}
+}

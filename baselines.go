@@ -1,0 +1,91 @@
+package mobirep
+
+import (
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+)
+
+// Baseline policies and the exact Markov analysis layer.
+
+// NewCacheInvalidate returns the callback-invalidation caching baseline of
+// the CDVM literature the paper compares against in section 8.2. Its
+// allocation behaviour is provably identical to SW1.
+func NewCacheInvalidate() Policy { return core.NewCacheInvalidate() }
+
+// NewEWMA returns an estimator-based baseline: it tracks the write
+// fraction with an exponentially weighted moving average (smoothing factor
+// alpha in (0,1]) and holds a copy while the estimate is below 1/2. Unlike
+// the window family it has no competitive bound.
+func NewEWMA(alpha float64) Policy { return core.NewEWMA(alpha) }
+
+// NewEWMABand returns the EWMA baseline with a hysteresis band: the copy
+// is dropped only above high and re-acquired only below low.
+func NewEWMABand(alpha, low, high float64) Policy { return core.NewEWMABand(alpha, low, high) }
+
+// NewEvenSW returns the tie-holding sliding window with an even window
+// size — the variant the paper's "k is odd" assumption excludes, used by
+// the window-parity ablation.
+func NewEvenSW(k int) Policy { return core.NewEvenSW(k) }
+
+// NewAdaptiveSW returns the adaptive window-size policy: the window grows
+// toward kMax during stable read/write mixes (approaching the large
+// window's average cost) and collapses toward kMin under rapid allocation
+// flips (retaining the small window's worst-case behaviour). Both bounds
+// must be odd.
+func NewAdaptiveSW(kMin, kMax int) Policy { return core.NewAdaptiveSW(kMin, kMax) }
+
+// EnumerablePolicy is a policy whose finite state space the exact Markov
+// analysis can explore.
+type EnumerablePolicy = core.Enumerable
+
+// ExactExpected returns the exact long-run expected cost per request of
+// any finite-state policy at write probability theta, computed by state
+// enumeration and stationary analysis — no closed form required. All the
+// built-in policies except EWMA implement EnumerablePolicy.
+func ExactExpected(p EnumerablePolicy, theta float64, m CostModel) (float64, error) {
+	return analytic.MarkovExpected(p, theta, m)
+}
+
+// TransientExpected returns the exact expected cost of each of the first
+// steps requests from the policy's cold-start state — the convergence
+// curve toward the steady state.
+func TransientExpected(p EnumerablePolicy, theta float64, m CostModel, steps int) ([]float64, error) {
+	c, err := analytic.BuildChain(p, theta, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.TransientCosts(steps), nil
+}
+
+// ExactCompetitiveRatio solves the policy-vs-adversary mean-payoff game
+// and returns the policy's exact competitive ratio against the ideal
+// offline algorithm, to within tol (1e-9 when tol <= 0). It returns +Inf
+// when the policy is not competitive at any factor up to limit (64 when
+// limit <= 0) — the statics, for example. Works for any finite-state
+// policy; the paper's Theorems 4, 11 and 12 fall out as special cases.
+func ExactCompetitiveRatio(p EnumerablePolicy, m CostModel, limit, tol float64) (float64, error) {
+	return analytic.CompetitiveRatio(p, m, limit, tol)
+}
+
+// VerifyCompetitive checks, exactly, whether the policy is c-competitive
+// under the model — cheaper than the full ratio search when only a bound
+// needs confirming.
+func VerifyCompetitive(p EnumerablePolicy, m CostModel, c float64) (bool, error) {
+	return analytic.VerifyCompetitive(p, m, c)
+}
+
+// ExactBurstyExpected returns the exact expected cost per request of a
+// finite-state policy under the two-regime Markov-modulated workload.
+func ExactBurstyExpected(p EnumerablePolicy, cfg BurstyConfig, m CostModel) (float64, error) {
+	return analytic.BurstyExpected(p, analytic.BurstyParams(cfg), m)
+}
+
+// WorstSchedule extracts an adversarial cycle from the competitiveness
+// game at factor c: repeating the returned schedule forces the policy's
+// cost above c times the offline optimum (its gain per request is the
+// second result). Call it with c slightly below ExactCompetitiveRatio to
+// obtain the policy's tight adversarial family — the solver re-invents
+// the paper's hand-built (r^(n+1) w^(n+1)) cycles this way.
+func WorstSchedule(p EnumerablePolicy, m CostModel, c float64) (Schedule, float64, error) {
+	return analytic.WorstSchedule(p, m, c)
+}

@@ -1,0 +1,87 @@
+package mobirep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeBaselines(t *testing.T) {
+	ci := NewCacheInvalidate()
+	ci.Apply(Read)
+	if !ci.HasCopy() {
+		t.Fatal("cache-invalidate should cache on read")
+	}
+	ew := NewEWMA(0.2)
+	for i := 0; i < 50; i++ {
+		ew.Apply(Read)
+	}
+	if !ew.HasCopy() {
+		t.Fatal("EWMA should allocate on read-heavy stream")
+	}
+	band := NewEWMABand(0.2, 0.3, 0.7)
+	band.Apply(Write)
+	even := NewEvenSW(4)
+	even.Apply(Read)
+}
+
+func TestFacadeExactExpected(t *testing.T) {
+	got, err := ExactExpected(NewSW(7).(EnumerablePolicy), 0.4, ConnectionModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ExpSWConn(7, 0.4); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("exact %v vs formula %v", got, want)
+	}
+}
+
+func TestFacadeTransient(t *testing.T) {
+	curve, err := TransientExpected(NewSW(5).(EnumerablePolicy), 0.3, ConnectionModel(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 100 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	steady, err := ExactExpected(NewSW(5).(EnumerablePolicy), 0.3, ConnectionModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(curve[99] - steady); d > 1e-6 {
+		t.Fatalf("transient end %v vs steady %v", curve[99], steady)
+	}
+}
+
+func TestFacadeGameSolver(t *testing.T) {
+	ratio, err := ExactCompetitiveRatio(NewSW(3).(EnumerablePolicy), ConnectionModel(), 16, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-4) > 1e-4 {
+		t.Fatalf("SW3 ratio = %v", ratio)
+	}
+	ok, err := VerifyCompetitive(NewSW(3).(EnumerablePolicy), ConnectionModel(), 4)
+	if err != nil || !ok {
+		t.Fatalf("verify: %v %v", ok, err)
+	}
+	cycle, gain, err := WorstSchedule(NewSW(3).(EnumerablePolicy), ConnectionModel(), 3.9)
+	if err != nil || len(cycle) == 0 || gain <= 0 {
+		t.Fatalf("witness: %v gain=%v err=%v", cycle, gain, err)
+	}
+	res := MeasureRatio(NewSW(3), ConnectionModel(), cycle.Repeat(500))
+	if res.Ratio < 3.8 {
+		t.Fatalf("witness ratio %v", res.Ratio)
+	}
+}
+
+func TestFacadeBursty(t *testing.T) {
+	rng := NewRNG(1)
+	cfg := BurstyConfig{ThetaA: 0.1, ThetaB: 0.9, SwitchProb: 0.01}
+	s, regimes := BurstySchedule(rng, cfg, 5000)
+	if len(s) != 5000 || len(regimes) != 5000 {
+		t.Fatal("shape")
+	}
+	exact, err := ExactBurstyExpected(NewSW(5).(EnumerablePolicy), cfg, ConnectionModel())
+	if err != nil || exact <= 0 || exact >= 1 {
+		t.Fatalf("exact = %v err=%v", exact, err)
+	}
+}

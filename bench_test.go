@@ -1,0 +1,300 @@
+package mobirep
+
+// Benchmark harness: one benchmark per experiment (E01-E13 reproduce the
+// paper's artifacts, E14-E22 the extensions; all run in quick mode under
+// -bench), micro-benchmarks of the hot paths, and the ablation studies
+// DESIGN.md calls out. Regenerate the full-size tables with
+// cmd/mobirep-bench.
+
+import (
+	"fmt"
+	"testing"
+
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/db"
+	"mobirep/internal/experiments"
+	"mobirep/internal/offline"
+	"mobirep/internal/replica"
+	"mobirep/internal/sched"
+	"mobirep/internal/sim"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+	"mobirep/internal/workload"
+)
+
+// benchExperiment runs one registered experiment in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1994, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkE01Fig1Dominance(b *testing.B)   { benchExperiment(b, "E01") }
+func BenchmarkE02Fig2Threshold(b *testing.B)   { benchExperiment(b, "E02") }
+func BenchmarkE03ConnExpected(b *testing.B)    { benchExperiment(b, "E03") }
+func BenchmarkE04ConnAverage(b *testing.B)     { benchExperiment(b, "E04") }
+func BenchmarkE05ConnCompetitive(b *testing.B) { benchExperiment(b, "E05") }
+func BenchmarkE06MsgExpected(b *testing.B)     { benchExperiment(b, "E06") }
+func BenchmarkE07MsgAverage(b *testing.B)      { benchExperiment(b, "E07") }
+func BenchmarkE08MsgCompetitive(b *testing.B)  { benchExperiment(b, "E08") }
+func BenchmarkE09TStar(b *testing.B)           { benchExperiment(b, "E09") }
+func BenchmarkE10Conclusions(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11MultiObject(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12PeriodModel(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13Protocol(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14Baselines(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Fleet(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16ColdStartParity(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17AdaptiveWindow(b *testing.B)  { benchExperiment(b, "E17") }
+func BenchmarkE18JointReads(b *testing.B)      { benchExperiment(b, "E18") }
+func BenchmarkE19BurstyWorkloads(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20GameSolver(b *testing.B)      { benchExperiment(b, "E20") }
+func BenchmarkE21Lookahead(b *testing.B)       { benchExperiment(b, "E21") }
+func BenchmarkE22Revalidation(b *testing.B)    { benchExperiment(b, "E22") }
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+func BenchmarkPolicyApplySW9(b *testing.B) {
+	p := core.NewSW(9)
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, 0.5, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(s[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkPolicyApplySW95(b *testing.B) {
+	p := core.NewSW(95)
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, 0.5, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(s[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkPolicyApplyT1(b *testing.B) {
+	p := core.NewT1(15)
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, 0.5, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(s[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkReplayThroughput(b *testing.B) {
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, 0.4, 100000)
+	m := cost.NewMessage(0.5)
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewSW(9)
+		sim.Replay(p, m, s, 0)
+	}
+}
+
+func BenchmarkPiK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		analytic.PiK(95, 0.37)
+	}
+}
+
+func BenchmarkExpSWMsg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		analytic.ExpSWMsg(21, 0.37, 0.5)
+	}
+}
+
+func BenchmarkOfflineDP(b *testing.B) {
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, 0.5, 100000)
+	c := offline.Ideal()
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.Cost(s, c)
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	msg := wire.Message{
+		Kind: wire.KindReadResp, Key: "weather:ORD",
+		Value: make([]byte, 256), Version: 42, Allocate: true,
+		Window: sched.MustParse("rrwrwrwrw"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolReadLocal(b *testing.B) {
+	cli, srv := benchPair(b, replica.SW(3))
+	srv.Write("x", []byte("v"))
+	cli.Read("x")
+	cli.Read("x") // allocate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Read("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolWriteProp(b *testing.B) {
+	cli, srv := benchPair(b, replica.Static2())
+	srv.Write("x", []byte("v"))
+	cli.Read("x") // allocate permanently
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Write("x", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPair(b *testing.B, mode replica.Mode) (*replica.Client, *replica.Server) {
+	b.Helper()
+	a, bb := transport.NewMemPair()
+	srv, err := replica.NewServer(db.NewStore(), mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Attach(a)
+	cli, err := replica.NewClient(bb, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cli, srv
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := stats.NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkDBPut(b *testing.B) {
+	s := db.NewStore()
+	v := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("x", v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+//
+// These report design-choice metrics via b.ReportMetric rather than just
+// time: run with -bench Ablation -benchtime 1x to read them.
+
+// BenchmarkAblationWindowSize quantifies the AVG-vs-competitiveness
+// trade-off that the window size controls.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	for _, k := range []int{1, 3, 9, 15, 39} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = analytic.AvgSWConn(k)
+			}
+			b.ReportMetric(analytic.AvgSWConn(k), "avg-cost")
+			b.ReportMetric(analytic.CompetitiveSWConn(k), "competitive-factor")
+		})
+	}
+}
+
+// BenchmarkAblationSW1Suppression measures what the SW1 delete-request
+// optimization saves: SW1 versus a window-1 policy that propagates data
+// on the deallocating write (costing 1+omega instead of omega).
+func BenchmarkAblationSW1Suppression(b *testing.B) {
+	const theta, omega = 0.5, 0.5
+	rng := stats.NewRNG(1)
+	s := workload.Bernoulli(rng, theta, 200000)
+	m := cost.NewMessage(omega)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = sim.Replay(core.NewSW(1), m, s, 0).PerOp()
+		// Unsuppressed variant: re-price the same steps with suppression
+		// stripped, turning each omega write into 1+omega.
+		p := core.NewSW(1)
+		total := 0.0
+		for _, op := range s {
+			st := p.Apply(op)
+			st.DataSuppressed = false
+			total += m.StepCost(st)
+		}
+		without = total / float64(len(s))
+	}
+	b.ReportMetric(with, "perop-suppressed")
+	b.ReportMetric(without, "perop-unsuppressed")
+	b.ReportMetric(without-with, "saving")
+}
+
+// BenchmarkAblationHandicappedOptimal shows how much of the competitive
+// gap comes from the comparator's control-message immunity: ratios against
+// an offline optimum that must pay omega like everyone else.
+func BenchmarkAblationHandicappedOptimal(b *testing.B) {
+	s := workload.SWkAdversary(9, 500)
+	m := cost.NewMessage(0.5)
+	var idealRatio, handicappedRatio float64
+	for i := 0; i < b.N; i++ {
+		p := core.NewSW(9)
+		online := 0.0
+		for _, op := range s {
+			online += m.StepCost(p.Apply(op))
+		}
+		idealRatio = online / offline.Cost(s, offline.Ideal())
+		handicappedRatio = online / offline.Cost(s, offline.Handicapped(0.5))
+	}
+	b.ReportMetric(idealRatio, "ratio-vs-ideal")
+	b.ReportMetric(handicappedRatio, "ratio-vs-handicapped")
+}
+
+// BenchmarkAblationWindowTransfer weighs the piggybacked window handoff:
+// bytes on the wire per handoff message with and without window bits.
+func BenchmarkAblationWindowTransfer(b *testing.B) {
+	withWin := wire.Message{Kind: wire.KindDeleteReq, Key: "x",
+		Window: sched.Block(sched.Read, 95)}
+	withoutWin := wire.Message{Kind: wire.KindDeleteReq, Key: "x"}
+	var sizeWith, sizeWithout int
+	for i := 0; i < b.N; i++ {
+		fw, err := wire.Encode(withWin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fo, err := wire.Encode(withoutWin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizeWith, sizeWithout = len(fw), len(fo)
+	}
+	b.ReportMetric(float64(sizeWith), "bytes-with-window-k95")
+	b.ReportMetric(float64(sizeWithout), "bytes-without-window")
+}

@@ -1,0 +1,97 @@
+// Command mobirep-bench regenerates the paper's figures and numbered
+// results: it runs the experiments of internal/experiments and prints
+// their tables, which EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	mobirep-bench [-quick] [-seed N] [-csv] [-list] [E01 E05 ...]
+//
+// With no experiment IDs, every experiment runs in ID order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mobirep/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mobirep-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run reduced workloads (order-of-magnitude faster)")
+	seed := fs.Uint64("seed", 1994, "base random seed for all measurements")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := fs.String("out", "", "also write one file per experiment into this directory")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%s  %-62s  [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if fs.NArg() == 0 {
+		selected = experiments.All()
+	} else {
+		for _, id := range fs.Args() {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(stdout, "### %s — %s (%s)\n\n", e.ID, e.Title, e.Artifact)
+		var fileBuf strings.Builder
+		for _, tbl := range e.Run(cfg) {
+			rendered := tbl.ASCII()
+			if *csv {
+				rendered = tbl.CSV()
+			}
+			fmt.Fprintln(stdout, rendered)
+			fileBuf.WriteString(rendered)
+			fileBuf.WriteByte('\n')
+		}
+		if *outDir != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, strings.ToLower(e.ID)+ext)
+			if err := os.WriteFile(path, []byte(fileBuf.String()), 0o644); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E01", "E05", "E13", "E17"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperimentQuick(t *testing.T) {
+	code, out, _ := runCapture(t, "-quick", "-seed", "3", "E10")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "### E10") || !strings.Contains(out, "Section 9 worked numbers") {
+		t.Fatalf("output: %q", out)
+	}
+	if !strings.Contains(out, "completed in") {
+		t.Fatal("missing timing line")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	code, out, _ := runCapture(t, "-quick", "-csv", "E02")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "omega,") {
+		t.Fatalf("csv header missing:\n%s", out)
+	}
+	if strings.Contains(out, "== Figure") {
+		t.Fatal("ASCII table leaked into CSV mode")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runCapture(t, "E99")
+	if code != 2 || !strings.Contains(errOut, "unknown experiment") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCapture(t, "-nope"); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	code, _, errOut := runCapture(t, "-quick", "-out", dir, "E10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e10.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Section 9 worked numbers") {
+		t.Fatalf("file content: %q", data)
+	}
+	// CSV variant.
+	code, _, _ = runCapture(t, "-quick", "-csv", "-out", dir, "E10")
+	if code != 0 {
+		t.Fatalf("csv exit %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "e10.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

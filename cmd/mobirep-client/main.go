@@ -1,0 +1,96 @@
+// Command mobirep-client runs a mobile computer (MC) node: it connects to
+// a mobirep-server over TCP, issues Poisson-distributed reads against a
+// key, and reports the communication cost it measured — the out-of-pocket
+// number the paper's whole analysis is about — next to the analytic
+// prediction when one applies.
+//
+// Example, paired with the server example:
+//
+//	mobirep-client -server 127.0.0.1:7070 -mode SW9 -key x -read-rate 15 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobirep/internal/replica"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7070", "server address")
+	modeName := flag.String("mode", "SW9", "allocation mode; must match the server")
+	key := flag.String("key", "x", "key to read")
+	readRate := flag.Float64("read-rate", 10, "Poisson read rate per second")
+	duration := flag.Duration("duration", 30*time.Second, "how long to run")
+	omega := flag.Float64("omega", 0.5, "control/data ratio used to price the measured traffic")
+	seed := flag.Uint64("seed", 2, "random seed for the read process")
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	link, err := transport.Dial(*server, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	defer link.Close()
+	cli, err := replica.NewClient(link, mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cli.Timeout = 10 * time.Second
+
+	fmt.Printf("mobirep-client: mode=%s reading %q at %.1f/s for %v\n", mode, *key, *readRate, *duration)
+	rng := stats.NewRNG(*seed)
+	deadline := time.Now().Add(*duration)
+	reads, errors := 0, 0
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Duration(rng.Exp(*readRate) * float64(time.Second)))
+		if _, err := cli.Read(*key); err != nil {
+			errors++
+			fmt.Fprintln(os.Stderr, "read:", err)
+			if errors > 10 {
+				break
+			}
+			continue
+		}
+		reads++
+	}
+
+	mc := cli.Meter().Snapshot()
+	cs := cli.Cache().Stats()
+	fmt.Printf("reads issued:        %d (errors %d)\n", reads, errors)
+	fmt.Printf("cache:               hits=%d misses=%d installs=%d drops=%d updates=%d (hit rate %.1f%%)\n",
+		cs.Hits, cs.Misses, cs.Installs, cs.Drops, cs.Updates, 100*cs.HitRate())
+	fmt.Printf("MC-side traffic:     data=%d control=%d bytes=%d\n", mc.DataMsgs, mc.ControlMsgs, mc.Bytes)
+	fmt.Printf("MC-side cost:        connection=%.0f message(omega=%.2f)=%.2f\n",
+		mc.ConnectionCost(), *omega, mc.MessageCost(*omega))
+	fmt.Println("note: the server meters its own side; total cost is the sum of both meters")
+}
+
+func parseMode(name string) (replica.Mode, error) {
+	switch name {
+	case "ST1":
+		return replica.Static1(), nil
+	case "ST2":
+		return replica.Static2(), nil
+	}
+	var k int
+	if n, err := fmt.Sscanf(name, "SW%d", &k); err == nil && n == 1 && fmt.Sprintf("SW%d", k) == name {
+		m := replica.SW(k)
+		if err := m.Validate(); err != nil {
+			return replica.Mode{}, err
+		}
+		return m, nil
+	}
+	return replica.Mode{}, fmt.Errorf("unknown mode %q (want ST1, ST2 or SWk)", name)
+}

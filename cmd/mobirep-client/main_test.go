@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]string{
+		"ST1": "ST1", "ST2": "ST2", "SW1": "SW1", "SW9": "SW9",
+	}
+	for in, want := range cases {
+		m, err := parseMode(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if m.String() != want {
+			t.Fatalf("%q parsed to %q", in, m.String())
+		}
+	}
+	for _, bad := range []string{"", "SW4", "SW0", "sw9", "SW9x", "XX"} {
+		if _, err := parseMode(bad); err == nil {
+			t.Fatalf("%q: expected error", bad)
+		}
+	}
+}

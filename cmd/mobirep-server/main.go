@@ -1,0 +1,131 @@
+// Command mobirep-server runs a stationary computer (SC) node: it owns the
+// online database, accepts mobile clients over TCP, and optionally issues
+// Poisson-distributed writes to a key so a client on the other end can
+// observe the full allocation protocol.
+//
+// Example:
+//
+//	mobirep-server -listen 127.0.0.1:7070 -mode SW9 -key x -write-rate 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	modeName := flag.String("mode", "SW9", "allocation mode: ST1, ST2 or SWk")
+	key := flag.String("key", "x", "key to auto-write")
+	writeRate := flag.Float64("write-rate", 0, "Poisson write rate per second (0 = no auto writes)")
+	logPath := flag.String("log", "", "append-only persistence log (empty = in-memory)")
+	seed := flag.Uint64("seed", 1, "random seed for the write process")
+	statsEvery := flag.Duration("stats-every", 10*time.Second, "meter print interval")
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var store *db.Store
+	if *logPath != "" {
+		store, err = db.Open(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	} else {
+		store = db.NewStore()
+	}
+
+	srv, err := replica.NewServer(store, mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := listenAndServe(srv, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("mobirep-server: mode=%s listening on %s\n", mode, ln)
+
+	if *writeRate > 0 {
+		go writeLoop(srv, *key, *writeRate, *seed)
+	}
+	for {
+		time.Sleep(*statsEvery)
+		it, ok := store.Get(*key)
+		if ok {
+			fmt.Printf("key %q at version %d\n", *key, it.Version)
+		}
+	}
+}
+
+// listenAndServe accepts clients forever in the background and returns the
+// bound address.
+func listenAndServe(srv *replica.Server, addr string) (string, error) {
+	ln, err := transport.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			link, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sess := srv.Attach(link)
+			link.Start(func(err error) {
+				sess.Detach()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "client link:", err)
+				} else {
+					fmt.Println("client detached")
+				}
+			})
+			fmt.Println("client attached")
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func parseMode(name string) (replica.Mode, error) {
+	switch name {
+	case "ST1":
+		return replica.Static1(), nil
+	case "ST2":
+		return replica.Static2(), nil
+	}
+	var k int
+	if n, err := fmt.Sscanf(name, "SW%d", &k); err == nil && n == 1 && fmt.Sprintf("SW%d", k) == name {
+		m := replica.SW(k)
+		if err := m.Validate(); err != nil {
+			return replica.Mode{}, err
+		}
+		return m, nil
+	}
+	return replica.Mode{}, fmt.Errorf("unknown mode %q (want ST1, ST2 or SWk)", name)
+}
+
+func writeLoop(srv *replica.Server, key string, rate float64, seed uint64) {
+	rng := stats.NewRNG(seed)
+	for i := uint64(1); ; i++ {
+		time.Sleep(time.Duration(rng.Exp(rate) * float64(time.Second)))
+		if _, err := srv.Write(key, fmt.Appendf(nil, "auto-%d", i)); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestGenInfoCostPipeline(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.txt")
+
+	code, out, _ := runCapture(t, "gen", "-out", trace, "-lambda-r", "3", "-lambda-w", "1", "-n", "2000", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("gen exit %d", code)
+	}
+	if !strings.Contains(out, "wrote 2000 requests") || !strings.Contains(out, "theta = 0.250") {
+		t.Fatalf("gen output: %q", out)
+	}
+
+	code, out, _ = runCapture(t, "info", "-in", trace)
+	if code != 0 {
+		t.Fatalf("info exit %d", code)
+	}
+	for _, want := range []string{"requests:  2000", "theta:", "runs:", "offline:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+	// Empirical theta should be near 0.25.
+	if !strings.Contains(out, "theta:     0.2") {
+		t.Fatalf("info theta: %q", out)
+	}
+
+	code, out, _ = runCapture(t, "cost", "-in", trace, "-policy", "SW9", "-policy", "ST1", "-omega", "0.25")
+	if code != 0 {
+		t.Fatalf("cost exit %d", code)
+	}
+	for _, want := range []string{"OPT", "SW9", "ST1", "vs offline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cost output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCostDefaultPolicies(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.txt")
+	if code, _, _ := runCapture(t, "gen", "-out", trace, "-n", "100"); code != 0 {
+		t.Fatal("gen failed")
+	}
+	code, out, _ := runCapture(t, "cost", "-in", trace)
+	if code != 0 {
+		t.Fatalf("cost exit %d", code)
+	}
+	for _, p := range []string{"ST1", "ST2", "SW1", "SW9"} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("default policy %s missing:\n%s", p, out)
+		}
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if code, _, errOut := runCapture(t); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("no-args: code=%d err=%q", code, errOut)
+	}
+	if code, _, _ := runCapture(t, "bogus"); code != 2 {
+		t.Fatalf("bogus subcommand: code=%d", code)
+	}
+	if code, _, errOut := runCapture(t, "info", "-in", "/nonexistent/file"); code != 1 || errOut == "" {
+		t.Fatalf("missing file: code=%d err=%q", code, errOut)
+	}
+	if code, _, _ := runCapture(t, "cost", "-in", "/nonexistent/file"); code != 1 {
+		t.Fatal("cost on missing file should fail")
+	}
+	trace := filepath.Join(t.TempDir(), "t.txt")
+	runCapture(t, "gen", "-out", trace, "-n", "10")
+	if code, _, errOut := runCapture(t, "cost", "-in", trace, "-policy", "BOGUS"); code != 1 || !strings.Contains(errOut, "unknown policy") {
+		t.Fatalf("bogus policy: code=%d err=%q", code, errOut)
+	}
+	if code, _, _ := runCapture(t, "gen", "-badflag"); code != 1 {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	m.Set("a")
+	m.Set("b")
+	if m.String() != "[a b]" || len(m) != 2 {
+		t.Fatalf("multiFlag = %v", m)
+	}
+}

@@ -1,0 +1,133 @@
+package mobirep_test
+
+import (
+	"fmt"
+
+	"mobirep"
+)
+
+// The paper's core question: at a known read/write mix, which allocation
+// method minimizes communication?
+func ExampleBestExpectedMsg() {
+	// A traffic segment updated often relative to how often it is read,
+	// over a network where control messages cost 30% of a data message.
+	fmt.Println(mobirep.BestExpectedMsg(0.85, 0.3)) // theta, omega
+	fmt.Println(mobirep.BestExpectedMsg(0.05, 0.3))
+	fmt.Println(mobirep.BestExpectedMsg(0.50, 0.3))
+	// Output:
+	// ST1
+	// ST2
+	// SW1
+}
+
+// Running a policy over an explicit schedule and pricing it.
+func ExampleRunPolicy() {
+	s, _ := mobirep.ParseSchedule("rrrww")
+	steps := mobirep.RunPolicy(mobirep.NewSW(3), s)
+	fmt.Printf("connections: %.0f\n", mobirep.TotalCost(mobirep.ConnectionModel(), steps))
+	fmt.Printf("messages:    %.1f\n", mobirep.TotalCost(mobirep.MessageModel(0.5), steps))
+	// Output:
+	// connections: 4
+	// messages:    5.5
+}
+
+// The closed forms are exported directly; here equation 6 and the paper's
+// "k=15 is within 6% of the optimum" claim.
+func ExampleAvgSWConn() {
+	avg := mobirep.AvgSWConn(15)
+	fmt.Printf("AVG_SW15 = %.4f (%.1f%% above the optimum 0.25)\n", avg, 100*(avg/0.25-1))
+	// Output:
+	// AVG_SW15 = 0.2647 (5.9% above the optimum 0.25)
+}
+
+// Measuring a competitive ratio against the ideal offline algorithm on
+// the tight adversarial family of Theorem 4.
+func ExampleMeasureRatio() {
+	res := mobirep.MeasureRatio(mobirep.NewSW(3), mobirep.ConnectionModel(),
+		mobirep.SWkAdversary(3, 10000))
+	fmt.Printf("SW3 ratio %.2f (bound %d)\n", res.Ratio, 4)
+	// Output:
+	// SW3 ratio 4.00 (bound 4)
+}
+
+// The exact Markov oracle computes expected costs for any finite-state
+// policy with no closed form and no simulation noise.
+func ExampleExactExpected() {
+	exact, err := mobirep.ExactExpected(
+		mobirep.NewSW(9).(mobirep.EnumerablePolicy), 0.3, mobirep.ConnectionModel())
+	if err != nil {
+		panic(err)
+	}
+	formula := mobirep.ExpSWConn(9, 0.3)
+	fmt.Printf("exact %.6f, equation 5 %.6f\n", exact, formula)
+	// Output:
+	// exact 0.339523, equation 5 0.339523
+}
+
+// Hindsight analysis: which policy should have served this trace?
+func ExampleCompare() {
+	rng := mobirep.NewRNG(42)
+	trace := mobirep.BernoulliSchedule(rng, 0.2, 100000) // read-heavy
+	candidates := []mobirep.Factory{
+		func() mobirep.Policy { return mobirep.NewST1() },
+		func() mobirep.Policy { return mobirep.NewST2() },
+		func() mobirep.Policy { return mobirep.NewSW(9) },
+	}
+	cmp := mobirep.Compare(candidates, mobirep.ConnectionModel(), trace)
+	fmt.Println("winner:", cmp.Best().Name)
+	// Output:
+	// winner: ST2
+}
+
+// The full distributed protocol in-process: a stationary computer, a
+// mobile computer, and the metered wireless traffic between them.
+func ExampleNewServer() {
+	scLink, mcLink := mobirep.NewMemPair()
+	server, _ := mobirep.NewServer(mobirep.NewStore(), mobirep.SWMode(3))
+	session := server.Attach(scLink)
+	client, _ := mobirep.NewClient(mcLink, mobirep.SWMode(3))
+
+	server.Write("x", []byte("hello"))
+	client.Read("x") // remote
+	client.Read("x") // remote; allocates under SW3
+	client.Read("x") // local
+
+	total := session.Meter().Snapshot().Add(client.Meter().Snapshot())
+	fmt.Printf("data=%d control=%d copy=%v\n",
+		total.DataMsgs, total.ControlMsgs, client.HasCopy("x"))
+	// Output:
+	// data=2 control=2 copy=true
+}
+
+// Joint reads fetch many items in one connection (section 7.2).
+func ExampleClient_ReadMany() {
+	scLink, mcLink := mobirep.NewMemPair()
+	server, _ := mobirep.NewServer(mobirep.NewStore(), mobirep.Static1Mode())
+	session := server.Attach(scLink)
+	client, _ := mobirep.NewClient(mcLink, mobirep.Static1Mode())
+	for _, k := range []string{"a", "b", "c", "d"} {
+		server.Write(k, []byte(k))
+	}
+
+	items, _ := client.ReadMany([]string{"a", "b", "c", "d"})
+	total := session.Meter().Snapshot().Add(client.Meter().Snapshot())
+	fmt.Printf("%d items in %d data + %d control messages\n",
+		len(items), total.DataMsgs, total.ControlMsgs)
+	// Output:
+	// 4 items in 1 data + 1 control messages
+}
+
+// Multi-object allocation (section 7.2): joint operations couple the
+// per-object decisions.
+func ExampleOptimalStaticAllocation() {
+	x, y := mobirep.NewObjectSet(0), mobirep.NewObjectSet(1)
+	freqs := mobirep.FreqTable{
+		{Kind: mobirep.MultiRead, Objects: x | y}: 10, // joint reads dominate
+		{Kind: mobirep.MultiWrite, Objects: y}:    3,
+		{Kind: mobirep.MultiRead, Objects: x}:     2,
+	}
+	alloc, cost := mobirep.OptimalStaticAllocation(freqs, 2, mobirep.MultiConnModel())
+	fmt.Printf("cache %v at %.3f/op\n", alloc, cost)
+	// Output:
+	// cache {0,1} at 0.200/op
+}

@@ -1,0 +1,3 @@
+module mobirep
+
+go 1.22

@@ -1,0 +1,113 @@
+package analytic
+
+import (
+	"fmt"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+)
+
+// Exact analysis under the two-regime Markov-modulated workload
+// (internal/workload.Bursty): the product chain over (policy state,
+// regime) is still a finite Markov chain, so expected cost per request
+// has an exact value for every finite-state policy — no closed form, no
+// simulation noise. Used by the burst experiments as the oracle column.
+
+// BurstyParams mirrors workload.BurstyConfig for the analytic layer
+// (duplicated to keep the package dependency-light and the two packages
+// independently usable).
+type BurstyParams struct {
+	// ThetaA and ThetaB are the regime write probabilities.
+	ThetaA, ThetaB float64
+	// SwitchProb is the per-request regime flip probability.
+	SwitchProb float64
+}
+
+// BurstyExpected returns the exact long-run expected cost per request of
+// a finite-state policy under the two-regime workload. The product state
+// space doubles the policy's, so the same tractability limits apply.
+func BurstyExpected(p core.Enumerable, params BurstyParams, m cost.Model) (float64, error) {
+	if params.ThetaA < 0 || params.ThetaA > 1 || params.ThetaB < 0 || params.ThetaB > 1 {
+		return 0, fmt.Errorf("analytic: bursty thetas outside [0,1]")
+	}
+	if params.SwitchProb <= 0 || params.SwitchProb > 1 {
+		return 0, fmt.Errorf("analytic: switch probability outside (0,1]")
+	}
+	// Build one chain per regime over the SAME policy state indexing.
+	// The op distribution depends only on the current regime; the policy
+	// transition depends only on the op. We therefore reuse BuildChain's
+	// exploration once (it visits all op-reachable states regardless of
+	// theta) and weight transitions per regime.
+	base, err := BuildChain(p, 0.5, m, 1<<19)
+	if err != nil {
+		return 0, err
+	}
+	n := base.States()
+	// Distribution over (state, regime); regime A = 0.
+	pi := make([]float64, 2*n)
+	pi[base.start] = 1 // start in regime A
+	next := make([]float64, 2*n)
+	mixed := make([]float64, 2*n)
+	theta := [2]float64{params.ThetaA, params.ThetaB}
+	q := params.SwitchProb
+	for iter := 0; iter < 200000; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s := 0; s < n; s++ {
+			for r := 0; r < 2; r++ {
+				mass := pi[r*n+s]
+				if mass == 0 {
+					continue
+				}
+				// The regime flips before the request is drawn, matching
+				// workload.Bursty.
+				for nr := 0; nr < 2; nr++ {
+					rp := q
+					if nr == r {
+						rp = 1 - q
+					}
+					if rp == 0 {
+						continue
+					}
+					th := theta[nr]
+					next[nr*n+base.toWrite[s]] += mass * rp * th
+					next[nr*n+base.toRead[s]] += mass * rp * (1 - th)
+				}
+			}
+		}
+		diff := 0.0
+		for i := range mixed {
+			mixed[i] = 0.5*pi[i] + 0.5*next[i]
+			d := mixed[i] - pi[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		pi, mixed = mixed, pi
+		if diff < 1e-14 {
+			break
+		}
+	}
+	total := 0.0
+	for s := 0; s < n; s++ {
+		for r := 0; r < 2; r++ {
+			mass := pi[r*n+s]
+			if mass == 0 {
+				continue
+			}
+			// Expected cost of the next request from (s, r): regime flips
+			// first, then the op is drawn.
+			for nr := 0; nr < 2; nr++ {
+				rp := q
+				if nr == r {
+					rp = 1 - q
+				}
+				th := theta[nr]
+				total += mass * rp * (th*base.costWrite[s] + (1-th)*base.costRead[s])
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,109 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sim"
+	"mobirep/internal/stats"
+	"mobirep/internal/workload"
+)
+
+func TestBurstyDegeneratesToFixedTheta(t *testing.T) {
+	// Equal regime thetas make the regime irrelevant: the product chain
+	// must reproduce the plain chain exactly.
+	model := cost.NewMessage(0.5)
+	for _, theta := range []float64{0.2, 0.5, 0.8} {
+		for _, q := range []float64{0.01, 0.5, 1} {
+			got, err := BurstyExpected(core.NewSW(5),
+				BurstyParams{ThetaA: theta, ThetaB: theta, SwitchProb: q}, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := MarkovExpected(core.NewSW(5), theta, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("theta=%v q=%v: bursty %v vs fixed %v", theta, q, got, want)
+			}
+		}
+	}
+}
+
+func TestBurstyMatchesSimulation(t *testing.T) {
+	model := cost.NewConnection()
+	params := BurstyParams{ThetaA: 0.1, ThetaB: 0.9, SwitchProb: 0.01}
+	for _, mk := range []func() core.Enumerable{
+		func() core.Enumerable { return core.NewSW(3) },
+		func() core.Enumerable { return core.NewSW(9) },
+		func() core.Enumerable { return core.NewT1(4) },
+		func() core.Enumerable { return core.NewST2() },
+	} {
+		p := mk()
+		exact, err := BurstyExpected(p, params, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bursty samples are heavily correlated (the effective sample size
+		// is the number of bursts, not requests), so average several seeds
+		// and allow a correspondingly loose tolerance.
+		var sum stats.Summary
+		for seed := uint64(51); seed < 57; seed++ {
+			rng := stats.NewRNG(seed)
+			s, _ := workload.Bursty(rng, workload.BurstyConfig(params), 400000)
+			sum.Add(sim.Replay(mk(), model, s, 2000).PerOp())
+		}
+		if math.Abs(exact-sum.Mean()) > 0.01 {
+			t.Fatalf("%s: exact %v vs simulated %v", p.Name(), exact, sum.Mean())
+		}
+	}
+}
+
+func TestBurstyFastSwitchingIsMixture(t *testing.T) {
+	// With SwitchProb = 1/2 the regime is a fresh coin per request, so
+	// each request is a write w.p. (thetaA + thetaB)/2 i.i.d. — the
+	// product chain must equal the plain chain at the mean theta.
+	model := cost.NewConnection()
+	params := BurstyParams{ThetaA: 0.2, ThetaB: 0.6, SwitchProb: 0.5}
+	got, err := BurstyExpected(core.NewSW(7), params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarkovExpected(core.NewSW(7), 0.4, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fast switching %v vs mean-theta %v", got, want)
+	}
+}
+
+func TestBurstySlowSwitchingApproachesRegimeMixture(t *testing.T) {
+	// Very long regimes: the cost approaches the average of the per-regime
+	// steady-state costs (the switching transient amortizes away).
+	model := cost.NewConnection()
+	params := BurstyParams{ThetaA: 0.1, ThetaB: 0.9, SwitchProb: 1e-5}
+	got, err := BurstyExpected(core.NewSW(9), params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := MarkovExpected(core.NewSW(9), 0.1, model)
+	b, _ := MarkovExpected(core.NewSW(9), 0.9, model)
+	want := (a + b) / 2
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("slow switching %v vs regime mixture %v", got, want)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	model := cost.NewConnection()
+	if _, err := BurstyExpected(core.NewSW(3), BurstyParams{ThetaA: -1, ThetaB: 0.5, SwitchProb: 0.1}, model); err == nil {
+		t.Fatal("bad theta accepted")
+	}
+	if _, err := BurstyExpected(core.NewSW(3), BurstyParams{ThetaA: 0.5, ThetaB: 0.5, SwitchProb: 0}, model); err == nil {
+		t.Fatal("zero switch probability accepted")
+	}
+}

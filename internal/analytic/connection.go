@@ -1,0 +1,100 @@
+package analytic
+
+import "math"
+
+// Connection-model results (section 5). Costs are in expected connections
+// per relevant request.
+
+// ExpST1Conn returns EXP_ST1(theta) = 1 - theta (equation 2): under the
+// one-copy scheme only reads cost a connection.
+func ExpST1Conn(theta float64) float64 {
+	checkTheta(theta)
+	return 1 - theta
+}
+
+// ExpST2Conn returns EXP_ST2(theta) = theta (equation 2): under the
+// two-copies scheme only writes cost a connection.
+func ExpST2Conn(theta float64) float64 {
+	checkTheta(theta)
+	return theta
+}
+
+// ExpSWConn returns EXP_SWk(theta) of Theorem 1:
+// theta*pi_k + (1-theta)*(1-pi_k). A write costs a connection exactly when
+// the MC holds a copy (probability pi_k) and a read exactly when it does
+// not.
+func ExpSWConn(k int, theta float64) float64 {
+	checkTheta(theta)
+	pk := PiK(k, theta)
+	return theta*pk + (1-theta)*(1-pk)
+}
+
+// AvgST1Conn is AVG_ST1 = 1/2 (equation 3).
+const AvgST1Conn = 0.5
+
+// AvgST2Conn is AVG_ST2 = 1/2 (equation 3).
+const AvgST2Conn = 0.5
+
+// AvgSWConn returns AVG_SWk = 1/4 + 1/(4(k+2)) of Theorem 3 (equation 6).
+func AvgSWConn(k int) float64 {
+	checkOddK(k)
+	return 0.25 + 1/(4*float64(k+2))
+}
+
+// OptimumAvgConn is the infimum of AVG_SWk as k grows (Corollary 1): the
+// yardstick for the paper's "within 6% of the optimum for k = 15" claim.
+const OptimumAvgConn = 0.25
+
+// CompetitiveSWConn returns the tight competitiveness factor k+1 of SWk in
+// the connection model (Theorem 4).
+func CompetitiveSWConn(k int) float64 {
+	checkOddK(k)
+	return float64(k + 1)
+}
+
+// ExpT1Conn returns the section 7.1 expected cost of T1m in the connection
+// model: (1-theta) + (1-theta)^m (2*theta - 1). The second term is the
+// price of (m+1)-competitiveness over static ST1.
+func ExpT1Conn(m int, theta float64) float64 {
+	checkTheta(theta)
+	if m <= 0 {
+		panic("analytic: T1 threshold must be positive")
+	}
+	return (1 - theta) + math.Pow(1-theta, float64(m))*(2*theta-1)
+}
+
+// ExpT2Conn returns the symmetric expected cost of T2m in the connection
+// model: theta + theta^m (1 - 2*theta).
+func ExpT2Conn(m int, theta float64) float64 {
+	checkTheta(theta)
+	if m <= 0 {
+		panic("analytic: T2 threshold must be positive")
+	}
+	return theta + math.Pow(theta, float64(m))*(1-2*theta)
+}
+
+// AvgT1Conn returns the average expected cost of T1m in the connection
+// model, obtained by integrating ExpT1Conn over theta:
+// 1/2 - m/((m+1)(m+2)).
+func AvgT1Conn(m int) float64 {
+	if m <= 0 {
+		panic("analytic: T1 threshold must be positive")
+	}
+	fm := float64(m)
+	return 0.5 - fm/((fm+1)*(fm+2))
+}
+
+// AvgT2Conn returns the average expected cost of T2m in the connection
+// model; by the read/write symmetry it equals AvgT1Conn(m).
+func AvgT2Conn(m int) float64 { return AvgT1Conn(m) }
+
+// CompetitiveT1Conn returns T1m's competitiveness factor m+1 (section 7.1).
+func CompetitiveT1Conn(m int) float64 {
+	if m <= 0 {
+		panic("analytic: T1 threshold must be positive")
+	}
+	return float64(m + 1)
+}
+
+// CompetitiveT2Conn returns T2m's competitiveness factor m+1 (section 7.1).
+func CompetitiveT2Conn(m int) float64 { return CompetitiveT1Conn(m) }

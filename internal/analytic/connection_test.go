@@ -1,0 +1,226 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/cost"
+	"mobirep/internal/stats"
+)
+
+var thetaGrid = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+
+func TestExpStaticConn(t *testing.T) {
+	for _, theta := range thetaGrid {
+		if got := ExpST1Conn(theta); math.Abs(got-(1-theta)) > 1e-12 {
+			t.Fatalf("ST1(%v) = %v", theta, got)
+		}
+		if got := ExpST2Conn(theta); math.Abs(got-theta) > 1e-12 {
+			t.Fatalf("ST2(%v) = %v", theta, got)
+		}
+	}
+}
+
+// TestExpSWConnMatchesOracle validates Theorem 1 (equation 5) against the
+// exact window-enumeration oracle, which never uses the formula.
+func TestExpSWConnMatchesOracle(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{1, 3, 5, 9, 13} {
+		for _, theta := range thetaGrid {
+			formula := ExpSWConn(k, theta)
+			oracle := ExactSWExpected(k, theta, model)
+			if math.Abs(formula-oracle) > 1e-9 {
+				t.Fatalf("k=%d theta=%v: formula %v vs oracle %v", k, theta, formula, oracle)
+			}
+		}
+	}
+}
+
+// TestTheorem2 checks EXP_SWk >= min(EXP_ST1, EXP_ST2) over a dense grid.
+func TestTheorem2(t *testing.T) {
+	for _, k := range testKs {
+		for theta := 0.0; theta <= 1.0001; theta += 0.01 {
+			th := math.Min(theta, 1)
+			sw := ExpSWConn(k, th)
+			if sw < MinExpectedConn(th)-1e-9 {
+				t.Fatalf("Theorem 2 violated: k=%d theta=%v sw=%v min=%v",
+					k, th, sw, MinExpectedConn(th))
+			}
+		}
+	}
+}
+
+// TestAvgSWConnMatchesIntegration validates equation 6 by Simpson
+// integration of equation 5.
+func TestAvgSWConnMatchesIntegration(t *testing.T) {
+	for _, k := range testKs {
+		k := k
+		numeric := stats.Integrate(func(theta float64) float64 {
+			return ExpSWConn(k, theta)
+		}, 0, 1, 400)
+		formula := AvgSWConn(k)
+		if math.Abs(numeric-formula) > 1e-6 {
+			t.Fatalf("k=%d: integral %v vs formula %v", k, numeric, formula)
+		}
+	}
+}
+
+// TestCorollary1 checks that AVG_SWk strictly decreases with k and stays
+// below both statics.
+func TestCorollary1(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range testKs {
+		avg := AvgSWConn(k)
+		if avg >= prev {
+			t.Fatalf("AVG_SW not decreasing at k=%d: %v >= %v", k, avg, prev)
+		}
+		if avg >= AvgST1Conn || avg >= AvgST2Conn {
+			t.Fatalf("AVG_SW%d = %v not below statics", k, avg)
+		}
+		if avg <= OptimumAvgConn {
+			t.Fatalf("AVG_SW%d = %v at or below the optimum 1/4", k, avg)
+		}
+		prev = avg
+	}
+}
+
+// TestConclusionNumbersConn verifies the worked numbers in the paper:
+// k=15 within 6% of the optimum, k=9 within 10%.
+func TestConclusionNumbersConn(t *testing.T) {
+	rel := func(k int) float64 { return AvgSWConn(k)/OptimumAvgConn - 1 }
+	if r := rel(15); r > 0.06 {
+		t.Fatalf("k=15 is %.2f%% above optimum, paper promises <= 6%%", 100*r)
+	}
+	if r := rel(9); r > 0.10 {
+		t.Fatalf("k=9 is %.2f%% above optimum, paper promises <= 10%%", 100*r)
+	}
+	// And the factors should be nearly attained, not loose.
+	if r := rel(15); r < 0.055 {
+		t.Fatalf("k=15 relative gap %.4f unexpectedly small; formula wrong?", r)
+	}
+	if r := rel(9); r < 0.09 {
+		t.Fatalf("k=9 relative gap %.4f unexpectedly small; formula wrong?", r)
+	}
+}
+
+// TestExpT1ConnMatchesOracle validates the section 7.1 formula against the
+// exact phase-chain oracle.
+func TestExpT1ConnMatchesOracle(t *testing.T) {
+	model := cost.NewConnection()
+	for _, m := range []int{1, 2, 3, 7, 15} {
+		for _, theta := range thetaGrid {
+			formula := ExpT1Conn(m, theta)
+			oracle := ExactT1Expected(m, theta, model)
+			if math.Abs(formula-oracle) > 1e-9 {
+				t.Fatalf("m=%d theta=%v: formula %v vs oracle %v", m, theta, formula, oracle)
+			}
+		}
+	}
+}
+
+func TestExpT2ConnMatchesOracle(t *testing.T) {
+	model := cost.NewConnection()
+	for _, m := range []int{1, 2, 3, 7, 15} {
+		for _, theta := range thetaGrid {
+			formula := ExpT2Conn(m, theta)
+			oracle := ExactT2Expected(m, theta, model)
+			if math.Abs(formula-oracle) > 1e-9 {
+				t.Fatalf("m=%d theta=%v: formula %v vs oracle %v", m, theta, formula, oracle)
+			}
+		}
+	}
+}
+
+// TestT1T2Symmetry: T2m at theta equals T1m at 1-theta in the connection
+// model (roles of reads and writes swap).
+func TestT1T2Symmetry(t *testing.T) {
+	for _, m := range []int{1, 3, 8} {
+		for _, theta := range thetaGrid {
+			if d := math.Abs(ExpT2Conn(m, theta) - ExpT1Conn(m, 1-theta)); d > 1e-12 {
+				t.Fatalf("symmetry broken: m=%d theta=%v d=%v", m, theta, d)
+			}
+		}
+	}
+}
+
+// TestAvgT1ConnMatchesIntegration validates the derived average for T1m.
+func TestAvgT1ConnMatchesIntegration(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 15} {
+		m := m
+		numeric := stats.Integrate(func(theta float64) float64 {
+			return ExpT1Conn(m, theta)
+		}, 0, 1, 400)
+		if formula := AvgT1Conn(m); math.Abs(numeric-formula) > 1e-8 {
+			t.Fatalf("m=%d: integral %v vs formula %v", m, numeric, formula)
+		}
+		if AvgT2Conn(m) != AvgT1Conn(m) {
+			t.Fatalf("m=%d: T2 average should equal T1 average", m)
+		}
+	}
+}
+
+// TestT1CloseToST1ForHighTheta verifies the section 7.1 comparison: for
+// theta > 0.5, T1m's expected cost exceeds ST1's by exactly the
+// competitiveness premium (1-theta)^m (2 theta - 1), which vanishes as m
+// grows, and stays below SWm's expected cost.
+func TestT1CloseToST1ForHighTheta(t *testing.T) {
+	for _, m := range []int{3, 5, 9, 15} {
+		for _, theta := range []float64{0.55, 0.6, 0.75, 0.9} {
+			t1 := ExpT1Conn(m, theta)
+			st1 := ExpST1Conn(theta)
+			if t1 < st1 {
+				t.Fatalf("m=%d theta=%v: T1 %v below ST1 %v", m, theta, t1, st1)
+			}
+			premium := math.Pow(1-theta, float64(m)) * (2*theta - 1)
+			if math.Abs(t1-st1-premium) > 1e-12 {
+				t.Fatalf("m=%d theta=%v: premium mismatch", m, theta)
+			}
+			if sw := ExpSWConn(m, theta); t1 > sw {
+				t.Fatalf("m=%d theta=%v: T1 %v above SW %v, paper says slightly lower", m, theta, t1, sw)
+			}
+		}
+	}
+}
+
+// TestPaperT1WorkedNumber verifies "for m=15 and theta=0.75 the expected
+// cost of the T1m algorithm will come within 4% of the optimum".
+func TestPaperT1WorkedNumber(t *testing.T) {
+	opt := MinExpectedConn(0.75)
+	t1 := ExpT1Conn(15, 0.75)
+	if rel := t1/opt - 1; rel > 0.04 {
+		t.Fatalf("T1(15) at theta=0.75 is %.3f%% above optimum", 100*rel)
+	}
+}
+
+func TestCompetitiveFactorsConn(t *testing.T) {
+	if CompetitiveSWConn(9) != 10 {
+		t.Fatal("SW9 should be 10-competitive")
+	}
+	if CompetitiveT1Conn(15) != 16 || CompetitiveT2Conn(15) != 16 {
+		t.Fatal("T(15) should be 16-competitive")
+	}
+}
+
+func TestBestExpectedConn(t *testing.T) {
+	if BestExpectedConn(0.3) != AlgST2 {
+		t.Fatal("theta=0.3 should favor ST2")
+	}
+	if BestExpectedConn(0.7) != AlgST1 {
+		t.Fatal("theta=0.7 should favor ST1")
+	}
+	if BestExpectedConn(0.5) != AlgST2 {
+		t.Fatal("tie at 0.5 should report ST2")
+	}
+}
+
+func TestExactStaticExpected(t *testing.T) {
+	model := cost.NewConnection()
+	for _, theta := range thetaGrid {
+		if got := ExactStaticExpected(false, theta, model); math.Abs(got-ExpST1Conn(theta)) > 1e-12 {
+			t.Fatalf("static oracle ST1 mismatch at %v", theta)
+		}
+		if got := ExactStaticExpected(true, theta, model); math.Abs(got-ExpST2Conn(theta)) > 1e-12 {
+			t.Fatalf("static oracle ST2 mismatch at %v", theta)
+		}
+	}
+}

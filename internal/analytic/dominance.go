@@ -1,0 +1,95 @@
+package analytic
+
+import "math"
+
+// Dominance regions of Theorem 6 / Figure 1: for a known fixed theta, one
+// of ST1, ST2, SW1 has the lowest expected cost in the message model,
+// determined by where theta falls relative to two omega-dependent
+// boundaries.
+
+// Algorithm identifies one of the paper's allocation methods in reports
+// and dominance maps.
+type Algorithm int
+
+const (
+	// AlgST1 is the static one-copy method.
+	AlgST1 Algorithm = iota
+	// AlgST2 is the static two-copies method.
+	AlgST2
+	// AlgSW1 is the optimized sliding window of size one.
+	AlgSW1
+	// AlgSWk is a sliding window of size greater than one.
+	AlgSWk
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgST1:
+		return "ST1"
+	case AlgST2:
+		return "ST2"
+	case AlgSW1:
+		return "SW1"
+	case AlgSWk:
+		return "SWk"
+	default:
+		return "unknown"
+	}
+}
+
+// ThetaUpperST1 returns the Theorem 6 boundary (1+omega)/(1+2*omega):
+// for theta above it, ST1 has the lowest expected cost.
+func ThetaUpperST1(omega float64) float64 {
+	checkOmega(omega)
+	return (1 + omega) / (1 + 2*omega)
+}
+
+// ThetaLowerST2 returns the Theorem 6 boundary 2*omega/(1+2*omega): for
+// theta below it, ST2 has the lowest expected cost.
+func ThetaLowerST2(omega float64) float64 {
+	checkOmega(omega)
+	return 2 * omega / (1 + 2*omega)
+}
+
+// BestExpectedMsg classifies (theta, omega) per Theorem 6: the algorithm
+// among ST1, ST2 and SW1 with the lowest expected cost in the message
+// model. Points exactly on a boundary are ties; they are resolved toward
+// SW1, matching the paper's weak inequalities.
+func BestExpectedMsg(theta, omega float64) Algorithm {
+	checkTheta(theta)
+	checkOmega(omega)
+	switch {
+	case theta > ThetaUpperST1(omega):
+		return AlgST1
+	case theta < ThetaLowerST2(omega):
+		return AlgST2
+	default:
+		return AlgSW1
+	}
+}
+
+// BestExpectedConn classifies theta for the connection model: ST2 wins for
+// theta <= 1/2 and ST1 for theta >= 1/2 (section 5; Theorem 2 shows no SWk
+// can beat both statics at a known theta). At exactly 1/2 the statics tie;
+// ST2 is reported.
+func BestExpectedConn(theta float64) Algorithm {
+	checkTheta(theta)
+	if theta > 0.5 {
+		return AlgST1
+	}
+	return AlgST2
+}
+
+// MinExpectedMsg returns the smallest expected cost among ST1, ST2 and SW1
+// at (theta, omega): the Theorem 9 lower envelope.
+func MinExpectedMsg(theta, omega float64) float64 {
+	return math.Min(ExpSW1Msg(theta, omega),
+		math.Min(ExpST1Msg(theta, omega), ExpST2Msg(theta)))
+}
+
+// MinExpectedConn returns min(theta, 1-theta), the connection-model lower
+// envelope of Theorem 2.
+func MinExpectedConn(theta float64) float64 {
+	return math.Min(ExpST1Conn(theta), ExpST2Conn(theta))
+}

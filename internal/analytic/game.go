@@ -1,0 +1,184 @@
+package analytic
+
+import (
+	"math"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+)
+
+// Mechanized competitive analysis. For a deterministic finite-state
+// policy A, the adversary simultaneously chooses the request sequence and
+// (being able to foresee itself) the offline algorithm's allocation
+// moves. A is c-competitive exactly when no infinite play makes
+// cost_A - c*cost_OPT grow without bound, i.e. when the maximum cycle
+// mean of the finite game graph
+//
+//	states:  (policy state, offline copy bit)
+//	edges:   choose op in {r, w} and the offline's next copy bit,
+//	         weighted cost_A(op) - c*cost_OPT(op, move)
+//
+// is at most zero. The offline edge costs follow the ideal comparator of
+// internal/offline: read miss 1, write hit 1, deallocation free,
+// allocation free on a read miss and 1 otherwise.
+//
+// CompetitiveRatio binary-searches c using Karp's maximum-cycle-mean
+// algorithm, mechanically re-deriving the paper's Theorems 4, 11 and 12
+// and producing exact factors for variants the paper never analyzed
+// (the T family in the message model, tie-holding even windows, the
+// cache-invalidation baseline).
+
+// gameGraph is the product game: edges carry the two costs separately so
+// one build serves every candidate c.
+type gameGraph struct {
+	n     int // number of product states
+	from  []int32
+	to    []int32
+	costA []float64
+	costO []float64
+}
+
+// buildGame explores the product space. maxStates bounds the policy's
+// state count (the product doubles it).
+func buildGame(p core.Enumerable, m cost.Model, maxStates int) (*gameGraph, error) {
+	chain, err := BuildChain(p, 0.5, m, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	ns := chain.States()
+	g := &gameGraph{n: 2 * ns}
+	addEdge := func(from, to int, ca, co float64) {
+		g.from = append(g.from, int32(from))
+		g.to = append(g.to, int32(to))
+		g.costA = append(g.costA, ca)
+		g.costO = append(g.costO, co)
+	}
+	// Product state s + ns*o, with o the offline copy bit.
+	for s := 0; s < ns; s++ {
+		for o := 0; o < 2; o++ {
+			from := s + ns*o
+			// Read edges.
+			for _, oNext := range []int{0, 1} {
+				co := 0.0
+				if o == 0 {
+					co = 1 // ideal read miss: one data message
+				}
+				// Transitions after a read are free for the ideal
+				// comparator (the data flowed on a miss; dropping is free).
+				if o == 1 && oNext == 1 {
+					co = 0
+				}
+				addEdge(from, chain.toRead[s]+ns*oNext, chain.costRead[s], co)
+			}
+			// Write edges.
+			for _, oNext := range []int{0, 1} {
+				co := 0.0
+				if o == 1 {
+					co = 1 // write propagated to the held copy
+				}
+				if o == 0 && oNext == 1 {
+					co = 1 // standalone allocation pushes the new value
+				}
+				addEdge(from, chain.toWrite[s]+ns*oNext, chain.costWrite[s], co)
+			}
+		}
+	}
+	return g, nil
+}
+
+// maxCycleMean runs Karp's algorithm on edge weights costA - c*costO.
+func (g *gameGraph) maxCycleMean(c float64) float64 {
+	n := g.n
+	// dp[k][v] = maximum weight of a k-edge walk ending at v (from any
+	// start). Initialize with 0 so every state is a valid start.
+	prev := make([]float64, n)
+	dp := make([][]float64, n+1)
+	dp[0] = append([]float64(nil), prev...)
+	cur := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		for v := range cur {
+			cur[v] = math.Inf(-1)
+		}
+		for i := range g.from {
+			w := g.costA[i] - c*g.costO[i]
+			if cand := dp[k-1][g.from[i]] + w; cand > cur[g.to[i]] {
+				cur[g.to[i]] = cand
+			}
+		}
+		dp[k] = append([]float64(nil), cur...)
+	}
+	best := math.Inf(-1)
+	for v := 0; v < n; v++ {
+		if math.IsInf(dp[n][v], -1) {
+			continue
+		}
+		worst := math.Inf(1)
+		for k := 0; k < n; k++ {
+			if math.IsInf(dp[k][v], -1) {
+				continue
+			}
+			mean := (dp[n][v] - dp[k][v]) / float64(n-k)
+			if mean < worst {
+				worst = mean
+			}
+		}
+		if worst > best {
+			best = worst
+		}
+	}
+	return best
+}
+
+// CompetitiveRatio returns the exact competitive ratio of a finite-state
+// policy under the given cost model against the ideal offline comparator,
+// to within tol (default 1e-9 when tol <= 0). It returns +Inf if the
+// policy is not competitive at any factor below limit (e.g. the statics).
+// The policy's state count must stay modest (the game is quadratic in
+// it); window sizes up to 11 are comfortable.
+func CompetitiveRatio(p core.Enumerable, m cost.Model, limit float64, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if limit <= 0 {
+		limit = 64
+	}
+	g, err := buildGame(p, m, 1<<14)
+	if err != nil {
+		return 0, err
+	}
+	// Feasibility: c is an upper bound iff max cycle mean <= 0.
+	if g.maxCycleMean(limit) > 1e-12 {
+		return math.Inf(1), nil
+	}
+	lo, hi := 0.0, limit
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if g.maxCycleMean(mid) > 1e-12 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// VerifyCompetitive checks that the policy is c-competitive (max cycle
+// mean of the game at factor c is non-positive). It is cheaper than the
+// full binary search when only a bound must be confirmed.
+func VerifyCompetitive(p core.Enumerable, m cost.Model, c float64) (bool, error) {
+	g, err := buildGame(p, m, 1<<14)
+	if err != nil {
+		return false, err
+	}
+	return g.maxCycleMean(c) <= 1e-12, nil
+}
+
+// WorstCycle is a diagnostic: it returns the maximum cycle mean at factor
+// c, positive values meaning the adversary gains per step.
+func WorstCycle(p core.Enumerable, m cost.Model, c float64) (float64, error) {
+	g, err := buildGame(p, m, 1<<14)
+	if err != nil {
+		return 0, err
+	}
+	return g.maxCycleMean(c), nil
+}

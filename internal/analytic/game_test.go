@@ -1,0 +1,149 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+)
+
+// TestGameRederivesTheorem4 mechanically recovers the k+1 factor of the
+// connection model.
+func TestGameRederivesTheorem4(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{1, 3, 5, 7} {
+		got, err := CompetitiveRatio(core.NewSW(k), model, 32, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k + 1)
+		if math.Abs(got-want) > 1e-5 {
+			t.Fatalf("k=%d: game ratio %v, Theorem 4 says %v", k, got, want)
+		}
+	}
+}
+
+// TestGameRederivesTheorem11 recovers SW1's 1+2*omega factor.
+func TestGameRederivesTheorem11(t *testing.T) {
+	for _, omega := range []float64{0, 0.25, 0.5, 1} {
+		got, err := CompetitiveRatio(core.NewSW(1), cost.NewMessage(omega), 16, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CompetitiveSW1Msg(omega)
+		if math.Abs(got-want) > 1e-5 {
+			t.Fatalf("omega=%v: game ratio %v, Theorem 11 says %v", omega, got, want)
+		}
+	}
+}
+
+// TestGameRederivesTheorem12 recovers (1+omega/2)(k+1)+omega.
+func TestGameRederivesTheorem12(t *testing.T) {
+	for _, k := range []int{3, 5} {
+		for _, omega := range []float64{0.25, 0.5, 1} {
+			got, err := CompetitiveRatio(core.NewSW(k), cost.NewMessage(omega), 32, 1e-7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := CompetitiveSWMsg(k, omega)
+			if math.Abs(got-want) > 1e-5 {
+				t.Fatalf("k=%d omega=%v: game ratio %v, Theorem 12 says %v", k, omega, got, want)
+			}
+		}
+	}
+}
+
+// TestGameRederivesTFamily recovers the section 7.1 m+1 factors.
+func TestGameRederivesTFamily(t *testing.T) {
+	model := cost.NewConnection()
+	for _, m := range []int{1, 2, 4, 8} {
+		got, err := CompetitiveRatio(core.NewT1(m), model, 32, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(m+1)) > 1e-5 {
+			t.Fatalf("T1(%d): game ratio %v, want %v", m, got, m+1)
+		}
+		got, err = CompetitiveRatio(core.NewT2(m), model, 32, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(m+1)) > 1e-5 {
+			t.Fatalf("T2(%d): game ratio %v, want %v", m, got, m+1)
+		}
+	}
+}
+
+// TestGameStaticsNotCompetitive: the statics must come back +Inf.
+func TestGameStaticsNotCompetitive(t *testing.T) {
+	model := cost.NewConnection()
+	for _, p := range []core.Enumerable{core.NewST1(), core.NewST2()} {
+		got, err := CompetitiveRatio(p, model, 64, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(got, 1) {
+			t.Fatalf("%s: ratio %v, want +Inf", p.Name(), got)
+		}
+	}
+}
+
+// TestGameCacheInvalidateEqualsSW1 again via the worst case.
+func TestGameCacheInvalidateEqualsSW1(t *testing.T) {
+	m := cost.NewMessage(0.5)
+	a, err := CompetitiveRatio(core.NewCacheInvalidate(), m, 16, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompetitiveRatio(core.NewSW(1), m, 16, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-5 {
+		t.Fatalf("cache-invalidate %v vs SW1 %v", a, b)
+	}
+}
+
+// TestGameEvenWindowNewResult pins the tie-holding even window's exact
+// factor, a number the paper never derives: k+2, identical to SW(k+1)'s.
+// Combined with the E16 expected-cost comparison this means SWe(k)
+// weakly dominates SW(k+1).
+func TestGameEvenWindowNewResult(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{2, 4, 6} {
+		got, err := CompetitiveRatio(core.NewEvenSW(k), model, 32, 1e-7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(k+2)) > 1e-5 {
+			t.Fatalf("SWe%d: ratio %v, want %d", k, got, k+2)
+		}
+	}
+}
+
+// TestVerifyCompetitive checks both directions of the bound test.
+func TestVerifyCompetitive(t *testing.T) {
+	model := cost.NewConnection()
+	ok, err := VerifyCompetitive(core.NewSW(3), model, 4)
+	if err != nil || !ok {
+		t.Fatalf("SW3 at c=4: ok=%v err=%v", ok, err)
+	}
+	ok, err = VerifyCompetitive(core.NewSW(3), model, 3.9)
+	if err != nil || ok {
+		t.Fatalf("SW3 at c=3.9 should fail: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestWorstCycleSign: positive below the factor, non-positive above.
+func TestWorstCycleSign(t *testing.T) {
+	model := cost.NewConnection()
+	below, err := WorstCycle(core.NewSW(3), model, 3)
+	if err != nil || below <= 0 {
+		t.Fatalf("mean at c=3: %v err=%v", below, err)
+	}
+	above, err := WorstCycle(core.NewSW(3), model, 5)
+	if err != nil || above > 1e-12 {
+		t.Fatalf("mean at c=5: %v err=%v", above, err)
+	}
+}

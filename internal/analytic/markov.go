@@ -1,0 +1,235 @@
+package analytic
+
+import (
+	"fmt"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+// Generic Markov oracle: exact expected costs for ANY finite-state policy
+// under i.i.d. Bernoulli(theta) requests, computed by enumerating the
+// policy's reachable state graph. It needs no closed form and no
+// per-policy derivation, so it validates every formula in this package
+// and analyzes the variants the paper leaves open (hysteresis windows,
+// even window sizes, the T family in the message model).
+
+// Chain is the explored state graph of a policy at a fixed theta.
+type Chain struct {
+	theta float64
+	// per state: successor index and step cost under Read and Write.
+	toRead, toWrite     []int
+	costRead, costWrite []float64
+	// start is the initial state's index.
+	start int
+}
+
+// BuildChain explores the reachable states of the policy (breadth-first,
+// both request kinds from every state) and prices each transition under
+// m. It fails if more than maxStates states are reachable.
+func BuildChain(p core.Enumerable, theta float64, m cost.Model, maxStates int) (*Chain, error) {
+	checkTheta(theta)
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	type node struct {
+		policy core.Enumerable
+		index  int
+	}
+	index := map[string]int{}
+	var queue []node
+
+	intern := func(q core.Enumerable) (int, bool) {
+		key := q.StateKey()
+		if i, ok := index[key]; ok {
+			return i, false
+		}
+		i := len(index)
+		index[key] = i
+		return i, true
+	}
+
+	c := &Chain{theta: theta}
+	startIdx, _ := intern(p)
+	c.start = startIdx
+	queue = append(queue, node{policy: p, index: startIdx})
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for len(c.toRead) <= cur.index {
+			c.toRead = append(c.toRead, -1)
+			c.toWrite = append(c.toWrite, -1)
+			c.costRead = append(c.costRead, 0)
+			c.costWrite = append(c.costWrite, 0)
+		}
+		for _, op := range []sched.Op{sched.Read, sched.Write} {
+			next := cur.policy.Clone()
+			st := next.Apply(op)
+			idx, fresh := intern(next)
+			if len(index) > maxStates {
+				return nil, fmt.Errorf("analytic: policy %s exceeds %d states", p.Name(), maxStates)
+			}
+			if op == sched.Read {
+				c.toRead[cur.index] = idx
+				c.costRead[cur.index] = m.StepCost(st)
+			} else {
+				c.toWrite[cur.index] = idx
+				c.costWrite[cur.index] = m.StepCost(st)
+			}
+			if fresh {
+				queue = append(queue, node{policy: next, index: idx})
+			}
+		}
+	}
+	return c, nil
+}
+
+// States returns the number of reachable states.
+func (c *Chain) States() int { return len(c.toRead) }
+
+// stepCost returns the expected cost of the next request from state i.
+func (c *Chain) stepCost(i int) float64 {
+	return (1-c.theta)*c.costRead[i] + c.theta*c.costWrite[i]
+}
+
+// evolve advances the state distribution by one request.
+func (c *Chain) evolve(pi, next []float64) {
+	for i := range next {
+		next[i] = 0
+	}
+	for i, p := range pi {
+		if p == 0 {
+			continue
+		}
+		next[c.toRead[i]] += p * (1 - c.theta)
+		next[c.toWrite[i]] += p * c.theta
+	}
+}
+
+// SteadyCost returns the exact long-run expected cost per request: the
+// stationary distribution (found by damped power iteration, which
+// converges for any unichain) weighted by per-state expected step costs.
+func (c *Chain) SteadyCost() float64 {
+	n := c.States()
+	pi := make([]float64, n)
+	pi[c.start] = 1
+	next := make([]float64, n)
+	mixed := make([]float64, n)
+	for iter := 0; iter < 200000; iter++ {
+		c.evolve(pi, next)
+		// Damping (Cesàro mix) kills periodicity.
+		diff := 0.0
+		for i := range mixed {
+			mixed[i] = 0.5*pi[i] + 0.5*next[i]
+			d := mixed[i] - pi[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		pi, mixed = mixed, pi
+		if diff < 1e-14 {
+			break
+		}
+	}
+	total := 0.0
+	for i, p := range pi {
+		total += p * c.stepCost(i)
+	}
+	return total
+}
+
+// TransientCosts returns the exact expected cost of each of the first
+// steps requests, starting cold from the policy's initial state. It
+// quantifies how fast a policy converges to its steady state — the
+// warmup the simulator discards and the "initial window only affects a
+// vanishing transient" claim.
+func (c *Chain) TransientCosts(steps int) []float64 {
+	n := c.States()
+	pi := make([]float64, n)
+	pi[c.start] = 1
+	next := make([]float64, n)
+	out := make([]float64, steps)
+	for t := 0; t < steps; t++ {
+		for i, p := range pi {
+			out[t] += p * c.stepCost(i)
+		}
+		c.evolve(pi, next)
+		pi, next = next, pi
+	}
+	return out
+}
+
+// MarkovExpected is the convenience wrapper: exact steady-state expected
+// cost per request of any finite-state policy.
+func MarkovExpected(p core.Enumerable, theta float64, m cost.Model) (float64, error) {
+	c, err := BuildChain(p, theta, m, 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	return c.SteadyCost(), nil
+}
+
+// MarkovAverage returns the exact average expected cost of any
+// finite-state policy: the integral over theta of the chain's steady cost
+// (Simpson with 2*halves panels; 200 is plenty for these smooth
+// integrands). It generalizes equations 6 and 12 to policies without a
+// closed form — the T family in the message model, hysteresis windows,
+// the even-k variant.
+func MarkovAverage(p core.Enumerable, m cost.Model, halves int) (float64, error) {
+	// Build the state graph once; transition structure and step costs are
+	// theta-independent, so only the stationary solve repeats per point.
+	base, err := BuildChain(p, 0.5, m, 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	f := func(theta float64) float64 {
+		c := *base
+		c.theta = theta
+		return c.SteadyCost()
+	}
+	return stats.Integrate(f, 0, 1, halves), nil
+}
+
+// SteadyMoments returns the exact stationary mean and variance of the
+// per-request cost. The variance is the marginal one (a single request
+// drawn at stationarity); it bounds how noisy per-request costs are and
+// calibrates the simulator's confidence intervals. Successive requests
+// are correlated through the window, so the variance of a long-run
+// average is not simply this value over n — the experiments use batch
+// means for that.
+func (c *Chain) SteadyMoments() (mean, variance float64) {
+	n := c.States()
+	pi := make([]float64, n)
+	pi[c.start] = 1
+	next := make([]float64, n)
+	mixed := make([]float64, n)
+	for iter := 0; iter < 200000; iter++ {
+		c.evolve(pi, next)
+		diff := 0.0
+		for i := range mixed {
+			mixed[i] = 0.5*pi[i] + 0.5*next[i]
+			d := mixed[i] - pi[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		pi, mixed = mixed, pi
+		if diff < 1e-14 {
+			break
+		}
+	}
+	var m1, m2 float64
+	for i, p := range pi {
+		if p == 0 {
+			continue
+		}
+		m1 += p * ((1-c.theta)*c.costRead[i] + c.theta*c.costWrite[i])
+		m2 += p * ((1-c.theta)*c.costRead[i]*c.costRead[i] + c.theta*c.costWrite[i]*c.costWrite[i])
+	}
+	return m1, m2 - m1*m1
+}

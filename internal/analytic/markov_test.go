@@ -1,0 +1,287 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+// TestMarkovMatchesWindowOracle cross-validates the two independent exact
+// methods: the product-law window enumeration and the generic chain.
+func TestMarkovMatchesWindowOracle(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 9} {
+		for _, omega := range []float64{0, 0.5, 1} {
+			model := cost.NewMessage(omega)
+			for _, theta := range []float64{0.1, 0.4, 0.5, 0.6, 0.9} {
+				got, err := MarkovExpected(core.NewSW(k), theta, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ExactSWExpected(k, theta, model)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("k=%d omega=%v theta=%v: markov %v vs window oracle %v",
+						k, omega, theta, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMarkovMatchesFormulas validates the chain against the paper's
+// closed forms directly.
+func TestMarkovMatchesFormulas(t *testing.T) {
+	conn := cost.NewConnection()
+	for _, theta := range []float64{0.2, 0.5, 0.8} {
+		if got, _ := MarkovExpected(core.NewST1(), theta, conn); math.Abs(got-ExpST1Conn(theta)) > 1e-12 {
+			t.Fatalf("ST1 theta=%v: %v", theta, got)
+		}
+		if got, _ := MarkovExpected(core.NewST2(), theta, conn); math.Abs(got-ExpST2Conn(theta)) > 1e-12 {
+			t.Fatalf("ST2 theta=%v: %v", theta, got)
+		}
+		if got, _ := MarkovExpected(core.NewSW(7), theta, conn); math.Abs(got-ExpSWConn(7, theta)) > 1e-9 {
+			t.Fatalf("SW7 theta=%v: %v", theta, got)
+		}
+		if got, _ := MarkovExpected(core.NewT1(5), theta, conn); math.Abs(got-ExpT1Conn(5, theta)) > 1e-9 {
+			t.Fatalf("T1 theta=%v: %v", theta, got)
+		}
+		if got, _ := MarkovExpected(core.NewT2(5), theta, conn); math.Abs(got-ExpT2Conn(5, theta)) > 1e-9 {
+			t.Fatalf("T2 theta=%v: %v", theta, got)
+		}
+	}
+}
+
+// TestMarkovTFamilyMessageModel pins the T oracles in the message model,
+// where the paper gives no closed form: the chain and the hand-derived
+// stationary law must agree.
+func TestMarkovTFamilyMessageModel(t *testing.T) {
+	model := cost.NewMessage(0.6)
+	for _, m := range []int{1, 3, 8} {
+		for _, theta := range []float64{0.25, 0.5, 0.75} {
+			got, err := MarkovExpected(core.NewT1(m), theta, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ExactT1Expected(m, theta, model)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("T1(%d) theta=%v: markov %v vs oracle %v", m, theta, got, want)
+			}
+			got, err = MarkovExpected(core.NewT2(m), theta, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = ExactT2Expected(m, theta, model)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("T2(%d) theta=%v: markov %v vs oracle %v", m, theta, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheInvalidateEqualsSW1 demonstrates the section 8.2 observation:
+// callback-invalidation caching IS SW1 in allocation and cost terms.
+func TestCacheInvalidateEqualsSW1(t *testing.T) {
+	for _, omega := range []float64{0, 0.4, 1} {
+		model := cost.NewMessage(omega)
+		for _, theta := range []float64{0.2, 0.5, 0.8} {
+			ci, err := MarkovExpected(core.NewCacheInvalidate(), theta, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw1 := ExpSW1Msg(theta, omega)
+			if math.Abs(ci-sw1) > 1e-12 {
+				t.Fatalf("theta=%v omega=%v: cache-invalidate %v vs SW1 %v", theta, omega, ci, sw1)
+			}
+		}
+	}
+}
+
+// TestEvenSWBracketedByOddNeighbors: the tie-holding even window's exact
+// cost sits near its odd neighbors, and its state space doubles (the tie
+// makes allocation path-dependent).
+func TestEvenSWBracketedByOddNeighbors(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{2, 4, 8} {
+		for _, theta := range []float64{0.3, 0.5, 0.7} {
+			even, err := MarkovExpected(core.NewEvenSW(k), theta, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo := ExpSWConn(k-1, theta)
+			hi := ExpSWConn(k+1, theta)
+			min, max := math.Min(lo, hi), math.Max(lo, hi)
+			if even < min-0.05 || even > max+0.05 {
+				t.Fatalf("k=%d theta=%v: even %v outside [%v, %v]±0.05", k, theta, even, min, max)
+			}
+		}
+	}
+}
+
+func TestChainStatesCount(t *testing.T) {
+	c, err := BuildChain(core.NewSW(5), 0.5, cost.NewConnection(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.States() != 32 {
+		t.Fatalf("SW5 reachable states = %d, want 2^5", c.States())
+	}
+	c, err = BuildChain(core.NewT1(4), 0.5, cost.NewConnection(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.States() != 5 {
+		t.Fatalf("T1(4) reachable states = %d, want m+1", c.States())
+	}
+}
+
+func TestChainMaxStatesEnforced(t *testing.T) {
+	if _, err := BuildChain(core.NewSW(9), 0.5, cost.NewConnection(), 100); err == nil {
+		t.Fatal("expected state-limit error")
+	}
+}
+
+// TestTransientConvergesToSteady: the per-step expected cost from a cold
+// start approaches the steady-state value, and the initial window only
+// affects a vanishing prefix (the paper's implicit warmup claim).
+func TestTransientConvergesToSteady(t *testing.T) {
+	model := cost.NewConnection()
+	theta := 0.3
+	c, err := BuildChain(core.NewSW(9), theta, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := c.SteadyCost()
+	trans := c.TransientCosts(300)
+	if len(trans) != 300 {
+		t.Fatalf("len = %d", len(trans))
+	}
+	// Early steps differ (write-filled window, cheap writes at low theta
+	// are rare, reads are all remote at first)...
+	if math.Abs(trans[0]-steady) < 1e-6 {
+		t.Fatal("cold start unexpectedly already at steady state")
+	}
+	// ... but by step 300 the difference is negligible.
+	if d := math.Abs(trans[299] - steady); d > 1e-6 {
+		t.Fatalf("still %v from steady state after 300 steps", d)
+	}
+	// And the read-filled start converges to the same steady value: the
+	// initial window does not matter in the long run.
+	c2, err := BuildChain(core.NewSWInitial(9, sched.Read), theta, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(c2.SteadyCost() - steady); d > 1e-9 {
+		t.Fatalf("initial window changed the steady state by %v", d)
+	}
+}
+
+// TestSteadyMomentsMatchSimulation: exact per-request mean and variance
+// versus empirical moments over a long run.
+func TestSteadyMomentsMatchSimulation(t *testing.T) {
+	model := cost.NewMessage(0.5)
+	theta := 0.4
+	c, err := BuildChain(core.NewSW(5), theta, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance := c.SteadyMoments()
+	if d := math.Abs(mean - c.SteadyCost()); d > 1e-12 {
+		t.Fatalf("moment mean %v vs SteadyCost %v", mean, c.SteadyCost())
+	}
+
+	// Empirical: replay a long Bernoulli stream and accumulate per-step
+	// cost moments after warmup.
+	p := core.NewSW(5)
+	rng := stats.NewRNG(71)
+	var m1, m2 float64
+	const warm, n = 5000, 400000
+	for i := 0; i < warm+n; i++ {
+		op := sched.Read
+		if rng.Bernoulli(theta) {
+			op = sched.Write
+		}
+		stepCost := model.StepCost(p.Apply(op))
+		if i < warm {
+			continue
+		}
+		m1 += stepCost
+		m2 += stepCost * stepCost
+	}
+	m1 /= n
+	m2 /= n
+	empVar := m2 - m1*m1
+	if math.Abs(m1-mean) > 0.01 {
+		t.Fatalf("empirical mean %v vs exact %v", m1, mean)
+	}
+	if math.Abs(empVar-variance) > 0.02 {
+		t.Fatalf("empirical variance %v vs exact %v", empVar, variance)
+	}
+}
+
+// TestSteadyMomentsDegenerate: a free policy has zero variance.
+func TestSteadyMomentsDegenerate(t *testing.T) {
+	// ST1 at theta=1: all writes, never a copy, zero cost always.
+	c, err := BuildChain(core.NewST1(), 1, cost.NewConnection(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance := c.SteadyMoments()
+	if mean != 0 || variance != 0 {
+		t.Fatalf("moments = %v, %v", mean, variance)
+	}
+}
+
+// TestMarkovAverageMatchesClosedForms validates the generic AVG oracle
+// against equations 6 and 12.
+func TestMarkovAverageMatchesClosedForms(t *testing.T) {
+	for _, k := range []int{1, 3, 7} {
+		got, err := MarkovAverage(core.NewSW(k), cost.NewConnection(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := AvgSWConn(k); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("conn k=%d: %v vs %v", k, got, want)
+		}
+		got, err = MarkovAverage(core.NewSW(k), cost.NewMessage(0.5), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := AvgSWMsg(k, 0.5); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("msg k=%d: %v vs %v", k, got, want)
+		}
+	}
+	got, err := MarkovAverage(core.NewT1(5), cost.NewConnection(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := AvgT1Conn(5); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("T1: %v vs %v", got, want)
+	}
+}
+
+// TestMarkovAverageNewNumbers pins AVG values with no closed form: the
+// T family in the message model and the tie-holding even window.
+func TestMarkovAverageNewNumbers(t *testing.T) {
+	t1, err := MarkovAverage(core.NewT1(5), cost.NewMessage(0.5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity bounds: below ST1's (1+w)/2 = 0.75, above the SW bound 1/4+w/8.
+	if t1 <= AvgSWMsgLowerBound(0.5) || t1 >= AvgST1Msg(0.5) {
+		t.Fatalf("T1(5) message AVG %v out of sane range", t1)
+	}
+	even, err := MarkovAverage(core.NewEvenSW(4), cost.NewConnection(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E16/E20: SWe4 beats SW5 pointwise, so its AVG must be below SW5's.
+	if even >= AvgSWConn(5) {
+		t.Fatalf("SWe4 AVG %v not below SW5's %v", even, AvgSWConn(5))
+	}
+	if even <= OptimumAvgConn {
+		t.Fatalf("SWe4 AVG %v below the optimum", even)
+	}
+}

@@ -1,0 +1,120 @@
+package analytic
+
+import (
+	"math"
+
+	"mobirep/internal/stats"
+)
+
+// Message-model results (section 6). Costs are in data-message units; a
+// control message costs omega in [0, 1].
+
+// ExpST1Msg returns EXP_ST1(theta) = (1+omega)(1-theta) (equation 7):
+// every read is remote and needs a control request plus a data response.
+func ExpST1Msg(theta, omega float64) float64 {
+	checkTheta(theta)
+	checkOmega(omega)
+	return (1 + omega) * (1 - theta)
+}
+
+// ExpST2Msg returns EXP_ST2(theta) = theta (equation 7): every write is
+// one propagated data message.
+func ExpST2Msg(theta float64) float64 {
+	checkTheta(theta)
+	return theta
+}
+
+// ExpSW1Msg returns EXP_SW1(theta) = theta(1-theta)(1+2*omega) of
+// Theorem 5. Under SW1 the MC holds a copy exactly when the previous
+// request was a read, so cost is incurred only at read/write alternations:
+// a write after a read sends a delete-request (omega) and a read after a
+// write is a remote read (1+omega).
+func ExpSW1Msg(theta, omega float64) float64 {
+	checkTheta(theta)
+	checkOmega(omega)
+	return theta * (1 - theta) * (1 + 2*omega)
+}
+
+// ExpSWMsg returns EXP_SWk(theta) of Theorem 8 (equation 11) for odd k:
+//
+//	pi_k*theta + (1-pi_k)(1-theta)(1+omega) +
+//	    omega * C(2n, n) * theta^(n+1) * (1-theta)^(n+1)
+//
+// with k = 2n+1. The first term is write propagation while a copy exists,
+// the second is remote reads while it does not, and the third prices the
+// delete-request sent at each deallocation: a deallocation happens exactly
+// when the newest 2n window slots hold n writes, the slot about to expire
+// is a read, and the arriving request is a write. Equation 11 is partially
+// illegible in the surviving scan; this form was reconstructed from that
+// event analysis and verified by integrating to equation 12 exactly.
+// For k = 1 it returns ExpSW1Msg, the paper's optimized special case.
+func ExpSWMsg(k int, theta, omega float64) float64 {
+	checkOddK(k)
+	checkTheta(theta)
+	checkOmega(omega)
+	if k == 1 {
+		return ExpSW1Msg(theta, omega)
+	}
+	n := (k - 1) / 2
+	pk := PiK(k, theta)
+	dealloc := stats.Binomial(2*n, n) *
+		math.Pow(theta, float64(n+1)) * math.Pow(1-theta, float64(n+1))
+	return pk*theta + (1-pk)*(1-theta)*(1+omega) + omega*dealloc
+}
+
+// AvgST1Msg returns AVG_ST1 = (1+omega)/2 (equation 8).
+func AvgST1Msg(omega float64) float64 {
+	checkOmega(omega)
+	return (1 + omega) / 2
+}
+
+// AvgST2Msg is AVG_ST2 = 1/2 (equation 8).
+const AvgST2Msg = 0.5
+
+// AvgSW1Msg returns AVG_SW1 = (1+2*omega)/6 of Theorem 7 (equation 10).
+func AvgSW1Msg(omega float64) float64 {
+	checkOmega(omega)
+	return (1 + 2*omega) / 6
+}
+
+// AvgSWMsg returns AVG_SWk of Theorem 10 (equation 12) for odd k > 1:
+//
+//	1/4 + 1/(4(k+2)) + omega*[1/8 + 3/(8(k+2)) + 1/(4k(k+2))]
+//
+// For k = 1 it returns AvgSW1Msg.
+func AvgSWMsg(k int, omega float64) float64 {
+	checkOddK(k)
+	checkOmega(omega)
+	if k == 1 {
+		return AvgSW1Msg(omega)
+	}
+	fk := float64(k)
+	return 0.25 + 1/(4*(fk+2)) +
+		omega*(0.125+3/(8*(fk+2))+1/(4*fk*(fk+2)))
+}
+
+// AvgSWMsgLowerBound returns the Corollary 2 infimum of AVG_SWk over k:
+// 1/4 + omega/8.
+func AvgSWMsgLowerBound(omega float64) float64 {
+	checkOmega(omega)
+	return 0.25 + omega/8
+}
+
+// CompetitiveSW1Msg returns SW1's tight competitiveness factor 1+2*omega
+// in the message model (Theorem 11).
+func CompetitiveSW1Msg(omega float64) float64 {
+	checkOmega(omega)
+	return 1 + 2*omega
+}
+
+// CompetitiveSWMsg returns SWk's tight competitiveness factor
+// (1+omega/2)(k+1) + omega for odd k > 1 in the message model
+// (Theorem 12). For k = 1 it returns CompetitiveSW1Msg.
+func CompetitiveSWMsg(k int, omega float64) float64 {
+	checkOddK(k)
+	checkOmega(omega)
+	if k == 1 {
+		return CompetitiveSW1Msg(omega)
+	}
+	return (1+omega/2)*float64(k+1) + omega
+}

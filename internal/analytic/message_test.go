@@ -1,0 +1,362 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/cost"
+	"mobirep/internal/stats"
+)
+
+var omegaGrid = []float64{0, 0.1, 0.25, 0.4, 0.5, 0.75, 0.9, 1}
+
+func TestExpStaticMsg(t *testing.T) {
+	for _, theta := range thetaGrid {
+		for _, omega := range omegaGrid {
+			if got := ExpST1Msg(theta, omega); math.Abs(got-(1+omega)*(1-theta)) > 1e-12 {
+				t.Fatalf("ST1(%v,%v) = %v", theta, omega, got)
+			}
+		}
+		if got := ExpST2Msg(theta); math.Abs(got-theta) > 1e-12 {
+			t.Fatalf("ST2(%v) = %v", theta, got)
+		}
+	}
+}
+
+// TestExpSW1MsgMatchesOracle validates Theorem 5 (equation 9) against the
+// window-enumeration oracle with the SW1 suppression rule.
+func TestExpSW1MsgMatchesOracle(t *testing.T) {
+	for _, omega := range omegaGrid {
+		model := cost.NewMessage(omega)
+		for _, theta := range thetaGrid {
+			formula := ExpSW1Msg(theta, omega)
+			oracle := ExactSWExpected(1, theta, model)
+			if math.Abs(formula-oracle) > 1e-9 {
+				t.Fatalf("omega=%v theta=%v: formula %v vs oracle %v", omega, theta, formula, oracle)
+			}
+		}
+	}
+}
+
+// TestExpSWMsgMatchesOracle validates the reconstructed equation 11
+// against the exact oracle for every k, theta, omega combination tested.
+// This is the strongest check that the reconstruction (deallocation term
+// omega * C(2n,n) * theta^(n+1) * (1-theta)^(n+1)) is the paper's formula.
+func TestExpSWMsgMatchesOracle(t *testing.T) {
+	for _, k := range []int{3, 5, 9, 13} {
+		for _, omega := range omegaGrid {
+			model := cost.NewMessage(omega)
+			for _, theta := range thetaGrid {
+				formula := ExpSWMsg(k, theta, omega)
+				oracle := ExactSWExpected(k, theta, model)
+				if math.Abs(formula-oracle) > 1e-9 {
+					t.Fatalf("k=%d omega=%v theta=%v: formula %v vs oracle %v",
+						k, omega, theta, formula, oracle)
+				}
+			}
+		}
+	}
+}
+
+// TestAvgSW1MsgMatchesIntegration validates equation 10.
+func TestAvgSW1MsgMatchesIntegration(t *testing.T) {
+	for _, omega := range omegaGrid {
+		omega := omega
+		numeric := stats.Integrate(func(theta float64) float64 {
+			return ExpSW1Msg(theta, omega)
+		}, 0, 1, 400)
+		if formula := AvgSW1Msg(omega); math.Abs(numeric-formula) > 1e-9 {
+			t.Fatalf("omega=%v: integral %v vs formula %v", omega, numeric, formula)
+		}
+	}
+}
+
+// TestAvgSWMsgMatchesIntegration validates equation 12 against Simpson
+// integration of equation 11 — the pair of reconstructions must be
+// mutually consistent and consistent with the oracle-backed equation 11.
+func TestAvgSWMsgMatchesIntegration(t *testing.T) {
+	for _, k := range []int{3, 5, 9, 15, 21} {
+		for _, omega := range omegaGrid {
+			k, omega := k, omega
+			numeric := stats.Integrate(func(theta float64) float64 {
+				return ExpSWMsg(k, theta, omega)
+			}, 0, 1, 400)
+			if formula := AvgSWMsg(k, omega); math.Abs(numeric-formula) > 1e-6 {
+				t.Fatalf("k=%d omega=%v: integral %v vs formula %v", k, omega, numeric, formula)
+			}
+		}
+	}
+}
+
+// TestAvgStaticMsgMatchesIntegration validates equation 8.
+func TestAvgStaticMsgMatchesIntegration(t *testing.T) {
+	for _, omega := range omegaGrid {
+		omega := omega
+		numeric := stats.Integrate(func(theta float64) float64 {
+			return ExpST1Msg(theta, omega)
+		}, 0, 1, 400)
+		if math.Abs(numeric-AvgST1Msg(omega)) > 1e-9 {
+			t.Fatalf("omega=%v: ST1 integral %v vs %v", omega, numeric, AvgST1Msg(omega))
+		}
+	}
+	numeric := stats.Integrate(ExpST2Msg, 0, 1, 400)
+	if math.Abs(numeric-AvgST2Msg) > 1e-9 {
+		t.Fatalf("ST2 integral %v", numeric)
+	}
+}
+
+// TestTheorem7 checks AVG_SW1 <= AVG_ST2 <= AVG_ST1 for all omega.
+func TestTheorem7(t *testing.T) {
+	for _, omega := range omegaGrid {
+		sw1, st2, st1 := AvgSW1Msg(omega), AvgST2Msg, AvgST1Msg(omega)
+		if sw1 > st2+1e-12 || st2 > st1+1e-12 {
+			t.Fatalf("omega=%v: ordering broken: %v %v %v", omega, sw1, st2, st1)
+		}
+	}
+}
+
+// TestTheorem9 checks EXP_SWk >= min(EXP_SW1, EXP_ST1, EXP_ST2) on a grid.
+func TestTheorem9(t *testing.T) {
+	for _, k := range []int{3, 5, 9, 21, 95} {
+		for _, omega := range omegaGrid {
+			for theta := 0.0; theta <= 1.0001; theta += 0.02 {
+				th := math.Min(theta, 1)
+				sw := ExpSWMsg(k, th, omega)
+				env := MinExpectedMsg(th, omega)
+				if sw < env-1e-9 {
+					t.Fatalf("Theorem 9 violated: k=%d omega=%v theta=%v sw=%v env=%v",
+						k, omega, th, sw, env)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma1 checks that for theta <= 0.5 and k > 1, SWk costs at least
+// ST2 in the message model.
+func TestLemma1(t *testing.T) {
+	for _, k := range []int{3, 7, 21} {
+		for _, omega := range omegaGrid {
+			for theta := 0.0; theta <= 0.5001; theta += 0.02 {
+				th := math.Min(theta, 0.5)
+				if ExpSWMsg(k, th, omega) < ExpST2Msg(th)-1e-9 {
+					t.Fatalf("Lemma 1 violated at k=%d omega=%v theta=%v", k, omega, th)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma3 checks the high-theta branch: for theta > 0.5,
+// omega < (2 theta - 1)/(1 - theta) implies EXP_SWk > EXP_ST1, and
+// omega >= that bound implies EXP_SWk >= EXP_SW1.
+func TestLemma3(t *testing.T) {
+	for _, k := range []int{3, 7, 21} {
+		for _, omega := range omegaGrid {
+			for theta := 0.51; theta < 1; theta += 0.02 {
+				bound := (2*theta - 1) / (1 - theta)
+				sw := ExpSWMsg(k, theta, omega)
+				if omega < bound {
+					if sw < ExpST1Msg(theta, omega)-1e-9 {
+						t.Fatalf("Lemma 3.1 violated at k=%d omega=%v theta=%v", k, omega, theta)
+					}
+				} else if sw < ExpSW1Msg(theta, omega)-1e-9 {
+					t.Fatalf("Lemma 3.2 violated at k=%d omega=%v theta=%v", k, omega, theta)
+				}
+			}
+		}
+	}
+}
+
+// TestCorollary2 checks AVG_SWk decreases in k and respects the lower
+// bound 1/4 + omega/8.
+func TestCorollary2(t *testing.T) {
+	for _, omega := range omegaGrid {
+		prev := math.Inf(1)
+		for _, k := range []int{3, 5, 9, 15, 21, 39, 95} {
+			avg := AvgSWMsg(k, omega)
+			if avg >= prev {
+				t.Fatalf("AVG_SW not decreasing at k=%d omega=%v", k, omega)
+			}
+			if avg <= AvgSWMsgLowerBound(omega) {
+				t.Fatalf("AVG_SW%d = %v at or below bound %v", k, avg, AvgSWMsgLowerBound(omega))
+			}
+			prev = avg
+		}
+	}
+}
+
+// TestTheorem6Regions cross-checks the dominance classification against a
+// brute-force argmin of the three expected-cost formulas.
+func TestTheorem6Regions(t *testing.T) {
+	for _, omega := range omegaGrid {
+		for theta := 0.01; theta < 1; theta += 0.01 {
+			upper, lower := ThetaUpperST1(omega), ThetaLowerST2(omega)
+			// Skip points within numerical distance of a boundary.
+			if math.Abs(theta-upper) < 0.005 || math.Abs(theta-lower) < 0.005 {
+				continue
+			}
+			st1 := ExpST1Msg(theta, omega)
+			st2 := ExpST2Msg(theta)
+			sw1 := ExpSW1Msg(theta, omega)
+			want := AlgSW1
+			if st1 < sw1 && st1 < st2 {
+				want = AlgST1
+			} else if st2 < sw1 && st2 < st1 {
+				want = AlgST2
+			}
+			if got := BestExpectedMsg(theta, omega); got != want {
+				t.Fatalf("omega=%v theta=%v: classified %v, argmin %v (%v %v %v)",
+					omega, theta, got, want, st1, st2, sw1)
+			}
+		}
+	}
+}
+
+// TestTheorem6OrderingInsideRegion verifies the full orderings stated in
+// Theorem 6, not just the winner.
+func TestTheorem6OrderingInsideRegion(t *testing.T) {
+	omega := 0.5
+	upper, lower := ThetaUpperST1(omega), ThetaLowerST2(omega)
+	// Region 1: theta > upper: ST1 < SW1 < ST2.
+	theta := (upper + 1) / 2
+	if !(ExpST1Msg(theta, omega) < ExpSW1Msg(theta, omega) &&
+		ExpSW1Msg(theta, omega) < ExpST2Msg(theta)) {
+		t.Fatal("region 1 ordering broken")
+	}
+	// Region 3: theta < lower: ST2 < SW1 < ST1.
+	theta = lower / 2
+	if !(ExpST2Msg(theta) < ExpSW1Msg(theta, omega) &&
+		ExpSW1Msg(theta, omega) < ExpST1Msg(theta, omega)) {
+		t.Fatal("region 3 ordering broken")
+	}
+	// Region 2: between: SW1 < min(statics).
+	theta = (upper + lower) / 2
+	if ExpSW1Msg(theta, omega) >= math.Min(ExpST1Msg(theta, omega), ExpST2Msg(theta)) {
+		t.Fatal("region 2 ordering broken")
+	}
+}
+
+func TestBoundariesDegenerateAtOmegaZero(t *testing.T) {
+	// At omega = 0 the ST2 boundary collapses to 0 and the ST1 boundary to
+	// 1: SW1 dominates the whole open interval.
+	if ThetaLowerST2(0) != 0 || ThetaUpperST1(0) != 1 {
+		t.Fatal("omega=0 boundaries wrong")
+	}
+	if BestExpectedMsg(0.5, 0) != AlgSW1 {
+		t.Fatal("omega=0 interior should favor SW1")
+	}
+}
+
+// TestCorollary3And4 checks the SW1-vs-SWk thresholds, including the
+// paper's two worked examples.
+func TestCorollary3And4(t *testing.T) {
+	// Corollary 3: omega <= 0.4 means no k beats SW1.
+	for _, omega := range []float64{0, 0.2, 0.4} {
+		if MinOddKBeatingSW1(omega) != 0 {
+			t.Fatalf("omega=%v: expected no break-even k", omega)
+		}
+		for _, k := range []int{3, 9, 95, 301} {
+			if AvgSWMsg(k, omega) <= AvgSW1Msg(omega) {
+				t.Fatalf("Corollary 3 violated at omega=%v k=%d", omega, k)
+			}
+		}
+	}
+	// Paper's worked examples.
+	if got := MinOddKBeatingSW1(0.45); got != 39 {
+		t.Fatalf("omega=0.45: break-even k = %d, paper says 39", got)
+	}
+	if got := MinOddKBeatingSW1(0.8); got != 7 {
+		t.Fatalf("omega=0.8: break-even k = %d, paper says 7", got)
+	}
+}
+
+// TestK0ConsistentWithAverages verifies that the closed-form threshold
+// separates the k values exactly as the AVG formulas do.
+func TestK0ConsistentWithAverages(t *testing.T) {
+	for _, omega := range []float64{0.41, 0.45, 0.5, 0.6, 0.8, 1.0} {
+		k0 := K0(omega)
+		for _, k := range []int{3, 5, 7, 9, 11, 21, 39, 95, 201} {
+			beats := AvgSWMsg(k, omega) <= AvgSW1Msg(omega)
+			if beats != (float64(k) >= k0) {
+				t.Fatalf("omega=%v k=%d: beats=%v but k0=%v", omega, k, beats, k0)
+			}
+		}
+	}
+}
+
+// TestOmegaStarIsExactBoundary checks AVG_SWk(omega*(k)) == AVG_SW1 and
+// that omega* decreases toward 0.4.
+func TestOmegaStarIsExactBoundary(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range []int{3, 5, 7, 11, 21, 39, 95} {
+		ws := OmegaStar(k)
+		if ws >= prev {
+			t.Fatalf("omega* not decreasing at k=%d", k)
+		}
+		if ws <= OmegaBreakEven {
+			t.Fatalf("omega*(%d) = %v at or below 0.4", k, ws)
+		}
+		if ws <= 1 {
+			d := AvgSWMsg(k, ws) - AvgSW1Msg(ws)
+			if math.Abs(d) > 1e-12 {
+				t.Fatalf("omega*(%d): averages differ by %v at the boundary", k, d)
+			}
+		}
+		prev = ws
+	}
+}
+
+func TestCompetitiveFactorsMsg(t *testing.T) {
+	if got := CompetitiveSW1Msg(0.5); got != 2 {
+		t.Fatalf("SW1 factor = %v", got)
+	}
+	if got := CompetitiveSWMsg(1, 0.5); got != 2 {
+		t.Fatalf("SWk factor at k=1 should defer to SW1: %v", got)
+	}
+	// (1 + 0.5/2)*(3+1) + 0.5 = 5.5
+	if got := CompetitiveSWMsg(3, 0.5); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("SW3 factor = %v", got)
+	}
+	// Message-model factor must exceed the connection-model factor
+	// whenever omega > 0.
+	for _, k := range []int{3, 9} {
+		if CompetitiveSWMsg(k, 0.3) <= CompetitiveSWConn(k) {
+			t.Fatalf("message factor should exceed connection factor at k=%d", k)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	cases := map[Algorithm]string{AlgST1: "ST1", AlgST2: "ST2", AlgSW1: "SW1", AlgSWk: "SWk", Algorithm(99): "unknown"}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+// TestExactTOracleMsgSanity pins down the message-model behaviour of the
+// T-family oracles (no closed form in the paper): at theta=0 T1 costs
+// nothing once the copy is allocated... in the stationary law T1 at
+// theta=0 sits permanently in the two-copies phase with zero cost, and at
+// theta=1 both T policies cost nothing (no copy, writes free).
+func TestExactTOracleMsgSanity(t *testing.T) {
+	model := cost.NewMessage(0.5)
+	if got := ExactT1Expected(3, 0, model); got != 0 {
+		t.Fatalf("T1 at theta=0: %v", got)
+	}
+	if got := ExactT1Expected(3, 1, model); got != 0 {
+		t.Fatalf("T1 at theta=1: %v", got)
+	}
+	if got := ExactT2Expected(3, 0, model); got != 0 {
+		t.Fatalf("T2 at theta=0: %v", got)
+	}
+	if got := ExactT2Expected(3, 1, model); got != 0 {
+		t.Fatalf("T2 at theta=1: %v", got)
+	}
+	// Interior thetas must be strictly positive.
+	if got := ExactT1Expected(3, 0.5, model); got <= 0 {
+		t.Fatalf("T1 at theta=0.5: %v", got)
+	}
+}

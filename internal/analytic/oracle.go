@@ -1,0 +1,121 @@
+package analytic
+
+import (
+	"math"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+)
+
+// Exact finite-state oracles. These compute expected cost per request
+// directly from the policy state machines and a cost model, with no use of
+// the paper's formulas, by summing over the exact stationary distribution
+// of the policy's state. Tests validate the closed forms against them, and
+// the experiment harness uses them wherever a paper formula does not exist
+// (for example T1m in the message model).
+
+// ExactSWExpected returns the exact expected cost per request of SWk at
+// write probability theta under model m, by enumerating all 2^k window
+// states. Under i.i.d. requests the window's stationary law is the product
+// Bernoulli(theta) law, so the expectation is a finite sum. k must be odd
+// and at most 25 to keep the enumeration tractable.
+func ExactSWExpected(k int, theta float64, m cost.Model) float64 {
+	checkOddK(k)
+	checkTheta(theta)
+	if k > 25 {
+		panic("analytic: ExactSWExpected enumeration limited to k <= 25")
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<k; mask++ {
+		writes := popcount(mask)
+		p := math.Pow(theta, float64(writes)) * math.Pow(1-theta, float64(k-writes))
+		if p == 0 {
+			continue
+		}
+		// Window bits: bit i set means slot i is a write; slot 0 is the
+		// oldest. Copy present iff reads strictly outnumber writes.
+		had := k-writes > writes
+
+		// Next request is a read with probability 1-theta.
+		newWritesR := writes - bitAt(mask, 0)
+		hasR := k-newWritesR > newWritesR
+		stepR := core.Step{Op: sched.Read, HadCopy: had, HasCopy: hasR}
+
+		newWritesW := writes - bitAt(mask, 0) + 1
+		hasW := k-newWritesW > newWritesW
+		stepW := core.Step{Op: sched.Write, HadCopy: had, HasCopy: hasW,
+			DataSuppressed: k == 1 && had}
+
+		total += p * ((1-theta)*m.StepCost(stepR) + theta*m.StepCost(stepW))
+	}
+	return total
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func bitAt(mask, i int) int { return (mask >> i) & 1 }
+
+// ExactT1Expected returns the exact expected cost per request of T1m at
+// write probability theta under model m, from the stationary law of its
+// phase chain: the one-copy state with c consecutive reads has probability
+// theta*(1-theta)^c for c = 0..m-1, and the two-copies phase has
+// probability (1-theta)^m.
+func ExactT1Expected(mThresh int, theta float64, m cost.Model) float64 {
+	if mThresh <= 0 {
+		panic("analytic: T1 threshold must be positive")
+	}
+	checkTheta(theta)
+	q := 1 - theta
+	total := 0.0
+	for c := 0; c < mThresh; c++ {
+		p := theta * math.Pow(q, float64(c))
+		readStep := core.Step{Op: sched.Read, HadCopy: false, HasCopy: c+1 == mThresh}
+		writeStep := core.Step{Op: sched.Write, HadCopy: false, HasCopy: false}
+		total += p * (q*m.StepCost(readStep) + theta*m.StepCost(writeStep))
+	}
+	p2 := math.Pow(q, float64(mThresh))
+	readStep := core.Step{Op: sched.Read, HadCopy: true, HasCopy: true}
+	writeStep := core.Step{Op: sched.Write, HadCopy: true, HasCopy: false, DataSuppressed: true}
+	total += p2 * (q*m.StepCost(readStep) + theta*m.StepCost(writeStep))
+	return total
+}
+
+// ExactT2Expected returns the exact expected cost per request of T2m at
+// write probability theta under model m. By the read/write mirror of
+// ExactT1Expected: the two-copies state with c consecutive writes has
+// stationary probability (1-theta)*theta^c, and the one-copy phase has
+// probability theta^m.
+func ExactT2Expected(mThresh int, theta float64, m cost.Model) float64 {
+	if mThresh <= 0 {
+		panic("analytic: T2 threshold must be positive")
+	}
+	checkTheta(theta)
+	total := 0.0
+	for c := 0; c < mThresh; c++ {
+		p := (1 - theta) * math.Pow(theta, float64(c))
+		readStep := core.Step{Op: sched.Read, HadCopy: true, HasCopy: true}
+		writeStep := core.Step{Op: sched.Write, HadCopy: true, HasCopy: c+1 < mThresh}
+		total += p * ((1-theta)*m.StepCost(readStep) + theta*m.StepCost(writeStep))
+	}
+	p1 := math.Pow(theta, float64(mThresh))
+	readStep := core.Step{Op: sched.Read, HadCopy: false, HasCopy: true}
+	writeStep := core.Step{Op: sched.Write, HadCopy: false, HasCopy: false}
+	total += p1 * ((1-theta)*m.StepCost(readStep) + theta*m.StepCost(writeStep))
+	return total
+}
+
+// ExactStaticExpected returns the exact expected cost per request of ST1
+// or ST2 (trivially stateless) under model m.
+func ExactStaticExpected(hasCopy bool, theta float64, m cost.Model) float64 {
+	checkTheta(theta)
+	readStep := core.Step{Op: sched.Read, HadCopy: hasCopy, HasCopy: hasCopy}
+	writeStep := core.Step{Op: sched.Write, HadCopy: hasCopy, HasCopy: hasCopy}
+	return (1-theta)*m.StepCost(readStep) + theta*m.StepCost(writeStep)
+}

@@ -1,0 +1,49 @@
+// Package analytic implements every closed-form result of the paper: the
+// steady-state copy probability pi_k (eq. 4), expected cost per request
+// for all algorithms in both cost models (eqs. 2, 5, 7, 9, 11), average
+// expected cost (eqs. 3, 6, 8, 10, 12), the dominance regions of Theorem 6
+// (Figure 1), the SW1-vs-SWk thresholds of Corollaries 3 and 4 (Figure 2),
+// the competitiveness factors of Theorems 4, 11 and 12, and the section
+// 7.1 formulas for T1m and T2m.
+//
+// The package also provides exact finite-state oracles that compute the
+// same quantities directly from the policy state machines and a cost
+// model, with no reference to the paper's formulas. Tests use the oracles
+// to validate the formulas (including equation 11, which is degraded in
+// the available scan and was reconstructed by integration against
+// equation 12), and the simulator is validated against both.
+//
+// Throughout, theta is the probability that the next relevant request is a
+// write (theta = lambda_w / (lambda_w + lambda_r)), and omega is the ratio
+// of control-message cost to data-message cost.
+package analytic
+
+import "mobirep/internal/stats"
+
+// PiK returns pi_k of equation 4: the steady-state probability that the
+// mobile computer holds a copy under SWk, i.e. the probability that writes
+// are a minority (at most n = (k-1)/2) of the last k = 2n+1 requests when
+// each request is independently a write with probability theta.
+func PiK(k int, theta float64) float64 {
+	checkOddK(k)
+	n := (k - 1) / 2
+	return stats.BinomialCDF(k, n, theta)
+}
+
+func checkOddK(k int) {
+	if k <= 0 || k%2 == 0 {
+		panic("analytic: window size must be odd and positive")
+	}
+}
+
+func checkTheta(theta float64) {
+	if theta < 0 || theta > 1 {
+		panic("analytic: theta outside [0,1]")
+	}
+}
+
+func checkOmega(omega float64) {
+	if omega < 0 || omega > 1 {
+		panic("analytic: omega outside [0,1]")
+	}
+}

@@ -1,0 +1,143 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/stats"
+)
+
+var testKs = []int{1, 3, 5, 7, 9, 15, 21, 39, 95}
+
+func TestPiKEdges(t *testing.T) {
+	for _, k := range testKs {
+		if got := PiK(k, 0); got != 1 {
+			t.Errorf("PiK(%d, 0) = %v, want 1", k, got)
+		}
+		if got := PiK(k, 1); got != 0 {
+			t.Errorf("PiK(%d, 1) = %v, want 0", k, got)
+		}
+		if got := PiK(k, 0.5); math.Abs(got-0.5) > 1e-9 {
+			t.Errorf("PiK(%d, 0.5) = %v, want 0.5", k, got)
+		}
+	}
+}
+
+func TestPiKSymmetry(t *testing.T) {
+	// With odd k, reads majority at theta equals writes majority at
+	// 1-theta: pi_k(theta) = 1 - pi_k(1-theta).
+	check := func(rawK uint8, rawTheta uint16) bool {
+		k := 2*(int(rawK)%20) + 1
+		theta := float64(rawTheta) / math.MaxUint16
+		lhs := PiK(k, theta)
+		rhs := 1 - PiK(k, 1-theta)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiKExplicitSmall(t *testing.T) {
+	// k = 1: copy iff the single request is a read.
+	if got := PiK(1, 0.3); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("PiK(1, 0.3) = %v, want 0.7", got)
+	}
+	// k = 3, theta = 0.4: P[Bin(3,0.4) <= 1] = 0.6^3 + 3*0.4*0.36 = 0.648.
+	if got := PiK(3, 0.4); math.Abs(got-0.648) > 1e-12 {
+		t.Fatalf("PiK(3, 0.4) = %v, want 0.648", got)
+	}
+}
+
+func TestPiKMonotoneInTheta(t *testing.T) {
+	// More writes make a copy less likely.
+	for _, k := range testKs {
+		prev := math.Inf(1)
+		for theta := 0.0; theta <= 1.0001; theta += 0.05 {
+			th := math.Min(theta, 1)
+			p := PiK(k, th)
+			if p > prev+1e-12 {
+				t.Fatalf("PiK(%d, ·) not non-increasing at theta=%v", k, th)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPiKSharpensWithK(t *testing.T) {
+	// For theta < 1/2, pi_k increases toward 1 with k; for theta > 1/2 it
+	// decreases toward 0 (law of large numbers on the window).
+	for _, theta := range []float64{0.2, 0.35} {
+		prev := 0.0
+		for _, k := range []int{1, 3, 9, 21, 95} {
+			p := PiK(k, theta)
+			if p < prev {
+				t.Fatalf("PiK(·, %v) not increasing at k=%d", theta, k)
+			}
+			prev = p
+		}
+	}
+	for _, theta := range []float64{0.65, 0.8} {
+		prev := 1.0
+		for _, k := range []int{1, 3, 9, 21, 95} {
+			p := PiK(k, theta)
+			if p > prev {
+				t.Fatalf("PiK(·, %v) not decreasing at k=%d", theta, k)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPiKLargeKNoOverflow(t *testing.T) {
+	got := PiK(301, 0.49)
+	if math.IsNaN(got) || got < 0.5 || got > 1 {
+		t.Fatalf("PiK(301, 0.49) = %v", got)
+	}
+}
+
+func TestPiKMatchesSimulation(t *testing.T) {
+	r := stats.NewRNG(101)
+	k, theta := 7, 0.35
+	n := (k - 1) / 2
+	hits := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		writes := 0
+		for j := 0; j < k; j++ {
+			if r.Bernoulli(theta) {
+				writes++
+			}
+		}
+		if writes <= n {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	if want := PiK(k, theta); math.Abs(emp-want) > 0.01 {
+		t.Fatalf("empirical %v vs formula %v", emp, want)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("even k", func() { PiK(4, 0.5) })
+	mustPanic("zero k", func() { PiK(0, 0.5) })
+	mustPanic("theta > 1", func() { ExpST1Conn(1.5) })
+	mustPanic("theta < 0", func() { ExpST2Conn(-0.5) })
+	mustPanic("omega > 1", func() { ExpST1Msg(0.5, 1.5) })
+	mustPanic("K0 omega", func() { K0(2) })
+	mustPanic("OmegaStar k=1", func() { OmegaStar(1) })
+	mustPanic("T1 m=0", func() { ExpT1Conn(0, 0.5) })
+	mustPanic("T2 m=0", func() { ExpT2Conn(0, 0.5) })
+	mustPanic("AvgT1 m=0", func() { AvgT1Conn(0) })
+	mustPanic("CompT1 m=0", func() { CompetitiveT1Conn(0) })
+}

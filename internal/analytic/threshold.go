@@ -1,0 +1,65 @@
+package analytic
+
+import "math"
+
+// SW1-versus-SWk threshold results (Corollaries 3 and 4, Figure 2): for
+// omega <= 0.4 the optimized SW1 has the best average expected cost among
+// all window sizes; for omega > 0.4 larger windows eventually win, with
+// the break-even window size k0 shrinking as omega grows.
+
+// OmegaBreakEven is the Corollary 3 constant 0.4: at or below it, no
+// window size beats SW1 on average expected cost.
+const OmegaBreakEven = 0.4
+
+// K0 returns the Corollary 4 threshold
+//
+//	k0(omega) = (10 - omega + sqrt(100 - 68*omega + 121*omega^2)) /
+//	            (2*(5*omega - 2))
+//
+// such that AVG_SWk <= AVG_SW1 exactly for k >= k0(omega). For
+// omega <= 0.4 it returns +Inf (Corollary 3: SW1 is always better).
+func K0(omega float64) float64 {
+	checkOmega(omega)
+	if omega <= OmegaBreakEven {
+		return math.Inf(1)
+	}
+	disc := 100 - 68*omega + 121*omega*omega
+	return (10 - omega + math.Sqrt(disc)) / (2 * (5*omega - 2))
+}
+
+// MinOddKBeatingSW1 returns the smallest odd window size k > 1 with
+// AVG_SWk <= AVG_SW1 at the given omega, or 0 if none exists
+// (omega <= 0.4). The paper's worked examples: omega = 0.45 gives 39 and
+// omega = 0.8 gives 7.
+func MinOddKBeatingSW1(omega float64) int {
+	k0 := K0(omega)
+	if math.IsInf(k0, 1) {
+		return 0
+	}
+	k := int(math.Ceil(k0))
+	if k < 3 {
+		k = 3
+	}
+	if k%2 == 0 {
+		k++
+	}
+	return k
+}
+
+// OmegaStar returns the inverse threshold: the smallest omega at which
+// AVG_SWk <= AVG_SW1 for a given odd k > 1,
+//
+//	omega*(k) = 2k(k+5) / ((5k+6)(k-1)),
+//
+// obtained by solving AVG_SWk = AVG_SW1 (equations 10 and 12) for omega.
+// This is the curve plotted in the unnumbered figure of section 6.3
+// ("Figure 2"). As k grows it decreases toward 0.4, Corollary 3's
+// constant.
+func OmegaStar(k int) float64 {
+	checkOddK(k)
+	if k == 1 {
+		panic("analytic: OmegaStar requires k > 1")
+	}
+	fk := float64(k)
+	return 2 * fk * (fk + 5) / ((5*fk + 6) * (fk - 1))
+}

@@ -1,0 +1,122 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+)
+
+// Witness extraction: beyond computing the competitive ratio, the game
+// graph contains the adversary's optimal strategy. WorstSchedule walks a
+// maximum-mean cycle and returns the request pattern along it — the
+// adversarial family for the policy, discovered rather than hand-derived.
+// For SWk in the connection model it rediscovers the (r^{n+1} w^{n+1})
+// cycles used in the paper's tightness arguments.
+
+// opOf recovers which request an edge index encodes: buildGame emits, per
+// product state, two read edges followed by two write edges.
+func opOf(edgeIdx int) sched.Op {
+	if edgeIdx%4 < 2 {
+		return sched.Read
+	}
+	return sched.Write
+}
+
+// WorstSchedule returns one cycle of an (approximately) maximum-mean
+// adversarial request pattern for the policy at competitiveness factor c,
+// together with the cycle's mean gain per request. Repeating the returned
+// schedule forces cost_A - c*cost_OPT to grow by gain per request; calling
+// it with c slightly below the policy's ratio yields the tight family.
+func WorstSchedule(p core.Enumerable, m cost.Model, c float64) (sched.Schedule, float64, error) {
+	g, err := buildGame(p, m, 1<<14)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := g.n
+	// Karp with parent tracking: dp[k][v] and the edge that attained it.
+	dp := make([][]float64, n+1)
+	parent := make([][]int32, n+1)
+	dp[0] = make([]float64, n)
+	parent[0] = make([]int32, n)
+	for k := 1; k <= n; k++ {
+		dp[k] = make([]float64, n)
+		parent[k] = make([]int32, n)
+		for v := range dp[k] {
+			dp[k][v] = math.Inf(-1)
+			parent[k][v] = -1
+		}
+		for i := range g.from {
+			w := g.costA[i] - c*g.costO[i]
+			if cand := dp[k-1][g.from[i]] + w; cand > dp[k][g.to[i]] {
+				dp[k][g.to[i]] = cand
+				parent[k][g.to[i]] = int32(i)
+			}
+		}
+	}
+	// Karp: the vertex whose min_k (dp[n]-dp[k])/(n-k) is maximal lies on
+	// a maximum-mean cycle's walk.
+	bestV, bestMean := -1, math.Inf(-1)
+	for v := 0; v < n; v++ {
+		if math.IsInf(dp[n][v], -1) {
+			continue
+		}
+		worst := math.Inf(1)
+		for k := 0; k < n; k++ {
+			if math.IsInf(dp[k][v], -1) {
+				continue
+			}
+			if mean := (dp[n][v] - dp[k][v]) / float64(n-k); mean < worst {
+				worst = mean
+			}
+		}
+		if worst > bestMean {
+			bestMean = worst
+			bestV = v
+		}
+	}
+	if bestV < 0 {
+		return nil, 0, fmt.Errorf("analytic: no cycle found (empty game?)")
+	}
+	// Walk the optimal n-edge path backwards from bestV; a vertex must
+	// repeat within n+1 visits — the segment between repeats is a cycle
+	// of maximum mean.
+	type visit struct{ step int }
+	seen := make(map[int]visit)
+	path := make([]int32, 0, n) // edge indices, reverse order
+	v := bestV
+	var cycleEdges []int32
+	for k := n; k > 0; k-- {
+		if at, ok := seen[v]; ok {
+			// Cycle found between this visit and the previous one: edges
+			// path[at.step:len(path)] ... path holds reversed edges from
+			// bestV; the segment between the repeats is the cycle.
+			cycleEdges = path[at.step:]
+			break
+		}
+		seen[v] = visit{step: len(path)}
+		e := parent[k][v]
+		if e < 0 {
+			break
+		}
+		path = append(path, e)
+		v = int(g.from[e])
+	}
+	if cycleEdges == nil {
+		// The whole walk may be one big cycle; detect a repeat of the end
+		// vertex, else fall back to the full path.
+		if at, ok := seen[v]; ok {
+			cycleEdges = path[at.step:]
+		} else {
+			cycleEdges = path
+		}
+	}
+	// path is reversed (newest first); emit ops oldest-first.
+	out := make(sched.Schedule, 0, len(cycleEdges))
+	for i := len(cycleEdges) - 1; i >= 0; i-- {
+		out = append(out, opOf(int(cycleEdges[i])))
+	}
+	return out, bestMean, nil
+}

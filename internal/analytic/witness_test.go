@@ -1,0 +1,103 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/offline"
+	"mobirep/internal/sched"
+)
+
+// replayRatio measures a policy's asymptotic ratio on many repeats of a
+// cycle.
+func replayRatio(p core.Policy, m cost.Model, cycle sched.Schedule, reps int) float64 {
+	s := cycle.Repeat(reps)
+	p.Reset()
+	online := 0.0
+	for _, op := range s {
+		online += m.StepCost(p.Apply(op))
+	}
+	opt := offline.Cost(s, offline.Ideal())
+	if opt == 0 {
+		return math.Inf(1)
+	}
+	return online / opt
+}
+
+// TestWitnessAchievesTightRatio: the schedule the game extracts, when
+// repeated, must force the policy to (nearly) its competitive ratio.
+func TestWitnessAchievesTightRatio(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{1, 3, 5} {
+		bound := float64(k + 1)
+		cycle, gain, err := WorstSchedule(core.NewSW(k), model, bound-0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cycle) == 0 {
+			t.Fatalf("k=%d: empty witness", k)
+		}
+		if gain <= 0 {
+			t.Fatalf("k=%d: witness gain %v, want positive below the ratio", k, gain)
+		}
+		reps := 4000 / len(cycle)
+		ratio := replayRatio(core.NewSW(k), model, cycle, reps)
+		if ratio < bound-0.2 {
+			t.Fatalf("k=%d: witness %q achieves only %v against bound %v",
+				k, cycle, ratio, bound)
+		}
+	}
+}
+
+// TestWitnessRediscoversPaperFamily: for SW3 in the connection model the
+// extracted cycle should be run-structured like the paper's r^2 w^2 (up to
+// rotation), i.e. contain both ops and alternate in runs of <= n+1.
+func TestWitnessRediscoversPaperFamily(t *testing.T) {
+	cycle, _, err := WorstSchedule(core.NewSW(3), cost.NewConnection(), 3.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := cycle.String()
+	if !strings.Contains(str, "r") || !strings.Contains(str, "w") {
+		t.Fatalf("witness %q lacks one op kind", str)
+	}
+	// Each maximal run in the repeated cycle must be short: long runs
+	// would let the window settle and stop paying.
+	doubled := cycle.Repeat(2)
+	for _, run := range doubled.Runs() {
+		if run.Len > 4 {
+			t.Fatalf("witness %q has a run of %d; the tight family for SW3 flips every <=2", str, run.Len)
+		}
+	}
+}
+
+// TestWitnessMessageModel: the SW1 witness in the message model must also
+// achieve its 1+2w bound.
+func TestWitnessMessageModel(t *testing.T) {
+	const omega = 0.5
+	model := cost.NewMessage(omega)
+	bound := CompetitiveSW1Msg(omega)
+	cycle, _, err := WorstSchedule(core.NewSW(1), model, bound-0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := replayRatio(core.NewSW(1), model, cycle, 4000/len(cycle))
+	if ratio < bound-0.1 {
+		t.Fatalf("witness %q achieves %v against bound %v", cycle, ratio, bound)
+	}
+}
+
+// TestWitnessAboveRatioGainNonpositive: asking for a witness at c above
+// the ratio must report non-positive gain (no profitable cycle exists).
+func TestWitnessAboveRatioGainNonpositive(t *testing.T) {
+	_, gain, err := WorstSchedule(core.NewSW(3), cost.NewConnection(), 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain > 1e-9 {
+		t.Fatalf("gain %v above the ratio; the policy would not be 4-competitive", gain)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/sched"
+)
+
+func TestAdaptiveValidation(t *testing.T) {
+	for _, bounds := range [][2]int{{0, 3}, {2, 5}, {3, 4}, {5, 3}} {
+		bounds := bounds
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewAdaptiveSW(bounds[0], bounds[1])
+		}()
+	}
+	if NewAdaptiveSW(3, 3).Name() != "ASW(3-3)" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestAdaptiveStartsAtKMin(t *testing.T) {
+	a := NewAdaptiveSW(3, 31)
+	if a.K() != 3 {
+		t.Fatalf("initial k = %d", a.K())
+	}
+}
+
+func TestAdaptiveGrowsOnStability(t *testing.T) {
+	a := NewAdaptiveSW(3, 31)
+	// A long, pure-read stream: one allocation flip, then stability.
+	for i := 0; i < 2000; i++ {
+		a.Apply(sched.Read)
+	}
+	if a.K() != 31 {
+		t.Fatalf("k after stable stream = %d, want 31", a.K())
+	}
+	if !a.HasCopy() {
+		t.Fatal("copy should be held on an all-read stream")
+	}
+}
+
+func TestAdaptiveShrinksOnFlapping(t *testing.T) {
+	a := NewAdaptiveSW(3, 31)
+	// Grow it first.
+	for i := 0; i < 2000; i++ {
+		a.Apply(sched.Read)
+	}
+	if a.K() != 31 {
+		t.Fatalf("setup: k = %d", a.K())
+	}
+	// Adversarial flip-flop: single-request alternation makes the window
+	// majority cross on nearly every request, forcing shrink after shrink.
+	for i := 0; i < 400; i++ {
+		a.Apply(sched.Write)
+		a.Apply(sched.Read)
+	}
+	if a.K() != 3 {
+		t.Fatalf("k after flapping = %d, want back at 3", a.K())
+	}
+	// Moderate alternation (runs of 40) is NOT flapping for a mid-size
+	// window: the policy must settle somewhere between the bounds rather
+	// than collapse.
+	a.Reset()
+	for i := 0; i < 2000; i++ {
+		a.Apply(sched.Read)
+	}
+	for cycle := 0; cycle < 60; cycle++ {
+		for i := 0; i < 40; i++ {
+			a.Apply(sched.Write)
+		}
+		for i := 0; i < 40; i++ {
+			a.Apply(sched.Read)
+		}
+	}
+	if a.K() < 3 || a.K() > 31 {
+		t.Fatalf("k out of bounds: %d", a.K())
+	}
+}
+
+func TestAdaptiveFixedBoundsBehaveLikeSW(t *testing.T) {
+	// With KMin == KMax the adaptive policy must equal SWk exactly.
+	check := func(raw []bool) bool {
+		a := NewAdaptiveSW(5, 5)
+		s := NewSW(5)
+		for _, op := range opsFromBools(raw) {
+			if a.Apply(op) != s.Apply(op) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveTransitionsPiggyback(t *testing.T) {
+	check := func(raw []bool) bool {
+		a := NewAdaptiveSW(3, 15)
+		for _, op := range opsFromBools(raw) {
+			st := a.Apply(op)
+			if st.Allocated() && op != sched.Read {
+				return false
+			}
+			if st.Deallocated() && op != sched.Write {
+				return false
+			}
+			if st.HasCopy != a.HasCopy() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveKStaysOddWithinBounds(t *testing.T) {
+	check := func(raw []bool) bool {
+		a := NewAdaptiveSW(3, 31)
+		for _, op := range opsFromBools(raw) {
+			a.Apply(op)
+			if a.K()%2 == 0 || a.K() < 3 || a.K() > 31 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	a := NewAdaptiveSW(3, 15)
+	seq := sched.MustParse("rrrrrrrrrrrrrrrrrrrrrrrrwwwwwwww")
+	first := Run(a, seq)
+	a.Reset()
+	if a.K() != 3 || a.HasCopy() {
+		t.Fatal("reset state wrong")
+	}
+	second := Run(a, seq)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("step %d differs after reset", i)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package core implements the paper's data allocation algorithms as pure,
+// deterministic state machines: the static methods ST1 and ST2, the
+// sliding-window family SWk (with the paper's SW1 delete-request
+// optimization), and the section-7.1 competitive modifications T1m and
+// T2m.
+//
+// A Policy decides, online, whether the mobile computer (MC) holds a copy
+// of the data item. It is deliberately free of any notion of cost or
+// transport: the cost models in internal/cost price each step, and
+// internal/replica turns the same decisions into real protocol messages.
+// Keeping the three layers separate lets the simulator, the analytic
+// cross-checks, and the distributed protocol share one implementation of
+// the decision logic.
+package core
+
+import "mobirep/internal/sched"
+
+// Step describes what happened when a policy processed one request. The
+// cost models price a Step; the replica protocol turns it into messages.
+type Step struct {
+	// Op is the request that was processed.
+	Op sched.Op
+	// HadCopy reports whether the MC held a copy immediately before the
+	// request.
+	HadCopy bool
+	// HasCopy reports whether the MC holds a copy immediately after the
+	// request.
+	HasCopy bool
+	// DataSuppressed is set on a write when the stationary computer (SC)
+	// sends only a delete-request instead of propagating the new value.
+	// The paper's SW1 does this on every write that finds a copy, and T1m
+	// does it on the write that ends its two-copies phase; both are valid
+	// only because the SC already knows the MC is about to drop its copy.
+	DataSuppressed bool
+}
+
+// Allocated reports whether this step allocated a copy at the MC. Per the
+// paper, allocation always coincides with a read (the copy piggybacks on
+// the read response).
+func (s Step) Allocated() bool { return !s.HadCopy && s.HasCopy }
+
+// Deallocated reports whether this step dropped the MC's copy.
+func (s Step) Deallocated() bool { return s.HadCopy && !s.HasCopy }
+
+// Policy is an online data allocation algorithm for a single data item and
+// a single mobile computer. Implementations are deterministic and are not
+// safe for concurrent use.
+type Policy interface {
+	// Name identifies the algorithm, e.g. "ST1", "SW5", "T1(7)".
+	Name() string
+	// HasCopy reports whether the MC currently holds a copy.
+	HasCopy() bool
+	// Apply processes the next relevant request and returns what happened.
+	Apply(op sched.Op) Step
+	// Reset returns the policy to its initial state.
+	Reset()
+}
+
+// Run feeds an entire schedule through p and returns the step trace.
+// It is a convenience for tests and small experiments; the simulator
+// streams instead to avoid materializing traces.
+func Run(p Policy, s sched.Schedule) []Step {
+	steps := make([]Step, len(s))
+	for i, op := range s {
+		steps[i] = p.Apply(op)
+	}
+	return steps
+}
+
+// step is a helper for implementations: it fills the bookkeeping fields.
+func step(op sched.Op, had, has, suppressed bool) Step {
+	return Step{Op: op, HadCopy: had, HasCopy: has, DataSuppressed: suppressed}
+}

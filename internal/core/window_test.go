@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/sched"
+)
+
+func TestNewWindowFill(t *testing.T) {
+	w := NewWindow(5, sched.Write)
+	if w.Size() != 5 || w.Writes() != 5 || w.Reads() != 0 {
+		t.Fatalf("write-filled window: size=%d writes=%d reads=%d", w.Size(), w.Writes(), w.Reads())
+	}
+	if w.ReadMajority() {
+		t.Fatal("write-filled window should not have read majority")
+	}
+	w = NewWindow(3, sched.Read)
+	if w.Writes() != 0 || !w.ReadMajority() {
+		t.Fatalf("read-filled window: writes=%d", w.Writes())
+	}
+}
+
+func TestNewWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0, sched.Read)
+}
+
+func TestWindowPushTracksLastK(t *testing.T) {
+	w := NewWindow(3, sched.Write)
+	seq := sched.MustParse("rrwrrrwwr")
+	for i, op := range seq {
+		w.Push(op)
+		// Reference: the last min(i+1,3) ops of seq, padded with writes.
+		wantWrites := 0
+		for j := 0; j < 3; j++ {
+			idx := i - j
+			if idx < 0 || seq[idx] == sched.Write {
+				wantWrites++
+			}
+		}
+		if w.Writes() != wantWrites {
+			t.Fatalf("after %d ops: writes=%d want %d (window %q)", i+1, w.Writes(), wantWrites, w.String())
+		}
+	}
+}
+
+func TestWindowBitsOldestFirst(t *testing.T) {
+	w := NewWindow(3, sched.Write)
+	w.Push(sched.Read)  // window w w r
+	w.Push(sched.Write) // window w r w
+	w.Push(sched.Read)  // window r w r
+	w.Push(sched.Read)  // window w r r
+	if got := w.String(); got != "wrr" {
+		t.Fatalf("window bits = %q, want wrr", got)
+	}
+}
+
+func TestWindowLoadBitsRoundTrip(t *testing.T) {
+	check := func(raw []bool, extra []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		bits := make(sched.Schedule, len(raw))
+		for i, b := range raw {
+			if b {
+				bits[i] = sched.Write
+			}
+		}
+		w := NewWindow(len(bits), sched.Read)
+		if err := w.LoadBits(bits); err != nil {
+			return false
+		}
+		if w.String() != bits.String() {
+			return false
+		}
+		// After arbitrary pushes, reloading must still round-trip.
+		for _, b := range extra {
+			op := sched.Read
+			if b {
+				op = sched.Write
+			}
+			w.Push(op)
+		}
+		if err := w.LoadBits(bits); err != nil {
+			return false
+		}
+		return w.String() == bits.String()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLoadBitsSizeMismatch(t *testing.T) {
+	w := NewWindow(3, sched.Read)
+	if err := w.LoadBits(sched.MustParse("rw")); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestWindowFill(t *testing.T) {
+	w := NewWindow(5, sched.Write)
+	w.Push(sched.Read)
+	w.Push(sched.Read)
+	w.Fill(sched.Read)
+	if w.Writes() != 0 || w.String() != "rrrrr" {
+		t.Fatalf("after Fill(Read): %q writes=%d", w.String(), w.Writes())
+	}
+	w.Fill(sched.Write)
+	if w.Writes() != 5 {
+		t.Fatalf("after Fill(Write): writes=%d", w.Writes())
+	}
+}
+
+func TestWindowCountsConsistent(t *testing.T) {
+	check := func(raw []bool) bool {
+		w := NewWindow(7, sched.Write)
+		for _, b := range raw {
+			op := sched.Read
+			if b {
+				op = sched.Write
+			}
+			w.Push(op)
+			bits := w.Bits()
+			r, wr := bits.Counts()
+			if r != w.Reads() || wr != w.Writes() {
+				return false
+			}
+			if w.ReadMajority() != (r > wr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"fmt"
+	"os"
+)
+
+// Compact rewrites the persistence log so it holds exactly one record per
+// live key (its latest version), reclaiming the space of overwritten
+// versions. The paper's stationary computer runs for long stretches with
+// every write appended; compaction keeps recovery time proportional to the
+// key count rather than the write count.
+//
+// The rewrite goes through a temporary file followed by an atomic rename,
+// so a crash during compaction leaves either the old or the new log, never
+// a mix. Compact is a no-op (and returns 0) on an in-memory store.
+//
+// Compact blocks writers for its duration; it is intended for quiet
+// moments (the mobile-computing workload has plenty: overnight).
+func (s *Store) Compact() (reclaimed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return 0, nil
+	}
+	oldSize := s.log.healthy
+	path := s.log.f.Name()
+	tmpPath := path + ".compact"
+
+	tmp, err := OpenLog(tmpPath)
+	if err != nil {
+		return 0, fmt.Errorf("db: compact: %w", err)
+	}
+	// Write the latest version of every key. Iteration order does not
+	// matter for correctness: each key appears exactly once.
+	for _, it := range s.items {
+		if err := tmp.Append(Record{Key: it.Key, Value: it.Value, Version: it.Version}); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return 0, fmt.Errorf("db: compact append: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("db: compact sync: %w", err)
+	}
+	newSize := tmp.healthy
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, err
+	}
+
+	// Swap: close the old log, rename over it, reopen positioned at the
+	// end of the compacted contents.
+	if err := s.log.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		// The old log file was closed but still intact on disk; reopen it
+		// so the store keeps working.
+		if reopened, rerr := reopenAtEnd(path); rerr == nil {
+			s.log = reopened
+		} else {
+			s.log = nil
+		}
+		return 0, fmt.Errorf("db: compact rename: %w", err)
+	}
+	reopened, err := reopenAtEnd(path)
+	if err != nil {
+		s.log = nil
+		return 0, err
+	}
+	s.log = reopened
+	return oldSize - newSize, nil
+}
+
+// reopenAtEnd opens the log and replays it purely to position the write
+// offset after the last valid record (contents are already in memory).
+func reopenAtEnd(path string) (*Log, error) {
+	log, err := OpenLog(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := log.Replay(func(Record) {}); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return log, nil
+}
+
+// LogSize returns the current byte size of the healthy log prefix, or 0
+// for an in-memory store. Callers use it to decide when to Compact.
+func (s *Store) LogSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.log == nil {
+		return 0
+	}
+	return s.log.healthy
+}

@@ -1,0 +1,143 @@
+package db
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "items.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		if _, err := s.Put("hot", []byte(fmt.Sprintf("version-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Put("cold", []byte("only-once"))
+
+	before := s.LogSize()
+	reclaimed, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.LogSize()
+	if reclaimed <= 0 {
+		t.Fatalf("reclaimed = %d", reclaimed)
+	}
+	if after >= before {
+		t.Fatalf("log did not shrink: %d -> %d", before, after)
+	}
+	if before-after != reclaimed {
+		t.Fatalf("reclaimed %d but shrank %d", reclaimed, before-after)
+	}
+
+	// State must be intact, both in memory and after recovery.
+	hot, _ := s.Get("hot")
+	if string(hot.Value) != "version-499" || hot.Version != 500 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	hot, ok := re.Get("hot")
+	if !ok || string(hot.Value) != "version-499" || hot.Version != 500 {
+		t.Fatalf("recovered hot = %+v ok=%v", hot, ok)
+	}
+	cold, ok := re.Get("cold")
+	if !ok || string(cold.Value) != "only-once" {
+		t.Fatalf("recovered cold = %+v", cold)
+	}
+}
+
+func TestCompactThenWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "items.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put("x", []byte{byte(i)})
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after compaction must append cleanly and survive recovery.
+	if _, err := s.Put("x", []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	x, _ := re.Get("x")
+	if string(x.Value) != "post-compact" || x.Version != 51 {
+		t.Fatalf("x = %+v", x)
+	}
+}
+
+func TestCompactInMemoryIsNoop(t *testing.T) {
+	s := NewStore()
+	s.Put("x", []byte("v"))
+	reclaimed, err := s.Compact()
+	if err != nil || reclaimed != 0 {
+		t.Fatalf("reclaimed=%d err=%v", reclaimed, err)
+	}
+	if s.LogSize() != 0 {
+		t.Fatal("in-memory store should report zero log size")
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "items.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		s.Put("x", []byte{byte(i)})
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	size := s.LogSize()
+	reclaimed, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 0 || s.LogSize() != size {
+		t.Fatalf("second compact reclaimed %d, size %d -> %d", reclaimed, size, s.LogSize())
+	}
+}
+
+func TestCompactPreservesSubscriptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "items.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("x", []byte("a"))
+	got := 0
+	s.Subscribe("x", func(Item) { got++ })
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("x", []byte("b"))
+	if got != 1 {
+		t.Fatalf("subscriber deliveries after compact = %d", got)
+	}
+}

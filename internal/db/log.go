@@ -1,0 +1,167 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Log is an append-only record log with per-record CRC32C checksums.
+// Format of each record:
+//
+//	uint32  payload length (little endian)
+//	uint32  CRC32C of the payload
+//	payload:
+//	    uint64 version
+//	    uint16 key length, key bytes
+//	    uint32 value length, value bytes
+//
+// A torn final record (partial write at crash) is tolerated on replay:
+// replay stops at the first short or corrupt record and Append truncates
+// the tail so the log stays consistent.
+type Log struct {
+	f       *os.File
+	w       *bufio.Writer
+	healthy int64 // byte offset of the last fully valid record's end
+}
+
+// Record is one logged write.
+type Record struct {
+	Key     string
+	Value   []byte
+	Version uint64
+}
+
+const logHeaderSize = 8 // length + crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenLog opens (creating if needed) the log at path.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("db: open log: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Replay scans the log from the start, invoking fn for every valid record
+// in order. It stops silently at a torn or corrupt tail, records the
+// healthy prefix length, and truncates the file to it so subsequent
+// appends are safe.
+func (l *Log) Replay(fn func(Record)) error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(l.f)
+	offset := int64(0)
+	for {
+		var hdr [logHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // clean EOF or torn header: stop
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > 1<<30 {
+			break // absurd length: corrupt
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // corrupt record
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		fn(rec)
+		offset += logHeaderSize + int64(length)
+	}
+	l.healthy = offset
+	if err := l.f.Truncate(offset); err != nil {
+		return fmt.Errorf("db: truncate torn tail: %w", err)
+	}
+	if _, err := l.f.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	l.w = bufio.NewWriter(l.f)
+	return nil
+}
+
+// Append writes one record and flushes it to the OS.
+func (l *Log) Append(rec Record) error {
+	payload := encodeRecord(rec)
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.healthy += int64(logHeaderSize + len(payload))
+	return nil
+}
+
+// Sync forces the log contents to stable storage.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the underlying file.
+func (l *Log) Close() error {
+	flushErr := l.w.Flush()
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+func encodeRecord(rec Record) []byte {
+	out := make([]byte, 0, 8+2+len(rec.Key)+4+len(rec.Value))
+	out = binary.LittleEndian.AppendUint64(out, rec.Version)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(rec.Key)))
+	out = append(out, rec.Key...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rec.Value)))
+	out = append(out, rec.Value...)
+	return out
+}
+
+var errShortRecord = errors.New("db: short record payload")
+
+func decodeRecord(p []byte) (Record, error) {
+	if len(p) < 8+2 {
+		return Record{}, errShortRecord
+	}
+	var rec Record
+	rec.Version = binary.LittleEndian.Uint64(p[:8])
+	p = p[8:]
+	klen := int(binary.LittleEndian.Uint16(p[:2]))
+	p = p[2:]
+	if len(p) < klen+4 {
+		return Record{}, errShortRecord
+	}
+	rec.Key = string(p[:klen])
+	p = p[klen:]
+	vlen := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	if len(p) != vlen {
+		return Record{}, errShortRecord
+	}
+	rec.Value = append([]byte(nil), p...)
+	return rec, nil
+}

@@ -1,0 +1,148 @@
+// Package db implements the stationary computer's online database: a
+// versioned in-memory key-value store with update subscriptions and an
+// optional append-only persistence log.
+//
+// The paper assumes "some node in the stationary network" holds the
+// authoritative copy of every data item and can propagate updates to
+// subscribed mobile computers. This package is that substrate: the replica
+// protocol (internal/replica) stores items here, registers a subscription
+// per allocated mobile copy, and relies on versions to keep propagation
+// idempotent. Durability uses a CRC-checked record log (log.go) that is
+// replayed on open, in the spirit of a write-ahead log; the store is
+// usable fully in memory as well.
+package db
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Item is one versioned value.
+type Item struct {
+	// Key identifies the data item, the paper's "x".
+	Key string
+	// Value is the current payload.
+	Value []byte
+	// Version increases by one on every write; version 0 means the item
+	// has never been written.
+	Version uint64
+}
+
+// Subscriber receives every committed update of a key, in commit order.
+// Callbacks run synchronously under the store's write path; subscribers
+// must not call back into the store.
+type Subscriber func(Item)
+
+// Store is a thread-safe versioned key-value store.
+type Store struct {
+	mu    sync.RWMutex
+	items map[string]Item
+	subs  map[string]map[int]Subscriber
+	nextS int
+	log   *Log // nil when running purely in memory
+}
+
+// NewStore returns an empty in-memory store.
+func NewStore() *Store {
+	return &Store{
+		items: make(map[string]Item),
+		subs:  make(map[string]map[int]Subscriber),
+	}
+}
+
+// Open returns a store backed by the append-only log at path, replaying
+// any existing records into memory first.
+func Open(path string) (*Store, error) {
+	s := NewStore()
+	log, err := OpenLog(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := log.Replay(func(rec Record) {
+		s.items[rec.Key] = Item{Key: rec.Key, Value: rec.Value, Version: rec.Version}
+	}); err != nil {
+		log.Close()
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+// Close releases the persistence log, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// Get returns the current item for key. The returned value slice must not
+// be modified by the caller. The second result reports whether the key has
+// ever been written.
+func (s *Store) Get(key string) (Item, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[key]
+	return it, ok
+}
+
+// Put commits a new version of key and notifies subscribers. It returns
+// the committed item.
+func (s *Store) Put(key string, value []byte) (Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.items[key]
+	it.Key = key
+	it.Value = append([]byte(nil), value...)
+	it.Version++
+	if s.log != nil {
+		if err := s.log.Append(Record{Key: key, Value: it.Value, Version: it.Version}); err != nil {
+			return Item{}, fmt.Errorf("db: append: %w", err)
+		}
+	}
+	s.items[key] = it
+	for _, fn := range s.subs[key] {
+		fn(it)
+	}
+	return it, nil
+}
+
+// Subscribe registers fn for updates of key and returns a cancel func.
+// fn observes every Put committed after Subscribe returns.
+func (s *Store) Subscribe(key string, fn Subscriber) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs[key] == nil {
+		s.subs[key] = make(map[int]Subscriber)
+	}
+	id := s.nextS
+	s.nextS++
+	s.subs[key][id] = fn
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subs[key], id)
+	}
+}
+
+// Len returns the number of distinct keys ever written.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Keys returns all keys, in unspecified order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/report"
+	"mobirep/internal/sim"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+	"mobirep/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E18",
+		Title:    "Joint reads: one connection for many data items",
+		Artifact: "Section 7.2 premise, protocol realization (extension)",
+		Run:      runE18,
+	})
+	register(Experiment{
+		ID:       "E19",
+		Title:    "Bursty (Markov-modulated) workloads: window size vs burst length",
+		Artifact: "Section 3 workload model stressed (extension)",
+		Run:      runE19,
+	})
+}
+
+// runE18 measures the message savings of ReadMany on a correlated access
+// pattern: a watch-list refresh reads a group of keys together.
+func runE18(cfg Config) []*report.Table {
+	const omega = 0.5
+	steps := cfg.scale(20000, 2000)
+	tbl := report.New("Watch-list workload: singleton reads vs one joint read per refresh (ST1 mode)",
+		"group size", "steps", "singleton msg cost", "batched msg cost", "saving")
+	for _, group := range []int{2, 4, 8, 16} {
+		rng := stats.NewRNG(cfg.Seed + uint64(group))
+		pattern := workload.CorrelatedWorkload(rng, group, group, steps, 0.3)
+
+		single := runWatchList(pattern, group, false)
+		batched := runWatchList(pattern, group, true)
+		sc := single.MessageCost(omega)
+		bc := batched.MessageCost(omega)
+		tbl.AddRow(report.I(group), report.I(steps),
+			report.F(sc, 1), report.F(bc, 1), report.Pct(1-bc/sc))
+	}
+	tbl.AddNote("ST1 mode isolates the batching effect: every refresh is fully remote")
+	tbl.AddNote("the batch collapses a refresh's g message pairs into one pair: saving -> 1 - 1/g")
+
+	// Under SWk the group gets cached during read runs; batching then only
+	// pays off on the misses, so the saving is smaller but still real.
+	tbl2 := report.New("Same workload under SW5 (copies allocated during read runs)",
+		"group size", "singleton msg cost", "batched msg cost", "saving")
+	for _, group := range []int{4, 16} {
+		rng := stats.NewRNG(cfg.Seed + 100 + uint64(group))
+		pattern := workload.CorrelatedWorkload(rng, group, group, steps, 0.3)
+		single := runWatchListMode(pattern, group, false, replica.SW(5))
+		batched := runWatchListMode(pattern, group, true, replica.SW(5))
+		sc, bc := single.MessageCost(omega), batched.MessageCost(omega)
+		tbl2.AddRow(report.I(group), report.F(sc, 1), report.F(bc, 1), report.Pct(1-bc/sc))
+	}
+	return []*report.Table{tbl, tbl2}
+}
+
+func runWatchList(pattern []workload.CorrelatedStep, keys int, batch bool) replica.MeterSnapshot {
+	return runWatchListMode(pattern, keys, batch, replica.Static1())
+}
+
+func runWatchListMode(pattern []workload.CorrelatedStep, keys int, batch bool, mode replica.Mode) replica.MeterSnapshot {
+	a, b := transport.NewMemPair()
+	srv, err := replica.NewServer(db.NewStore(), mode)
+	if err != nil {
+		panic(err)
+	}
+	meter := srv.Attach(a).Meter()
+	cli, err := replica.NewClient(b, mode)
+	if err != nil {
+		panic(err)
+	}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("k%d", i)
+		srv.Write(names[i], []byte("seed"))
+	}
+	for _, st := range pattern {
+		if len(st.ReadKeys) == 0 {
+			if _, err := srv.Write(names[st.WriteKey], []byte("v")); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		if batch {
+			group := make([]string, len(st.ReadKeys))
+			for i, k := range st.ReadKeys {
+				group[i] = names[k]
+			}
+			if _, err := cli.ReadMany(group); err != nil {
+				panic(err)
+			}
+		} else {
+			for _, k := range st.ReadKeys {
+				if _, err := cli.Read(names[k]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return meter.Snapshot().Add(cli.Meter().Snapshot())
+}
+
+// runE19 sweeps burst length against window size: short bursts favor
+// small windows and statics matched to the mean, long bursts reward
+// windows (and the adaptive policy) that can follow each regime.
+func runE19(cfg Config) []*report.Table {
+	model := cost.NewConnection()
+	burstCfg := workload.BurstyConfig{ThetaA: 0.1, ThetaB: 0.9}
+	n := cfg.scale(400000, 40000)
+
+	policies := []struct {
+		name string
+		f    sim.Factory
+	}{
+		{"ST1", func() core.Policy { return core.NewST1() }},
+		{"ST2", func() core.Policy { return core.NewST2() }},
+		{"SW3", func() core.Policy { return core.NewSW(3) }},
+		{"SW9", func() core.Policy { return core.NewSW(9) }},
+		{"SW31", func() core.Policy { return core.NewSW(31) }},
+		{"ASW(3-31)", func() core.Policy { return core.NewAdaptiveSW(3, 31) }},
+	}
+	cols := []string{"mean burst len"}
+	for _, p := range policies {
+		cols = append(cols, p.name)
+	}
+	tbl := report.New("Cost per request on two-regime bursty workloads (theta 0.1 <-> 0.9)", cols...)
+	for _, burstLen := range []int{5, 20, 100, 1000, 10000} {
+		burstCfg.SwitchProb = 1 / float64(burstLen)
+		rng := stats.NewRNG(cfg.Seed + uint64(burstLen))
+		s, _ := workload.Bursty(rng, burstCfg, n)
+		row := []string{report.I(burstLen)}
+		for _, p := range policies {
+			res := sim.Replay(p.f(), model, s, 1000)
+			row = append(row, report.F(res.PerOp(), 4))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.AddNote("with theta jumping between 0.1 and 0.9, an oracle tracking each regime pays ~0.10/request")
+	tbl.AddNote("short bursts (<~ window) are noise the window smooths over; long bursts are regimes the window follows: every window has a burst length it handles worst")
+	tbl.AddNote("the adaptive window stays near the best fixed k at both extremes of the sweep; at intermediate burst lengths it pays a tracking penalty (its k oscillates with the regime)")
+
+	// Exact product-chain values validate the simulated sweep at one
+	// burst length for the enumerable policies.
+	exact := report.New("Exact (policy x regime product chain) vs simulated, burst length 100",
+		"policy", "exact", "simulated", "±CI95 (batch means)", "eff. samples")
+	params := analytic.BurstyParams{ThetaA: 0.1, ThetaB: 0.9, SwitchProb: 0.01}
+	rng := stats.NewRNG(cfg.Seed + 777)
+	s, _ := workload.Bursty(rng, workload.BurstyConfig(params), n)
+	for _, row := range []struct {
+		name string
+		mk   func() core.Enumerable
+	}{
+		{"SW3", func() core.Enumerable { return core.NewSW(3) }},
+		{"SW9", func() core.Enumerable { return core.NewSW(9) }},
+		{"T1(7)", func() core.Enumerable { return core.NewT1(7) }},
+	} {
+		ex, err := analytic.BurstyExpected(row.mk(), params, model)
+		if err != nil {
+			panic(err)
+		}
+		// Per-step cost series for honest (batch-means) error bars: the
+		// series is correlated through both the window and the regime.
+		p := row.mk()
+		series := make([]float64, 0, len(s))
+		for _, op := range s {
+			series = append(series, model.StepCost(p.Apply(op)))
+		}
+		series = series[1000:] // warmup
+		bm, err := stats.BatchMeans(series, 50)
+		if err != nil {
+			panic(err)
+		}
+		ess, err := stats.EffectiveSampleSize(series, 50)
+		if err != nil {
+			panic(err)
+		}
+		exact.AddRow(row.name, report.F(ex, 4), report.F(bm.Mean(), 4),
+			report.F(bm.CI95(), 4), report.I(int(ess)))
+	}
+	exact.AddNote("no closed form exists for bursty input; the product chain gives exact values anyway")
+	exact.AddNote("bursty cost series are heavily autocorrelated: the effective sample count is a small fraction of the request count, which is why the CIs are wide")
+	return []*report.Table{tbl, exact}
+}

@@ -1,0 +1,67 @@
+// Package experiments regenerates every figure and numbered result of the
+// paper's evaluation. Each experiment pairs the closed-form prediction
+// from internal/analytic with a measurement of the implemented system
+// (simulator, offline optimum, or distributed protocol) and reports both
+// side by side, the way EXPERIMENTS.md records them.
+//
+// The registry is consumed by the mobirep-bench executable and by
+// bench_test.go, which exposes one benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mobirep/internal/report"
+)
+
+// Config tunes how heavy the experiment runs are.
+type Config struct {
+	// Seed makes all measurements reproducible.
+	Seed uint64
+	// Quick shrinks workloads by roughly an order of magnitude; used by
+	// tests and benchmarks that only need the shape, not tight CIs.
+	Quick bool
+}
+
+// scale returns full when Quick is off, otherwise quick.
+func (c Config) scale(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	// ID is the index used by DESIGN.md and the CLI, e.g. "E01".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper figure/equation/theorem reproduced.
+	Artifact string
+	// Run executes the experiment and returns its result tables.
+	Run func(Config) []*report.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

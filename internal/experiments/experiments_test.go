@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(all))
+	}
+	for i, e := range all {
+		want := "E" + pad(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func pad(i int) string {
+	s := strconv.Itoa(i)
+	if len(s) < 2 {
+		s = "0" + s
+	}
+	return s
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E05")
+	if err != nil || e.ID != "E05" {
+		t.Fatalf("ByID(E05): %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks the output tables. This is the integration test for the
+// whole reproduction pipeline.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy even in quick mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(Config{Seed: 1, Quick: true})
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" {
+					t.Fatalf("%s produced an untitled table", e.ID)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s produced empty table %q", e.ID, tbl.Title)
+				}
+				out := tbl.ASCII()
+				if !strings.Contains(out, tbl.Columns[0]) {
+					t.Fatalf("%s table %q renders without headers", e.ID, tbl.Title)
+				}
+			}
+		})
+	}
+}
+
+// TestClaimTablesSayYes checks that the verdict columns of the worked-
+// number experiments all come out "yes": the paper's claims hold on our
+// implementation.
+func TestClaimTablesSayYes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy even in quick mode")
+	}
+	e, err := ByID("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(Config{Seed: 2, Quick: true})
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			last := row[len(row)-1]
+			if last == "no" {
+				t.Errorf("claim failed: %v", row)
+			}
+		}
+	}
+}

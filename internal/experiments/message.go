@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/report"
+	"mobirep/internal/sim"
+	"mobirep/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E06",
+		Title:    "Expected cost per request vs theta, message model",
+		Artifact: "Equations 7, 9, 11; Theorems 5, 6, 8, 9",
+		Run:      runE06,
+	})
+	register(Experiment{
+		ID:       "E07",
+		Title:    "Average expected cost vs window size, message model",
+		Artifact: "Equations 8, 10, 12; Theorems 7, 10; Corollary 2",
+		Run:      runE07,
+	})
+	register(Experiment{
+		ID:       "E08",
+		Title:    "Competitive ratios, message model",
+		Artifact: "Theorems 11 and 12",
+		Run:      runE08,
+	})
+}
+
+// runE06 sweeps theta at several omegas and validates equations 7, 9 and
+// the reconstructed equation 11 against simulation, plus the Theorem 9
+// envelope.
+func runE06(cfg Config) []*report.Table {
+	ops := cfg.scale(200000, 10000)
+	var tables []*report.Table
+	for _, omega := range []float64{0.25, 0.5, 1.0} {
+		model := cost.NewMessage(omega)
+		tbl := report.New("EXP(theta), message model, omega="+report.F(omega, 2),
+			"theta", "ST1 thry", "ST1 sim", "ST2 thry", "ST2 sim",
+			"SW1 thry", "SW1 sim", "SW5 thry", "SW5 sim", "SW9 thry", "SW9 sim",
+			"envelope min")
+		maxErr := 0.0
+		for _, theta := range []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9} {
+			row := []string{report.F(theta, 2)}
+			add := func(theory float64, f sim.Factory, seed uint64) {
+				got := sim.EstimateExpected(f, model,
+					sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: seed}).Mean()
+				if d := abs(got - theory); d > maxErr {
+					maxErr = d
+				}
+				row = append(row, report.F(theory, 4), report.F(got, 4))
+			}
+			add(analytic.ExpST1Msg(theta, omega), func() core.Policy { return core.NewST1() }, cfg.Seed)
+			add(analytic.ExpST2Msg(theta), func() core.Policy { return core.NewST2() }, cfg.Seed+1)
+			add(analytic.ExpSW1Msg(theta, omega), func() core.Policy { return core.NewSW(1) }, cfg.Seed+2)
+			add(analytic.ExpSWMsg(5, theta, omega), func() core.Policy { return core.NewSW(5) }, cfg.Seed+3)
+			add(analytic.ExpSWMsg(9, theta, omega), func() core.Policy { return core.NewSW(9) }, cfg.Seed+4)
+			row = append(row, report.F(analytic.MinExpectedMsg(theta, omega), 4))
+			tbl.AddRow(row...)
+		}
+		tbl.AddNote("max |sim - theory| over the sweep: %.5f", maxErr)
+		tbl.AddNote("Theorem 9: SW5 and SW9 never beat the {ST1, ST2, SW1} envelope at fixed theta")
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// runE07 sweeps window size against omega for the average expected cost,
+// verifying equation 12 and the Corollary 2 lower bound 1/4 + omega/8.
+func runE07(cfg Config) []*report.Table {
+	opts := sim.AverageOpts{
+		Periods:      cfg.scale(800, 80),
+		OpsPerPeriod: cfg.scale(500, 200),
+		Seed:         cfg.Seed,
+	}
+	var tables []*report.Table
+	for _, omega := range []float64{0.2, 0.5, 0.8} {
+		model := cost.NewMessage(omega)
+		tbl := report.New("AVG, message model, omega="+report.F(omega, 2),
+			"algorithm", "AVG theory", "AVG sim", "above bound 1/4+w/8")
+		bound := analytic.AvgSWMsgLowerBound(omega)
+		tbl.AddRow("ST1", report.F(analytic.AvgST1Msg(omega), 4),
+			report.F(sim.EstimateAverage(func() core.Policy { return core.NewST1() }, model, opts).Mean(), 4),
+			report.Pct(analytic.AvgST1Msg(omega)/bound-1))
+		tbl.AddRow("ST2", report.F(analytic.AvgST2Msg, 4),
+			report.F(sim.EstimateAverage(func() core.Policy { return core.NewST2() }, model, opts).Mean(), 4),
+			report.Pct(analytic.AvgST2Msg/bound-1))
+		for _, k := range []int{1, 3, 7, 15, 39} {
+			k := k
+			theory := analytic.AvgSWMsg(k, omega)
+			got := sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
+			tbl.AddRow("SW"+report.I(k), report.F(theory, 4), report.F(got, 4),
+				report.Pct(theory/bound-1))
+		}
+		tbl.AddNote("Corollary 2: AVG_SWk decreases in k toward (not reaching) %.4f", bound)
+		if omega <= analytic.OmegaBreakEven {
+			tbl.AddNote("omega <= 0.4: SW1 has the least AVG among all window sizes (Corollary 3)")
+		} else {
+			tbl.AddNote("omega > 0.4: windows k >= %d beat SW1 (Corollary 4)", analytic.MinOddKBeatingSW1(omega))
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// runE08 measures message-model competitive ratios on the tight families
+// of Theorems 11 and 12 and runs the exhaustive search.
+func runE08(cfg Config) []*report.Table {
+	cycles := cfg.scale(2000, 100)
+	var tables []*report.Table
+
+	sw1 := report.New("Theorem 11: SW1 is tightly (1+2w)-competitive",
+		"omega", "bound 1+2w", "ratio on (w r)^N")
+	for _, omega := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res := workload.MeasureRatio(core.NewSW(1), cost.NewMessage(omega),
+			workload.SW1Adversary(cycles))
+		sw1.AddRow(report.F(omega, 2), report.F(analytic.CompetitiveSW1Msg(omega), 2),
+			report.F(res.Ratio, 4))
+	}
+	tables = append(tables, sw1)
+
+	swk := report.New("Theorem 12: SWk is tightly ((1+w/2)(k+1)+w)-competitive",
+		"k", "omega", "bound", "ratio on (r^(n+1) w^(n+1))^N")
+	for _, k := range []int{3, 5, 9} {
+		for _, omega := range []float64{0.25, 0.5, 1} {
+			res := workload.MeasureRatio(core.NewSW(k), cost.NewMessage(omega),
+				workload.SWkAdversary(k, cycles))
+			swk.AddRow(report.I(k), report.F(omega, 2),
+				report.F(analytic.CompetitiveSWMsg(k, omega), 3), report.F(res.Ratio, 4))
+		}
+	}
+	swk.AddNote("SW1's factor 1+2w is below SWk's for every k > 1: the worst case prefers small windows")
+	tables = append(tables, swk)
+
+	length := cfg.scale(14, 10)
+	search := report.New("Exhaustive worst-case search, message model, omega=0.5 (length "+report.I(length)+")",
+		"k", "bound", "worst ratio found", "worst schedule")
+	for _, k := range []int{1, 3} {
+		res := workload.WorstRatio(core.NewSW(k), cost.NewMessage(0.5), length, 2)
+		search.AddRow(report.I(k), report.F(analytic.CompetitiveSWMsg(k, 0.5), 3),
+			report.F(res.Ratio, 4), res.Schedule.String())
+	}
+	tables = append(tables, search)
+	return tables
+}

@@ -1,0 +1,175 @@
+// Package mobile implements the mobile computer's local database: the
+// cache that holds allocated copies of data items. The paper assumes
+// storage at the mobile computer is abundant (section 8.2), so unlike a
+// CPU cache there is no eviction under pressure — entries leave only when
+// the allocation algorithm deallocates them. The cache tracks hit/miss
+// statistics that the examples and experiments report.
+package mobile
+
+import (
+	"sync"
+
+	"mobirep/internal/db"
+)
+
+// Stats summarizes cache activity.
+type Stats struct {
+	// Hits counts local reads served from the cache.
+	Hits int
+	// Misses counts reads that had to go remote.
+	Misses int
+	// Installs counts copies allocated into the cache.
+	Installs int
+	// Drops counts copies deallocated from the cache.
+	Drops int
+	// Updates counts propagated writes applied to cached copies.
+	Updates int
+	// StaleUpdates counts propagated writes that arrived for uncached
+	// items (benign races during deallocation) or carried an old version.
+	StaleUpdates int
+	// Revalidations counts archived values confirmed current by the
+	// server and reused without a payload transfer.
+	Revalidations int
+}
+
+// Cache is a thread-safe item cache. Items that leave the cache move to a
+// stale archive: they must not be served (they may be outdated), but their
+// versions work as revalidation hints — a conditional read that matches
+// the server's current version costs no payload bytes.
+type Cache struct {
+	mu      sync.RWMutex
+	items   map[string]db.Item
+	archive map[string]db.Item
+	stats   Stats
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		items:   make(map[string]db.Item),
+		archive: make(map[string]db.Item),
+	}
+}
+
+// Get returns the cached item, recording a hit or miss.
+func (c *Cache) Get(key string) (db.Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return it, ok
+}
+
+// Peek returns the cached item without touching statistics.
+func (c *Cache) Peek(key string) (db.Item, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	it, ok := c.items[key]
+	return it, ok
+}
+
+// Install stores a newly allocated copy, superseding any archived value.
+func (c *Cache) Install(it db.Item) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items[it.Key] = it
+	delete(c.archive, it.Key)
+	c.stats.Installs++
+}
+
+// Update applies a propagated write. It returns false — recording a stale
+// update — if the item is not cached or the version does not advance,
+// keeping propagation idempotent under races.
+func (c *Cache) Update(it db.Item) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.items[it.Key]
+	if !ok || it.Version <= cur.Version {
+		c.stats.StaleUpdates++
+		return false
+	}
+	c.items[it.Key] = it
+	c.stats.Updates++
+	return true
+}
+
+// Drop deallocates the copy, moving it to the stale archive. It reports
+// whether a copy was present.
+func (c *Cache) Drop(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.archive[key] = it
+	delete(c.items, key)
+	c.stats.Drops++
+	return true
+}
+
+// Archived returns the stale archived item for key, if any. Archived
+// values must not be served directly; their versions are revalidation
+// hints.
+func (c *Cache) Archived(key string) (db.Item, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	it, ok := c.archive[key]
+	return it, ok
+}
+
+// Revalidated promotes an archived item back to served status after the
+// server confirmed its version is current. It reports whether an archived
+// item existed.
+func (c *Cache) Revalidated(key string) (db.Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.archive[key]
+	if !ok {
+		return db.Item{}, false
+	}
+	c.stats.Revalidations++
+	return it, true
+}
+
+// ArchiveLen returns the number of archived items.
+func (c *Cache) ArchiveLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.archive)
+}
+
+// Contains reports whether key is cached, without touching statistics.
+func (c *Cache) Contains(key string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Len returns the number of cached items.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.items)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any read.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,159 @@
+package mobile
+
+import (
+	"sync"
+	"testing"
+
+	"mobirep/internal/db"
+)
+
+func item(key string, version uint64) db.Item {
+	return db.Item{Key: key, Value: []byte(key), Version: version}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Install(item("x", 1))
+	if it, ok := c.Get("x"); !ok || it.Version != 1 {
+		t.Fatalf("get after install: %+v ok=%v", it, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Installs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeekDoesNotTouchStats(t *testing.T) {
+	c := NewCache()
+	c.Install(item("x", 1))
+	c.Peek("x")
+	c.Peek("y")
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("peek touched stats: %+v", s)
+	}
+}
+
+func TestUpdateVersionGate(t *testing.T) {
+	c := NewCache()
+	c.Install(item("x", 5))
+	if !c.Update(item("x", 6)) {
+		t.Fatal("newer version rejected")
+	}
+	if c.Update(item("x", 6)) {
+		t.Fatal("equal version accepted")
+	}
+	if c.Update(item("x", 3)) {
+		t.Fatal("older version accepted")
+	}
+	if c.Update(item("y", 1)) {
+		t.Fatal("update of uncached key accepted")
+	}
+	s := c.Stats()
+	if s.Updates != 1 || s.StaleUpdates != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	it, _ := c.Peek("x")
+	if it.Version != 6 {
+		t.Fatalf("version = %d", it.Version)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := NewCache()
+	c.Install(item("x", 1))
+	if !c.Drop("x") {
+		t.Fatal("drop of cached key failed")
+	}
+	if c.Drop("x") {
+		t.Fatal("double drop succeeded")
+	}
+	if c.Contains("x") || c.Len() != 0 {
+		t.Fatal("item survived drop")
+	}
+	if c.Stats().Drops != 1 {
+		t.Fatalf("drops = %d", c.Stats().Drops)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					c.Install(item("x", uint64(i)))
+				case 1:
+					c.Get("x")
+				case 2:
+					c.Update(item("x", uint64(i)))
+				case 3:
+					c.Drop("x")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestArchiveLifecycle(t *testing.T) {
+	c := NewCache()
+	c.Install(item("x", 3))
+	if c.ArchiveLen() != 0 {
+		t.Fatal("archive should start empty")
+	}
+	c.Drop("x")
+	if c.ArchiveLen() != 1 {
+		t.Fatal("drop should archive")
+	}
+	arch, ok := c.Archived("x")
+	if !ok || arch.Version != 3 {
+		t.Fatalf("archived = %+v ok=%v", arch, ok)
+	}
+	// Archived values are not served.
+	if c.Contains("x") {
+		t.Fatal("archived item still cached")
+	}
+	// Revalidation returns the archived value and counts it.
+	got, ok := c.Revalidated("x")
+	if !ok || got.Version != 3 {
+		t.Fatalf("revalidated = %+v ok=%v", got, ok)
+	}
+	if c.Stats().Revalidations != 1 {
+		t.Fatalf("revalidations = %d", c.Stats().Revalidations)
+	}
+	if _, ok := c.Revalidated("missing"); ok {
+		t.Fatal("revalidated a never-seen key")
+	}
+}
+
+func TestInstallSupersedesArchive(t *testing.T) {
+	c := NewCache()
+	c.Install(item("x", 1))
+	c.Drop("x")
+	c.Install(item("x", 2))
+	if c.ArchiveLen() != 0 {
+		t.Fatal("install should clear the archived version")
+	}
+	if _, ok := c.Archived("x"); ok {
+		t.Fatal("stale archive entry survived a fresh install")
+	}
+}

@@ -1,0 +1,126 @@
+package multi
+
+import "fmt"
+
+// Dynamic is the window-based multi-object method of section 7.2: it
+// keeps the last k operations (with their classes), re-estimates the class
+// frequencies from that window every recompute operations, solves for the
+// best static allocation under the estimated frequencies, and adopts it.
+// The paper notes the recomputation "can be done periodically instead of
+// after each operation to avoid excessive overhead"; Recompute is that
+// period.
+//
+// Allocation changes are themselves priced: each newly cached object costs
+// one data message (the SC pushes it), and each dropped object costs one
+// control message (the delete-request), mirroring the single-object
+// protocol. The experiments show the method tracking the static optimum
+// under drifting frequencies.
+type Dynamic struct {
+	model      CostModel
+	n          int
+	window     []Op
+	head       int
+	filled     int
+	sinceSolve int
+	recompute  int
+	alloc      Mask
+
+	// TransitionDataCost is the cost charged per object added to the
+	// cache; TransitionCtrlCost per object dropped. Defaults are set by
+	// NewDynamic from the model.
+	TransitionDataCost float64
+	TransitionCtrlCost float64
+
+	// Stats.
+	ops         int
+	cost        float64
+	transitions int
+}
+
+// NewDynamic builds the dynamic allocator. k is the window size (number of
+// remembered operations), recompute how many operations pass between
+// re-solves, n the object count (n <= 24: the re-solve enumerates).
+func NewDynamic(n, k, recompute int, m CostModel) *Dynamic {
+	if k <= 0 || recompute <= 0 {
+		panic("multi: window size and recompute period must be positive")
+	}
+	if n < 0 || n > 24 {
+		panic(fmt.Sprintf("multi: Dynamic limited to 24 objects, got %d", n))
+	}
+	d := &Dynamic{
+		model:     m,
+		n:         n,
+		window:    make([]Op, k),
+		recompute: recompute,
+	}
+	d.TransitionDataCost = 1
+	d.TransitionCtrlCost = 0
+	if mm, ok := m.(MsgCost); ok {
+		d.TransitionCtrlCost = mm.Omega
+	}
+	return d
+}
+
+// Alloc returns the current allocation.
+func (d *Dynamic) Alloc() Mask { return d.alloc }
+
+// Ops returns the number of operations applied.
+func (d *Dynamic) Ops() int { return d.ops }
+
+// Cost returns the total accumulated cost, including transition costs.
+func (d *Dynamic) Cost() float64 { return d.cost }
+
+// PerOp returns the average cost per applied operation.
+func (d *Dynamic) PerOp() float64 {
+	if d.ops == 0 {
+		return 0
+	}
+	return d.cost / float64(d.ops)
+}
+
+// Transitions returns how many re-solves changed the allocation.
+func (d *Dynamic) Transitions() int { return d.transitions }
+
+// Apply processes one operation: price it under the current allocation,
+// slide the window, and periodically re-solve.
+func (d *Dynamic) Apply(op Op) float64 {
+	c := d.model.OpCost(op.Class(), d.alloc)
+	d.cost += c
+	d.ops++
+
+	d.window[d.head] = op
+	d.head = (d.head + 1) % len(d.window)
+	if d.filled < len(d.window) {
+		d.filled++
+	}
+	d.sinceSolve++
+	if d.sinceSolve >= d.recompute && d.filled > 0 {
+		d.sinceSolve = 0
+		d.resolve()
+	}
+	return c
+}
+
+// EstimatedFrequencies returns the class frequencies currently in the
+// window (counts; callers can normalize with Total).
+func (d *Dynamic) EstimatedFrequencies() FreqTable {
+	f := make(FreqTable)
+	for i := 0; i < d.filled; i++ {
+		f[d.window[i].Class()]++
+	}
+	return f
+}
+
+func (d *Dynamic) resolve() {
+	f := d.EstimatedFrequencies()
+	next, _ := OptimalStatic(f, d.n, d.model)
+	if next == d.alloc {
+		return
+	}
+	added := next &^ d.alloc
+	removed := d.alloc &^ next
+	d.cost += float64(added.Count())*d.TransitionDataCost +
+		float64(removed.Count())*d.TransitionCtrlCost
+	d.alloc = next
+	d.transitions++
+}

@@ -1,0 +1,345 @@
+package multi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/stats"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(0, 2, 5)
+	if !m.Has(0) || m.Has(1) || !m.Has(2) || !m.Has(5) {
+		t.Fatalf("membership wrong: %v", m)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	if m.String() != "{0,2,5}" {
+		t.Fatalf("string = %q", m.String())
+	}
+	if !NewMask(0, 2).SubsetOf(m) || m.SubsetOf(NewMask(0, 2)) {
+		t.Fatal("subset logic wrong")
+	}
+	if !m.Intersects(NewMask(5, 9)) || m.Intersects(NewMask(1, 3)) {
+		t.Fatal("intersection logic wrong")
+	}
+}
+
+func TestMaskPanicsOnBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMask(64)
+}
+
+// paperFreqs builds the two-object frequency table of section 7.2 with the
+// paper's six classes.
+func paperFreqs(rx, ry, rj, wx, wy, wj float64) FreqTable {
+	x, y := NewMask(0), NewMask(1)
+	return FreqTable{
+		{Read, x}:      rx,
+		{Read, y}:      ry,
+		{Read, x | y}:  rj,
+		{Write, x}:     wx,
+		{Write, y}:     wy,
+		{Write, x | y}: wj,
+	}
+}
+
+// TestPaperTwoObjectFormulas reproduces the two expected-cost formulas the
+// paper states explicitly for ST1 (no copies) and ST1,2 (y cached only):
+// EXP_ST1 = (λr,x + λr,y + λr,∧)/λ and
+// EXP_ST1,2 = (λr,x + λw,y + λr,∧ + λw,∧)/λ.
+func TestPaperTwoObjectFormulas(t *testing.T) {
+	f := paperFreqs(2, 3, 1, 4, 5, 6)
+	lambda := f.Total()
+	model := ConnCost{}
+
+	st1 := ExpectedCost(f, 0, model)
+	if want := (2 + 3 + 1) / lambda; math.Abs(st1-want) > 1e-12 {
+		t.Fatalf("ST1 = %v, want %v", st1, want)
+	}
+	st12 := ExpectedCost(f, NewMask(1), model) // y cached
+	if want := (2 + 5 + 1 + 6) / lambda; math.Abs(st12-want) > 1e-12 {
+		t.Fatalf("ST1,2 = %v, want %v", st12, want)
+	}
+	st21 := ExpectedCost(f, NewMask(0), model) // x cached
+	if want := (4 + 3 + 1 + 6) / lambda; math.Abs(st21-want) > 1e-12 {
+		t.Fatalf("ST2,1 = %v, want %v", st21, want)
+	}
+	st2 := ExpectedCost(f, NewMask(0, 1), model)
+	if want := (4 + 5 + 6) / lambda; math.Abs(st2-want) > 1e-12 {
+		t.Fatalf("ST2 = %v, want %v", st2, want)
+	}
+}
+
+func TestOptimalStaticPicksArgmin(t *testing.T) {
+	// Read-heavy on x, write-heavy on y: optimum caches exactly x.
+	f := paperFreqs(10, 1, 0, 1, 10, 0)
+	alloc, cost := OptimalStatic(f, 2, ConnCost{})
+	if alloc != NewMask(0) {
+		t.Fatalf("alloc = %v", alloc)
+	}
+	// Cost: reads of y (1) + writes of x (1) over total 22.
+	if want := 2.0 / 22; math.Abs(cost-want) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestOptimalStaticJointOpsCouple(t *testing.T) {
+	// Heavy joint reads force caching both objects even though y alone is
+	// write-heavy.
+	f := paperFreqs(0, 0, 20, 1, 2, 0)
+	alloc, _ := OptimalStatic(f, 2, ConnCost{})
+	if alloc != NewMask(0, 1) {
+		t.Fatalf("alloc = %v, want both objects", alloc)
+	}
+}
+
+func TestExpectedCostEmptyTable(t *testing.T) {
+	if ExpectedCost(FreqTable{}, 0, ConnCost{}) != 0 {
+		t.Fatal("empty table should cost 0")
+	}
+}
+
+func TestFreqTableObjects(t *testing.T) {
+	f := FreqTable{{Read, NewMask(3)}: 1, {Write, NewMask(0, 7)}: 1}
+	if f.Objects() != 8 {
+		t.Fatalf("objects = %d", f.Objects())
+	}
+	if (FreqTable{}).Objects() != 0 {
+		t.Fatal("empty table should span 0 objects")
+	}
+}
+
+func TestMsgCostModel(t *testing.T) {
+	m := MsgCost{Omega: 0.5}
+	f := paperFreqs(1, 0, 0, 0, 1, 0)
+	// Nothing cached: read of x pays 1.5, write of y pays 0.
+	if got := ExpectedCost(f, 0, m); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("cost = %v", got)
+	}
+	// Both cached: read free, write pays 1.
+	if got := ExpectedCost(f, NewMask(0, 1), m); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("cost = %v", got)
+	}
+}
+
+// TestGreedyMatchesOptimalOnModularInstances: with no joint operations the
+// objective is separable, so greedy must find the exact optimum.
+func TestGreedyMatchesOptimalOnSeparableInstances(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		f := make(FreqTable)
+		for id := 0; id < n; id++ {
+			f[Class{Read, NewMask(id)}] = rng.Float64() * 10
+			f[Class{Write, NewMask(id)}] = rng.Float64() * 10
+		}
+		ga, gc := Greedy(f, n, ConnCost{})
+		oa, oc := OptimalStatic(f, n, ConnCost{})
+		if math.Abs(gc-oc) > 1e-12 {
+			t.Fatalf("trial %d: greedy %v (%v) vs optimal %v (%v)", trial, ga, gc, oa, oc)
+		}
+	}
+}
+
+// TestGreedyNearOptimalOnJointInstances quantifies the greedy gap on
+// random instances with joint operations: never better than optimal, and
+// on these sizes within 20%.
+func TestGreedyNearOptimalOnJointInstances(t *testing.T) {
+	rng := stats.NewRNG(22)
+	worst := 0.0
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(5)
+		f := make(FreqTable)
+		classes := 5 + rng.Intn(10)
+		for c := 0; c < classes; c++ {
+			var m Mask
+			for id := 0; id < n; id++ {
+				if rng.Bernoulli(0.4) {
+					m |= 1 << id
+				}
+			}
+			if m == 0 {
+				m = 1
+			}
+			kind := Read
+			if rng.Bernoulli(0.5) {
+				kind = Write
+			}
+			f[Class{kind, m}] += rng.Float64() * 5
+		}
+		_, gc := Greedy(f, n, ConnCost{})
+		_, oc := OptimalStatic(f, n, ConnCost{})
+		if gc < oc-1e-12 {
+			t.Fatalf("greedy beat exhaustive optimum: %v < %v", gc, oc)
+		}
+		if oc > 0 {
+			if gap := gc/oc - 1; gap > worst {
+				worst = gap
+			}
+		}
+	}
+	if worst > 0.2 {
+		t.Fatalf("greedy gap %v exceeds 20%% on small instances", worst)
+	}
+}
+
+// TestOptimalStaticSubsetMonotonicityProperty: adding frequency to a read
+// class can only make caching more attractive — the optimal cost never
+// increases faster than the added read mass.
+func TestOptimalCostBounds(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(4)
+		f := make(FreqTable)
+		for id := 0; id < n; id++ {
+			f[Class{Read, NewMask(id)}] = rng.Float64()
+			f[Class{Write, NewMask(id)}] = rng.Float64()
+		}
+		_, oc := OptimalStatic(f, n, ConnCost{})
+		// Bounds: 0 <= optimal <= min(all-read share, all-write share).
+		reads, writes := 0.0, 0.0
+		for c, v := range f {
+			if c.Kind == Read {
+				reads += v
+			} else {
+				writes += v
+			}
+		}
+		bound := math.Min(reads, writes) / f.Total()
+		return oc >= 0 && oc <= bound+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalStaticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OptimalStatic(FreqTable{}, 25, ConnCost{})
+}
+
+func TestDynamicAdaptsToPhaseChange(t *testing.T) {
+	// Phase 1: object 0 read-heavy -> should be cached.
+	// Phase 2: object 0 write-heavy -> should be dropped.
+	d := NewDynamic(1, 50, 10, ConnCost{})
+	rng := stats.NewRNG(5)
+	for i := 0; i < 500; i++ {
+		kind := Read
+		if rng.Bernoulli(0.1) {
+			kind = Write
+		}
+		d.Apply(Op{Kind: kind, Objects: NewMask(0)})
+	}
+	if d.Alloc() != NewMask(0) {
+		t.Fatalf("phase 1 alloc = %v, want {0}", d.Alloc())
+	}
+	for i := 0; i < 500; i++ {
+		kind := Write
+		if rng.Bernoulli(0.1) {
+			kind = Read
+		}
+		d.Apply(Op{Kind: kind, Objects: NewMask(0)})
+	}
+	if d.Alloc() != 0 {
+		t.Fatalf("phase 2 alloc = %v, want {}", d.Alloc())
+	}
+	if d.Transitions() < 2 {
+		t.Fatalf("transitions = %d", d.Transitions())
+	}
+	if d.Ops() != 1000 {
+		t.Fatalf("ops = %d", d.Ops())
+	}
+}
+
+func TestDynamicTracksStaticOptimumOnStationaryLoad(t *testing.T) {
+	// On a stationary workload the dynamic method should approach the
+	// static optimum's per-op cost.
+	rng := stats.NewRNG(9)
+	f := paperFreqs(8, 1, 2, 1, 6, 1)
+	classes := make([]Class, 0, len(f))
+	weights := make([]float64, 0, len(f))
+	for c, w := range f {
+		classes = append(classes, c)
+		weights = append(weights, w)
+	}
+	total := f.Total()
+	sample := func() Class {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			if x < w {
+				return classes[i]
+			}
+			x -= w
+		}
+		return classes[len(classes)-1]
+	}
+	d := NewDynamic(2, 200, 50, ConnCost{})
+	const ops = 200000
+	for i := 0; i < ops; i++ {
+		c := sample()
+		d.Apply(Op{Kind: c.Kind, Objects: c.Objects})
+	}
+	_, opt := OptimalStatic(f, 2, ConnCost{})
+	if d.PerOp() > opt*1.1+0.02 {
+		t.Fatalf("dynamic per-op %v far above static optimum %v", d.PerOp(), opt)
+	}
+}
+
+func TestDynamicChargesTransitions(t *testing.T) {
+	d := NewDynamic(1, 10, 5, MsgCost{Omega: 0.5})
+	// Feed reads until it allocates; the allocation itself costs one data
+	// message.
+	for i := 0; i < 20; i++ {
+		d.Apply(Op{Kind: Read, Objects: NewMask(0)})
+	}
+	if d.Alloc() != NewMask(0) {
+		t.Fatalf("alloc = %v", d.Alloc())
+	}
+	readCost := d.model.OpCost(Class{Read, NewMask(0)}, 0)
+	// Cost must include at least one transition data unit beyond the
+	// pre-allocation remote reads.
+	if d.Cost() < readCost {
+		t.Fatalf("cost = %v", d.Cost())
+	}
+	wantMin := d.TransitionDataCost
+	if d.Cost()-float64(20)*readCost > 0 && d.Cost() < wantMin {
+		t.Fatalf("transition not charged: %v", d.Cost())
+	}
+}
+
+func TestDynamicPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDynamic(1, 0, 5, ConnCost{}) },
+		func() { NewDynamic(1, 5, 0, ConnCost{}) },
+		func() { NewDynamic(30, 5, 5, ConnCost{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if (ConnCost{}).Name() != "connection" {
+		t.Fatal("conn name")
+	}
+	if (MsgCost{Omega: 0.25}).Name() != "message(ω=0.25)" {
+		t.Fatalf("msg name = %q", MsgCost{Omega: 0.25}.Name())
+	}
+}

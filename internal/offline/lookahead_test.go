@@ -1,0 +1,88 @@
+package offline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/sched"
+)
+
+func TestLookaheadFullHorizonEqualsOptimal(t *testing.T) {
+	c := Ideal()
+	check := func(raw []bool) bool {
+		s := schedFromBools(raw)
+		full := LookaheadCost(s, len(s)+1, c)
+		// LookaheadCost starts copyless; Cost allows a free initial copy,
+		// so full-horizon lookahead can pay at most one extra ReadMiss.
+		opt := Cost(s, c)
+		return full >= opt-1e-9 && full <= opt+c.ReadMiss+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookaheadNeverBeatsOptimal(t *testing.T) {
+	c := Ideal()
+	check := func(raw []bool, lRaw uint8) bool {
+		s := schedFromBools(raw)
+		L := int(lRaw % 12)
+		return LookaheadCost(s, L, c) >= Cost(s, c)-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookaheadOnCycles(t *testing.T) {
+	c := Ideal()
+	// (r^3 w^3)^N. SW5 pays 6 per cycle; the offline optimum pays 1. A
+	// horizon that spans the read run should drop to near-optimal.
+	s := sched.Concat(sched.Block(sched.Read, 3), sched.Block(sched.Write, 3)).Repeat(50)
+	opt := Cost(s, c)
+	prevRatio := math.Inf(1)
+	for _, L := range []int{1, 2, 4, 8, 16} {
+		cost := LookaheadCost(s, L, c)
+		ratio := cost / opt
+		if ratio > prevRatio+0.5 {
+			t.Fatalf("L=%d: ratio %v jumped above %v", L, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	// With a horizon longer than a cycle, the player is near-optimal.
+	if ratio := LookaheadCost(s, 7, c) / opt; ratio > 1.5 {
+		t.Fatalf("L=7 ratio %v, want near 1", ratio)
+	}
+}
+
+func TestLookaheadZeroIsGreedy(t *testing.T) {
+	c := Ideal()
+	// L=0 still sees the current request (a server must serve what
+	// arrived). Greedy with one-step sight never allocates on reads (the
+	// plan sees no future benefit) and never holds through writes.
+	s := sched.MustParse("rrrr")
+	if got := LookaheadCost(s, 0, c); got != 4 {
+		t.Fatalf("greedy all-reads cost %v, want 4 (never allocates)", got)
+	}
+	s = sched.MustParse("wwww")
+	if got := LookaheadCost(s, 0, c); got != 0 {
+		t.Fatalf("greedy all-writes cost %v, want 0", got)
+	}
+}
+
+func TestLookaheadTwoSeesAllocationValue(t *testing.T) {
+	c := Ideal()
+	// With L=2 the player sees a read followed by a read: allocating on
+	// the first saves the second.
+	s := sched.MustParse("rrrr")
+	if got := LookaheadCost(s, 2, c); got != 1 {
+		t.Fatalf("L=2 all-reads cost %v, want 1", got)
+	}
+}
+
+func TestLookaheadEmptySchedule(t *testing.T) {
+	if got := LookaheadCost(nil, 3, Ideal()); got != 0 {
+		t.Fatalf("empty cost %v", got)
+	}
+}

@@ -1,0 +1,269 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/mobile"
+	"mobirep/internal/sched"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// Client is the mobile computer: it serves reads from its local cache when
+// a copy is allocated and runs the MC side of the allocation protocol.
+type Client struct {
+	link  transport.Link
+	cache *mobile.Cache
+	mode  Mode
+	meter *Meter
+
+	mu           sync.Mutex
+	items        map[string]*itemState
+	pending      map[string][]chan wire.Message
+	pendingBatch []chan wire.Batch
+	offline      bool
+
+	// Timeout bounds how long a remote read waits for its response;
+	// zero means wait forever (the in-memory transport responds inline).
+	Timeout time.Duration
+}
+
+// ErrTimeout is returned by Read when the server response does not arrive
+// within the client's Timeout.
+var ErrTimeout = errors.New("replica: read timed out")
+
+// NewClient creates the MC endpoint over the given link. mode must match
+// the server's mode. The link's handler is installed by NewClient.
+func NewClient(link transport.Link, mode Mode) (*Client, error) {
+	if err := mode.validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		link:    link,
+		cache:   mobile.NewCache(),
+		mode:    mode,
+		meter:   &Meter{},
+		items:   make(map[string]*itemState),
+		pending: make(map[string][]chan wire.Message),
+	}
+	link.SetHandler(c.onFrame)
+	return c, nil
+}
+
+// Meter returns the MC-side traffic meter.
+func (c *Client) Meter() *Meter { return c.meter }
+
+// Cache exposes the local cache for inspection (hit rates, contents).
+func (c *Client) Cache() *mobile.Cache { return c.cache }
+
+// HasCopy reports whether the MC currently holds a copy of key.
+func (c *Client) HasCopy(key string) bool { return c.cache.Contains(key) }
+
+// Read performs a read at the mobile computer: local when a copy exists,
+// remote (one control request, one data response) otherwise. A remote read
+// may allocate a copy, as decided by the server per section 4.
+func (c *Client) Read(key string) (db.Item, error) {
+	c.mu.Lock()
+	if c.offline {
+		c.mu.Unlock()
+		return db.Item{}, ErrOffline
+	}
+	st := c.state(key)
+	if st.hasCopy {
+		it, ok := c.cache.Get(key)
+		if ok {
+			// Local read: the MC is in charge; slide the window.
+			if st.mode.Kind == ModeSW {
+				st.window.Push(sched.Read)
+			}
+			c.mu.Unlock()
+			return it, nil
+		}
+		// Cache and allocation state disagree; fall through to remote and
+		// repair below. (Can only happen if Drop raced with Read.)
+		st.hasCopy = false
+	} else {
+		// Record the miss in the cache statistics.
+		c.cache.Get(key)
+	}
+	ch := make(chan wire.Message, 1)
+	c.pending[key] = append(c.pending[key], ch)
+	link := c.link
+	c.mu.Unlock()
+
+	c.meter.addConnection()
+	if err := c.sendControlOn(link, wire.Message{Kind: wire.KindReadReq, Key: key}); err != nil {
+		c.cancelPending(key, ch)
+		return db.Item{}, err
+	}
+	var resp wire.Message
+	var ok bool
+	if c.Timeout > 0 {
+		select {
+		case resp, ok = <-ch:
+		case <-time.After(c.Timeout):
+			c.cancelPending(key, ch)
+			return db.Item{}, ErrTimeout
+		}
+	} else {
+		resp, ok = <-ch
+	}
+	if !ok {
+		// The channel was closed by Disconnect.
+		return db.Item{}, ErrOffline
+	}
+	return db.Item{Key: key, Value: resp.Value, Version: resp.Version}, nil
+}
+
+// state returns (creating if needed) the client's state for key. The
+// caller must hold c.mu.
+func (c *Client) state(key string) *itemState {
+	st, ok := c.items[key]
+	if !ok {
+		st = newItemState(c.mode)
+		c.items[key] = st
+	}
+	return st
+}
+
+// cancelPending removes ch from the waiters of key.
+func (c *Client) cancelPending(key string, ch chan wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	waiters := c.pending[key]
+	for i, w := range waiters {
+		if w == ch {
+			c.pending[key] = append(waiters[:i], waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// onFrame handles one message from the server.
+func (c *Client) onFrame(frame []byte) {
+	if wire.IsBatchFrame(frame) {
+		b, err := wire.DecodeBatch(frame)
+		if err != nil {
+			return
+		}
+		c.onBatch(b)
+		return
+	}
+	msg, err := wire.Decode(frame)
+	if err != nil {
+		return // malformed server frame; drop
+	}
+	switch msg.Kind {
+	case wire.KindReadResp:
+		c.onReadResp(msg)
+	case wire.KindWriteProp:
+		c.onWriteProp(msg)
+	case wire.KindDeleteReq:
+		c.onDeleteReq(msg)
+	default:
+		// ReadReq is client-to-server only; ignore.
+	}
+}
+
+// onReadResp completes a pending remote read and applies an allocation.
+func (c *Client) onReadResp(msg wire.Message) {
+	c.mu.Lock()
+	if msg.Allocate {
+		st := c.state(msg.Key)
+		st.hasCopy = true
+		if st.mode.Kind == ModeSW {
+			if len(msg.Window) == st.mode.K {
+				if err := st.window.LoadBits(msg.Window); err != nil {
+					st.window.Fill(sched.Read)
+				}
+			} else {
+				// ST2-style allocation carries no window; for SW modes a
+				// missing window means the server is buggy — recover by
+				// assuming all-reads, which the next requests will wash
+				// out.
+				st.window.Fill(sched.Read)
+			}
+		}
+		c.cache.Install(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
+	}
+	var ch chan wire.Message
+	if waiters := c.pending[msg.Key]; len(waiters) > 0 {
+		ch = waiters[0]
+		c.pending[msg.Key] = waiters[1:]
+	}
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- msg
+	}
+}
+
+// onWriteProp applies a propagated write: update the cached copy, slide
+// the window, and deallocate (sending the delete-request with the window)
+// if writes now hold the majority.
+func (c *Client) onWriteProp(msg wire.Message) {
+	c.mu.Lock()
+	st := c.state(msg.Key)
+	if !st.hasCopy {
+		// Benign race: the propagation crossed our delete-request.
+		c.cache.Update(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
+		c.mu.Unlock()
+		return
+	}
+	c.cache.Update(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
+	var out *wire.Message
+	if st.mode.Kind == ModeSW {
+		st.window.Push(sched.Write)
+		if !st.window.ReadMajority() {
+			// Deallocate: hand the window back to the SC.
+			st.hasCopy = false
+			c.cache.Drop(msg.Key)
+			out = &wire.Message{
+				Kind: wire.KindDeleteReq, Key: msg.Key, Window: st.window.Bits(),
+			}
+		}
+	}
+	c.mu.Unlock()
+	if out != nil {
+		// The delete-request rides the write's connection: it is a
+		// control message but not a new connection.
+		_ = c.sendControl(*out)
+	}
+}
+
+// onDeleteReq handles the SW1 optimization (and any server-initiated
+// deallocation): drop the copy.
+func (c *Client) onDeleteReq(msg wire.Message) {
+	c.mu.Lock()
+	st := c.state(msg.Key)
+	st.hasCopy = false
+	if st.mode.Kind == ModeSW {
+		st.window.Fill(sched.Write)
+	}
+	c.cache.Drop(msg.Key)
+	c.mu.Unlock()
+}
+
+func (c *Client) sendControl(msg wire.Message) error {
+	c.mu.Lock()
+	link := c.link
+	c.mu.Unlock()
+	return c.sendControlOn(link, msg)
+}
+
+// sendControlOn sends over an explicit link snapshot, so a concurrent
+// Disconnect cannot race the nil check.
+func (c *Client) sendControlOn(link transport.Link, msg wire.Message) error {
+	if link == nil {
+		return ErrOffline
+	}
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		return fmt.Errorf("replica: encode %v: %w", msg.Kind, err)
+	}
+	c.meter.addControl(len(frame))
+	return link.Send(frame)
+}

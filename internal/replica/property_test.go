@@ -1,0 +1,117 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/db"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+)
+
+// TestRandomizedProtocolEquivalence drives a randomized mix of singleton
+// reads, joint reads, writes, and disconnect/reattach cycles over several
+// keys, checking after every step that each key's allocation matches an
+// independent reference policy fed the same per-key request stream. This
+// is the broadest protocol invariant: no interleaving of the protocol's
+// features may diverge from the paper's state machine.
+func TestRandomizedProtocolEquivalence(t *testing.T) {
+	const k = 5
+	const keys = 4
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := stats.NewRNG(seed)
+
+		store := db.NewStore()
+		srv, err := NewServer(store, SW(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := transport.NewMemPair()
+		sess := srv.Attach(a)
+		cli, err := NewClient(b, SW(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		names := make([]string, keys)
+		refs := make([]*core.SW, keys)
+		for i := range names {
+			names[i] = fmt.Sprintf("key-%d", i)
+			srv.Write(names[i], []byte("seed"))
+			refs[i] = core.NewSW(k)
+		}
+
+		check := func(step int, what string) {
+			t.Helper()
+			for i, name := range names {
+				if cli.HasCopy(name) != refs[i].HasCopy() {
+					t.Fatalf("seed %d step %d (%s): key %s protocol=%v policy=%v",
+						seed, step, what, name, cli.HasCopy(name), refs[i].HasCopy())
+				}
+			}
+		}
+
+		for step := 0; step < 1200; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // singleton read of one key
+				i := rng.Intn(keys)
+				if _, err := cli.Read(names[i]); err != nil {
+					t.Fatal(err)
+				}
+				refs[i].Apply(sched.Read)
+				check(step, "read")
+			case 3, 4, 5: // write to one key
+				i := rng.Intn(keys)
+				if _, err := srv.Write(names[i], []byte{byte(step)}); err != nil {
+					t.Fatal(err)
+				}
+				refs[i].Apply(sched.Write)
+				check(step, "write")
+			case 6, 7, 8: // joint read of a random subset (one read per key)
+				var group []string
+				var idx []int
+				for i := range names {
+					if rng.Bernoulli(0.5) {
+						group = append(group, names[i])
+						idx = append(idx, i)
+					}
+				}
+				if len(group) == 0 {
+					continue
+				}
+				if _, err := cli.ReadMany(group); err != nil {
+					t.Fatal(err)
+				}
+				for _, i := range idx {
+					refs[i].Apply(sched.Read)
+				}
+				check(step, "batch")
+			case 9: // disconnect and reattach: everything resets
+				cli.Disconnect()
+				sess.Detach()
+				a2, b2 := transport.NewMemPair()
+				sess = srv.Attach(a2)
+				cli.Reattach(b2)
+				for i := range refs {
+					refs[i] = core.NewSW(k) // fresh all-writes window
+				}
+				check(step, "reconnect")
+			}
+		}
+
+		// Values stay correct throughout: a final read of every key
+		// returns the store's current version.
+		for _, name := range names {
+			it, err := cli.Read(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := store.Get(name)
+			if it.Version != want.Version {
+				t.Fatalf("seed %d: key %s version %d, store at %d", seed, name, it.Version, want.Version)
+			}
+		}
+	}
+}

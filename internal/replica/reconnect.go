@@ -1,0 +1,87 @@
+package replica
+
+import (
+	"errors"
+
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// Disconnection support. Mobile computers disconnect: they move out of
+// coverage, power down, or the tariff makes the user pull the plug. The
+// paper assumes a connected system (availability is "handled exclusively
+// within the stationary system", section 8.1), so the policy here is the
+// conservative one its model implies:
+//
+//   - A disconnected MC cannot receive write propagations, so its cached
+//     copies may silently go stale. Disconnect therefore drops every
+//     cached copy: reads while offline fail fast with ErrOffline rather
+//     than return possibly-stale data.
+//   - The SC side, told of the disconnection (Session.Detach, typically
+//     wired to the transport's close callback), stops propagating and
+//     forgets the client's allocation state: no traffic is wasted on an
+//     unreachable radio.
+//   - On Reattach both sides start from the one-copy scheme with a fresh
+//     all-writes window, exactly like a newly arrived client; the window
+//     then re-learns the read/write mix. This is deliberately the
+//     cheapest correct behaviour; smarter resync (version vectors,
+//     Coda-style reintegration) is write-side work the single-writer
+//     model does not need.
+
+// ErrOffline is returned by Read while the client is disconnected.
+var ErrOffline = errors.New("replica: client is offline")
+
+// Disconnect takes the client offline: every cached copy is dropped (it
+// can no longer be kept coherent) and subsequent Reads fail with
+// ErrOffline until Reattach. The old link is closed. Pending reads are
+// failed immediately.
+func (c *Client) Disconnect() {
+	c.mu.Lock()
+	c.offline = true
+	old := c.link
+	c.link = nil
+	// Drop all cached copies and allocation state.
+	for key, st := range c.items {
+		if st.hasCopy {
+			c.cache.Drop(key)
+		}
+	}
+	c.items = make(map[string]*itemState)
+	// Fail pending remote reads, singleton and batch alike.
+	pending := c.pending
+	c.pending = make(map[string][]chan wire.Message)
+	batch := c.pendingBatch
+	c.pendingBatch = nil
+	c.mu.Unlock()
+
+	if old != nil {
+		old.Close()
+	}
+	for _, waiters := range pending {
+		for _, ch := range waiters {
+			close(ch) // receiver treats a closed channel as failure
+		}
+	}
+	for _, ch := range batch {
+		close(ch)
+	}
+}
+
+// Offline reports whether the client is currently disconnected.
+func (c *Client) Offline() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offline
+}
+
+// Reattach brings the client back online over a new link (the caller has
+// dialed and, on the server side, Attached it). All keys restart in the
+// one-copy scheme with fresh windows.
+func (c *Client) Reattach(link transport.Link) {
+	c.mu.Lock()
+	c.link = link
+	c.offline = false
+	c.items = make(map[string]*itemState)
+	c.mu.Unlock()
+	link.SetHandler(c.onFrame)
+}

@@ -1,0 +1,295 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"mobirep/internal/db"
+	"mobirep/internal/sched"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// Server is the stationary computer: it owns the online database and runs
+// the SC side of the allocation protocol for every attached mobile client.
+type Server struct {
+	store *db.Store
+	mode  Mode
+
+	mu       sync.Mutex
+	sessions map[*Session]struct{}
+}
+
+// Session is the SC-side state for one mobile client. It is created by
+// Attach and lives until Detach (explicit, or wired to the link's close
+// callback), after which the server stops propagating to the client and
+// forgets its allocation state — the mobile computer has left the system,
+// exactly what happens when it disconnects or roams away for good.
+type Session struct {
+	srv   *Server
+	link  transport.Link
+	meter *Meter
+
+	mu       sync.Mutex
+	items    map[string]*itemState
+	detached bool
+}
+
+// NewServer creates a server over the given store. mode applies to every
+// key; per-key modes can be layered later without protocol changes because
+// all state is per-(session, key).
+func NewServer(store *db.Store, mode Mode) (*Server, error) {
+	if err := mode.validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		store:    store,
+		mode:     mode,
+		sessions: make(map[*Session]struct{}),
+	}, nil
+}
+
+// Store exposes the underlying database (the SC's local operations go
+// straight to it; only Write must go through the server so propagation
+// happens).
+func (s *Server) Store() *db.Store { return s.store }
+
+// Attach wires a client link into the server and returns the session
+// handle, which carries the SC-side traffic meter and the Detach method.
+// The link's handler is installed by Attach.
+func (s *Server) Attach(link transport.Link) *Session {
+	sess := &Session{
+		srv:   s,
+		link:  link,
+		meter: &Meter{},
+		items: make(map[string]*itemState),
+	}
+	link.SetHandler(sess.onFrame)
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	return sess
+}
+
+// Meter returns the SC-side traffic meter for this client.
+func (ss *Session) Meter() *Meter { return ss.meter }
+
+// Detach removes the session: the server stops propagating writes to the
+// client and drops its per-key allocation state. Safe to call more than
+// once and from a link's close callback.
+func (ss *Session) Detach() {
+	ss.srv.mu.Lock()
+	delete(ss.srv.sessions, ss)
+	ss.srv.mu.Unlock()
+	ss.mu.Lock()
+	ss.detached = true
+	ss.items = make(map[string]*itemState)
+	ss.mu.Unlock()
+}
+
+// Sessions returns the number of currently attached clients.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Write commits a new value for key at the stationary computer and runs
+// the write side of the protocol toward every attached client: propagate
+// to subscribed clients (deallocating via delete-request under SW1), or
+// just slide the local window when the SC is in charge.
+func (s *Server) Write(key string, value []byte) (db.Item, error) {
+	it, err := s.store.Put(key, value)
+	if err != nil {
+		return db.Item{}, err
+	}
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.onLocalWrite(it)
+	}
+	return it, nil
+}
+
+// state returns (creating if needed) the session's state for key.
+func (ss *Session) state(key string) *itemState {
+	st, ok := ss.items[key]
+	if !ok {
+		st = newItemState(ss.srv.mode)
+		ss.items[key] = st
+	}
+	return st
+}
+
+// onLocalWrite runs the SC write path for one client. State changes
+// happen under the session lock, but the actual send happens after it is
+// released: the in-memory transport delivers synchronously, and the MC's
+// deallocation delete-request re-enters this session on the same
+// goroutine.
+func (ss *Session) onLocalWrite(it db.Item) {
+	ss.mu.Lock()
+	if ss.detached {
+		ss.mu.Unlock()
+		return
+	}
+	st := ss.state(it.Key)
+	var out wire.Message
+	send := none
+	switch st.mode.Kind {
+	case ModeStatic1:
+		// Never a copy at the MC: the write is free.
+	case ModeStatic2:
+		if st.hasCopy {
+			out = wire.Message{
+				Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
+			}
+			send = data
+		}
+	default:
+		switch {
+		case !st.hasCopy:
+			// SC is in charge; the write is free of communication.
+			st.window.Push(sched.Write)
+		case st.mode.K == 1:
+			// SW1 optimization: the window after this write is the single
+			// write, so the copy is certainly dropped; send only the
+			// delete-request, never the data.
+			st.hasCopy = false
+			st.window.Fill(sched.Write)
+			out = wire.Message{Kind: wire.KindDeleteReq, Key: it.Key}
+			send = control
+		default:
+			// k > 1: propagate; the MC is in charge and will deallocate
+			// if the window turns write-majority, sending back a
+			// DeleteReq that rides this write's connection.
+			out = wire.Message{
+				Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
+			}
+			send = data
+		}
+	}
+	ss.mu.Unlock()
+	switch send {
+	case data:
+		ss.meter.addConnection()
+		ss.sendData(out)
+	case control:
+		ss.meter.addConnection()
+		ss.sendControl(out)
+	}
+}
+
+// sendClass marks what, if anything, a protocol step must transmit.
+type sendClass uint8
+
+const (
+	none sendClass = iota
+	data
+	control
+)
+
+// onFrame handles one message from the client.
+func (ss *Session) onFrame(frame []byte) {
+	if wire.IsBatchFrame(frame) {
+		b, err := wire.DecodeBatch(frame)
+		if err != nil {
+			return
+		}
+		ss.onBatch(b)
+		return
+	}
+	msg, err := wire.Decode(frame)
+	if err != nil {
+		// A malformed frame is a client bug; drop it. Metering stays
+		// consistent because nothing was actioned.
+		return
+	}
+	switch msg.Kind {
+	case wire.KindReadReq:
+		ss.onReadReq(msg)
+	case wire.KindDeleteReq:
+		ss.onDeleteReq(msg)
+	default:
+		// ReadResp/WriteProp are server-to-client only; ignore.
+	}
+}
+
+// onReadReq runs the SC read path: serve the item and decide allocation.
+func (ss *Session) onReadReq(msg wire.Message) {
+	it, _ := ss.srv.store.Get(msg.Key)
+	ss.mu.Lock()
+	if ss.detached {
+		ss.mu.Unlock()
+		return
+	}
+	st := ss.state(msg.Key)
+	resp := wire.Message{
+		Kind: wire.KindReadResp, Key: msg.Key, Value: it.Value, Version: it.Version,
+	}
+	switch st.mode.Kind {
+	case ModeStatic1:
+		// Never allocate.
+	case ModeStatic2:
+		// Always allocate on first contact.
+		if !st.hasCopy {
+			resp.Allocate = true
+			st.hasCopy = true
+		}
+	default:
+		if !st.hasCopy {
+			st.window.Push(sched.Read)
+			if st.window.ReadMajority() {
+				// Allocate: piggyback the save indication and the window;
+				// the MC takes charge.
+				resp.Allocate = true
+				resp.Window = st.window.Bits()
+				st.hasCopy = true
+			}
+		}
+		// A ReadReq while the MC holds a copy would be a stale race;
+		// serve the value without changing allocation.
+	}
+	ss.mu.Unlock()
+	ss.sendData(resp)
+}
+
+// onDeleteReq runs the SC side of an MC-initiated deallocation: take the
+// window back and stop propagating.
+func (ss *Session) onDeleteReq(msg wire.Message) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st := ss.state(msg.Key)
+	if !st.hasCopy {
+		return // stale duplicate
+	}
+	st.hasCopy = false
+	if st.mode.Kind == ModeSW && st.window != nil && len(msg.Window) == st.mode.K {
+		// Adopt the window the MC maintained while in charge.
+		if err := st.window.LoadBits(msg.Window); err != nil {
+			// Impossible given the length check; keep the local window.
+			_ = err
+		}
+	}
+}
+
+func (ss *Session) sendData(msg wire.Message) {
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		panic(fmt.Sprintf("replica: encode %v: %v", msg.Kind, err))
+	}
+	ss.meter.addData(len(frame))
+	_ = ss.link.Send(frame) // a closed link only loses metering-visible traffic
+}
+
+func (ss *Session) sendControl(msg wire.Message) {
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		panic(fmt.Sprintf("replica: encode %v: %v", msg.Kind, err))
+	}
+	ss.meter.addControl(len(frame))
+	_ = ss.link.Send(frame)
+}

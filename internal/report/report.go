@@ -1,0 +1,128 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the two formats the mobirep-bench tool emits. It is deliberately
+// tiny: experiments produce Tables, the tool prints them.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title describes the table, typically naming the paper artifact it
+	// reproduces (e.g. "Figure 1: dominance regions").
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows hold the body cells; ragged rows are padded when rendering.
+	Rows [][]string
+	// Notes are free-form lines printed after the table.
+	Notes []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	width := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colw := make([]int, width)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > colw[i] {
+				colw[i] = len(c)
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < width; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", colw[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, width)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", colw[i])
+	}
+	writeRow(rule)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(strconv.Quote(c))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Pct formats a ratio as a percentage with one decimal, e.g. 0.0588 ->
+// "5.9%".
+func Pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }

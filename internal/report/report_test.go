@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIAlignment(t *testing.T) {
+	tbl := New("demo", "name", "value")
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.ASCII()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The value column must start at the same offset in every body line.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatalf("no value header:\n%s", out)
+	}
+	if lines[3][idx] != '1' || lines[4][idx] != '2' {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestASCIIRaggedRows(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow("x", "extra", "more")
+	out := tbl.ASCII()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Fatalf("ragged cells dropped:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Fatal("empty title rendered")
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tbl := New("t", "c")
+	tbl.AddNote("theta = %v", 0.5)
+	if !strings.Contains(tbl.ASCII(), "note: theta = 0.5") {
+		t.Fatalf("note missing:\n%s", tbl.ASCII())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("t", "a", "b")
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow("with\"quote", "ok")
+	out := tbl.CSV()
+	want := "a,b\nplain,\"with,comma\"\n\"with\\\"quote\",ok\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456, 3) != "0.123" {
+		t.Fatalf("F = %q", F(0.123456, 3))
+	}
+	if Pct(0.0588) != "5.9%" {
+		t.Fatalf("Pct = %q", Pct(0.0588))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I = %q", I(42))
+	}
+}

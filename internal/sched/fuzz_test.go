@@ -1,0 +1,25 @@
+package sched
+
+import "testing"
+
+// FuzzParse checks Parse never panics and that accepted inputs round-trip
+// through String into an equivalent schedule.
+func FuzzParse(f *testing.F) {
+	f.Add("rwrrw")
+	f.Add("")
+	f.Add("R, W r\tw\n")
+	f.Add("xyz")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("canonical form failed to parse: %v", err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip diverged: %q vs %q", back, s)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package sched defines the request vocabulary of the paper's model: the
+// two relevant request kinds (a read issued at the mobile computer and a
+// write issued at the stationary computer) and finite sequences of them,
+// called schedules. All higher layers — policies, cost models, the
+// simulator, the offline optimum, workload generators — speak in these
+// types.
+//
+// The paper ignores reads issued by the stationary computer and writes
+// issued by the mobile computer because their cost does not depend on the
+// allocation scheme (section 3); those requests therefore never appear in
+// a Schedule.
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one relevant request.
+type Op uint8
+
+const (
+	// Read is a read of the data item issued at the mobile computer.
+	Read Op = iota
+	// Write is a write of the data item issued at the stationary computer.
+	Write
+)
+
+// String returns "r" for reads and "w" for writes, the notation the paper
+// uses for schedules (e.g. "w,r,r,r,w,r,w").
+func (o Op) String() string {
+	if o == Read {
+		return "r"
+	}
+	return "w"
+}
+
+// Schedule is a finite sequence of relevant requests, the unit of analysis
+// for cost and competitiveness.
+type Schedule []Op
+
+// Parse builds a schedule from a compact string such as "rwrrw". Spaces
+// and commas are ignored so "r, w, r" also parses. It returns an error on
+// any other character.
+func Parse(s string) (Schedule, error) {
+	out := make(Schedule, 0, len(s))
+	for i, c := range s {
+		switch c {
+		case 'r', 'R':
+			out = append(out, Read)
+		case 'w', 'W':
+			out = append(out, Write)
+		case ' ', ',', '\t', '\n':
+			// separators are allowed anywhere
+		default:
+			return nil, fmt.Errorf("sched: invalid character %q at offset %d", c, i)
+		}
+	}
+	return out, nil
+}
+
+// MustParse is Parse for tests and static tables; it panics on error.
+func MustParse(s string) Schedule {
+	out, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// String renders the schedule in the compact form accepted by Parse.
+func (s Schedule) String() string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, op := range s {
+		b.WriteString(op.String())
+	}
+	return b.String()
+}
+
+// Counts returns the number of reads and writes in the schedule.
+func (s Schedule) Counts() (reads, writes int) {
+	for _, op := range s {
+		if op == Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	return reads, writes
+}
+
+// WriteFraction returns the fraction of requests that are writes — the
+// empirical analogue of the paper's theta. It returns 0 for an empty
+// schedule.
+func (s Schedule) WriteFraction() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	_, writes := s.Counts()
+	return float64(writes) / float64(len(s))
+}
+
+// Repeat returns the schedule formed by n back-to-back copies of s. The
+// adversarial families used in the competitiveness experiments are all
+// repeated cycles.
+func (s Schedule) Repeat(n int) Schedule {
+	if n <= 0 {
+		return nil
+	}
+	out := make(Schedule, 0, n*len(s))
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Concat returns the concatenation of the given schedules as a new slice.
+func Concat(parts ...Schedule) Schedule {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(Schedule, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Runs returns s as maximal runs of equal operations, e.g. "rrwr" becomes
+// [(r,2),(w,1),(r,1)]. Used by trace inspection tooling.
+func (s Schedule) Runs() []Run {
+	if len(s) == 0 {
+		return nil
+	}
+	var runs []Run
+	cur := Run{Op: s[0], Len: 1}
+	for _, op := range s[1:] {
+		if op == cur.Op {
+			cur.Len++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = Run{Op: op, Len: 1}
+	}
+	return append(runs, cur)
+}
+
+// Run is a maximal run of identical operations within a schedule.
+type Run struct {
+	Op  Op
+	Len int
+}
+
+// Lag1Correlation returns the lag-1 autocorrelation of the write
+// indicator sequence: 0 for i.i.d. requests (the paper's Poisson model),
+// positive for bursty schedules where like follows like, negative for
+// alternation-heavy ones. Trace tooling uses it to tell which workload
+// regime a recorded trace belongs to. It returns 0 for schedules shorter
+// than 2 or with no variance.
+func (s Schedule) Lag1Correlation() float64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mean := s.WriteFraction()
+	varSum, covSum := 0.0, 0.0
+	prev := indicator(s[0]) - mean
+	varSum += prev * prev
+	for _, op := range s[1:] {
+		cur := indicator(op) - mean
+		covSum += prev * cur
+		varSum += cur * cur
+		prev = cur
+	}
+	if varSum == 0 {
+		return 0
+	}
+	return covSum / varSum
+}
+
+func indicator(op Op) float64 {
+	if op == Write {
+		return 1
+	}
+	return 0
+}
+
+// Block returns a schedule of n copies of op, e.g. Block(Read, 3) = "rrr".
+func Block(op Op, n int) Schedule {
+	if n <= 0 {
+		return nil
+	}
+	out := make(Schedule, n)
+	for i := range out {
+		out[i] = op
+	}
+	return out
+}

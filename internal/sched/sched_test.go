@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "r" || Write.String() != "w" {
+		t.Fatalf("op strings: %q %q", Read.String(), Write.String())
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse("rwRW r,w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{Read, Write, Read, Write, Read, Write}
+	if len(s) != len(want) {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("op %d = %v", i, s[i])
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := Parse("rwx"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("z")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	check := func(bits []bool) bool {
+		s := make(Schedule, len(bits))
+		for i, b := range bits {
+			if b {
+				s[i] = Write
+			}
+		}
+		back, err := Parse(s.String())
+		if err != nil || len(back) != len(s) {
+			return false
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := MustParse("rrwrw")
+	r, w := s.Counts()
+	if r != 3 || w != 2 {
+		t.Fatalf("counts = %d, %d", r, w)
+	}
+	if got := s.WriteFraction(); got != 0.4 {
+		t.Fatalf("write fraction = %v", got)
+	}
+	if got := (Schedule{}).WriteFraction(); got != 0 {
+		t.Fatalf("empty write fraction = %v", got)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s := MustParse("rw")
+	if got := s.Repeat(3).String(); got != "rwrwrw" {
+		t.Fatalf("repeat = %q", got)
+	}
+	if s.Repeat(0) != nil {
+		t.Fatal("Repeat(0) should be nil")
+	}
+	if s.Repeat(-1) != nil {
+		t.Fatal("Repeat(-1) should be nil")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(MustParse("rr"), nil, MustParse("w")).String()
+	if got != "rrw" {
+		t.Fatalf("concat = %q", got)
+	}
+}
+
+func TestBlock(t *testing.T) {
+	if got := Block(Write, 4).String(); got != "wwww" {
+		t.Fatalf("block = %q", got)
+	}
+	if Block(Read, 0) != nil {
+		t.Fatal("Block(_, 0) should be nil")
+	}
+}
+
+func TestRuns(t *testing.T) {
+	s := MustParse("rrwrrrw")
+	runs := s.Runs()
+	want := []Run{{Read, 2}, {Write, 1}, {Read, 3}, {Write, 1}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d = %v, want %v", i, runs[i], want[i])
+		}
+	}
+	if (Schedule{}).Runs() != nil {
+		t.Fatal("empty schedule should have nil runs")
+	}
+}
+
+func TestRunsReconstruct(t *testing.T) {
+	check := func(bits []bool) bool {
+		s := make(Schedule, len(bits))
+		for i, b := range bits {
+			if b {
+				s[i] = Write
+			}
+		}
+		var rebuilt Schedule
+		for _, run := range s.Runs() {
+			rebuilt = append(rebuilt, Block(run.Op, run.Len)...)
+		}
+		return rebuilt.String() == s.String()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLag1Correlation(t *testing.T) {
+	// Alternating: maximally negative.
+	if c := MustParse("rwrwrwrwrwrw").Lag1Correlation(); c > -0.8 {
+		t.Fatalf("alternating correlation %v, want near -1", c)
+	}
+	// Long runs: strongly positive.
+	if c := Concat(Block(Read, 50), Block(Write, 50)).Lag1Correlation(); c < 0.8 {
+		t.Fatalf("two-run correlation %v, want near 1", c)
+	}
+	// Degenerate inputs.
+	if c := (Schedule{}).Lag1Correlation(); c != 0 {
+		t.Fatalf("empty = %v", c)
+	}
+	if c := MustParse("r").Lag1Correlation(); c != 0 {
+		t.Fatalf("single = %v", c)
+	}
+	if c := Block(Write, 20).Lag1Correlation(); c != 0 {
+		t.Fatalf("constant = %v (no variance)", c)
+	}
+}
+
+func TestLag1CorrelationIIDNearZero(t *testing.T) {
+	// A pseudo-random i.i.d.-ish sequence built from a fixed pattern with
+	// coprime period mixing should land near zero.
+	s := make(Schedule, 0, 10000)
+	x := uint32(12345)
+	for i := 0; i < 10000; i++ {
+		x = x*1664525 + 1013904223
+		if x>>16&1 == 1 {
+			s = append(s, Write)
+		} else {
+			s = append(s, Read)
+		}
+	}
+	if c := s.Lag1Correlation(); c > 0.05 || c < -0.05 {
+		t.Fatalf("iid correlation %v, want ~0", c)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+	"mobirep/internal/workload"
+)
+
+func factories(names ...string) []Factory {
+	out := make([]Factory, len(names))
+	for i, n := range names {
+		f, err := ParsePolicy(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestCompareRanksByCost(t *testing.T) {
+	// Read-heavy schedule: ST2 should win over ST1 decisively.
+	rng := stats.NewRNG(3)
+	s := workload.Bernoulli(rng, 0.1, 20000)
+	cmp := Compare(factories("ST1", "ST2", "SW9"), cost.NewConnection(), s)
+	if cmp.Best().Name == "ST1" {
+		t.Fatalf("ST1 won a read-heavy trace: %+v", cmp.Ranked)
+	}
+	prev := -1.0
+	for _, r := range cmp.Ranked {
+		if r.Cost < prev {
+			t.Fatalf("ranking not sorted: %+v", cmp.Ranked)
+		}
+		prev = r.Cost
+		if r.VsOptimal < 1-1e-9 {
+			t.Fatalf("%s beat the offline optimum: %+v", r.Name, r)
+		}
+	}
+	if cmp.OptimalCost <= 0 {
+		t.Fatal("optimal cost should be positive on a mixed trace")
+	}
+}
+
+func TestCompareZeroCostSchedules(t *testing.T) {
+	// All-writes: ST1 and the write-initialized windows cost 0, ST2 costs
+	// everything; ratios must use the conventions (1 for 0/0, Inf for
+	// positive/0).
+	s := sched.Block(sched.Write, 100)
+	cmp := Compare(factories("ST1", "ST2"), cost.NewConnection(), s)
+	if cmp.OptimalCost != 0 {
+		t.Fatalf("optimal = %v", cmp.OptimalCost)
+	}
+	if cmp.Best().Name != "ST1" || cmp.Best().VsOptimal != 1 {
+		t.Fatalf("best = %+v", cmp.Best())
+	}
+	if !math.IsInf(cmp.Ranked[1].VsOptimal, 1) {
+		t.Fatalf("ST2 ratio = %v", cmp.Ranked[1].VsOptimal)
+	}
+}
+
+func TestBestWindowPrefersLargeKOnStableTrace(t *testing.T) {
+	// theta far from 1/2 and stable: bigger windows flip less, cost less.
+	rng := stats.NewRNG(5)
+	s := workload.Bernoulli(rng, 0.25, 50000)
+	k, c := BestWindow([]int{1, 3, 9, 31}, cost.NewConnection(), s)
+	if k != 31 {
+		t.Fatalf("best k = %d (cost %v), want 31 on a stable trace", k, c)
+	}
+	// Sanity: the reported cost matches a direct replay.
+	direct := Replay(core.NewSW(31), cost.NewConnection(), s, 0).Cost
+	if math.Abs(direct-c) > 1e-9 {
+		t.Fatalf("cost %v vs direct %v", c, direct)
+	}
+}
+
+func TestBestWindowSkipsInvalidK(t *testing.T) {
+	rng := stats.NewRNG(6)
+	s := workload.Bernoulli(rng, 0.5, 1000)
+	k, _ := BestWindow([]int{4, 6}, cost.NewConnection(), s) // all invalid
+	if k != 0 {
+		t.Fatalf("k = %d, want 0 when no valid candidate", k)
+	}
+	k, _ = BestWindow([]int{4, 5}, cost.NewConnection(), s)
+	if k != 5 {
+		t.Fatalf("k = %d, want the only valid candidate", k)
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatchMeansIIDMatchesNaive(t *testing.T) {
+	rng := NewRNG(41)
+	series := make([]float64, 40000)
+	for i := range series {
+		series[i] = rng.Float64()
+	}
+	bm, err := BatchMeans(series, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive Summary
+	for _, v := range series {
+		naive.Add(v)
+	}
+	if math.Abs(bm.Mean()-naive.Mean()) > 1e-9 {
+		t.Fatalf("means differ: %v vs %v", bm.Mean(), naive.Mean())
+	}
+	// On i.i.d. data the two CI estimates agree within statistical noise.
+	ratio := bm.CI95() / (naive.CI95())
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("iid CI ratio %v, want near 1", ratio)
+	}
+}
+
+func TestBatchMeansWidensCIOnCorrelatedSeries(t *testing.T) {
+	// A strongly positively correlated series (random walk between two
+	// levels): the naive CI is far too small; batch means must widen it.
+	rng := NewRNG(43)
+	series := make([]float64, 40000)
+	level := 0.0
+	for i := range series {
+		if rng.Bernoulli(0.002) {
+			level = 1 - level
+		}
+		series[i] = level
+	}
+	bm, err := BatchMeans(series, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive Summary
+	for _, v := range series {
+		naive.Add(v)
+	}
+	if bm.CI95() < 3*naive.CI95() {
+		t.Fatalf("batch CI %v not much wider than naive %v on correlated data",
+			bm.CI95(), naive.CI95())
+	}
+}
+
+func TestBatchMeansDropsRemainder(t *testing.T) {
+	series := []float64{1, 1, 1, 1, 100} // remainder 100 must be dropped
+	bm, err := BatchMeans(series, 2)     // batch size 2, uses first 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Mean() != 1 {
+		t.Fatalf("mean = %v, remainder leaked in", bm.Mean())
+	}
+	if bm.N() != 2 {
+		t.Fatalf("batches = %d", bm.N())
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeans([]float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("1 batch accepted")
+	}
+	if _, err := BatchMeans([]float64{1}, 2); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	rng := NewRNG(47)
+	iid := make([]float64, 20000)
+	for i := range iid {
+		iid[i] = rng.Float64()
+	}
+	ess, err := EffectiveSampleSize(iid, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess < float64(len(iid))/4 {
+		t.Fatalf("iid ESS %v, want near %d", ess, len(iid))
+	}
+
+	correlated := make([]float64, 20000)
+	level := 0.0
+	for i := range correlated {
+		if rng.Bernoulli(0.001) {
+			level = 1 - level
+		}
+		correlated[i] = level
+	}
+	ess, err = EffectiveSampleSize(correlated, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess > float64(len(correlated))/10 {
+		t.Fatalf("correlated ESS %v, want far below %d", ess, len(correlated))
+	}
+
+	constant := make([]float64, 100)
+	ess, err = EffectiveSampleSize(constant, 4)
+	if err != nil || ess != 100 {
+		t.Fatalf("constant ESS %v err=%v", ess, err)
+	}
+	if _, err := EffectiveSampleSize(constant, 1); err == nil {
+		t.Fatal("bad batches accepted")
+	}
+}

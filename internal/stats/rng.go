@@ -1,0 +1,144 @@
+// Package stats provides the numeric substrate shared by the rest of the
+// repository: a small deterministic random number generator, samplers for
+// the distributions the paper's workload model needs (Bernoulli,
+// exponential, Poisson), streaming summary statistics with confidence
+// intervals, numeric integration, and log-domain binomial coefficients.
+//
+// Everything here is deliberately dependency-free and allocation-light so
+// the simulator can run hundreds of millions of requests per experiment.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator based on SplitMix64.
+//
+// SplitMix64 passes BigCrush, has a 2^64 period, and is seedable from a
+// single word, which makes experiment runs exactly reproducible from the
+// seed recorded in their output. It is not safe for concurrent use; give
+// each goroutine its own RNG (use Split).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a new independent generator from r. The derived stream is
+// decorrelated from r's future output because it is seeded with a value
+// from r advanced through the SplitMix64 output function.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample from [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample from {0, 1, ..., n-1}. It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and division-free
+	// in the common case.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed sample with rate lambda, i.e.
+// mean 1/lambda. It panics if lambda <= 0.
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so Log never sees zero.
+	return -math.Log(1-u) / lambda
+}
+
+// Poisson returns a Poisson-distributed sample with mean lambda. For small
+// means it uses Knuth's product method; for large means it uses the
+// transformed-rejection method of Hörmann (PTRS), which is exact and fast.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		limit := math.Exp(-lambda)
+		n := 0
+		for p := r.Float64(); p > limit; p *= r.Float64() {
+			n++
+		}
+		return n
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+// poissonPTRS implements Hörmann's transformed rejection sampler, valid for
+// lambda >= 10.
+func (r *RNG) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(kf + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= kf*logLambda-lambda-lg {
+			return int(kf)
+		}
+	}
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

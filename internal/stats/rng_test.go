@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical values in 1000 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Float64())
+	}
+	if math.Abs(s.Mean()-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", s.Mean())
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(3)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(5)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const draws = 100000
+		for i := 0; i < draws; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		frac := float64(hits) / draws
+		if math.Abs(frac-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) frequency %v", p, frac)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(9)
+	for _, lambda := range []float64{0.5, 1, 4} {
+		var s Summary
+		for i := 0; i < 200000; i++ {
+			x := r.Exp(lambda)
+			if x < 0 {
+				t.Fatalf("negative exponential sample %v", x)
+			}
+			s.Add(x)
+		}
+		want := 1 / lambda
+		if math.Abs(s.Mean()-want) > 0.02*want+0.01 {
+			t.Fatalf("Exp(%v) mean %v, want ~%v", lambda, s.Mean(), want)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(13)
+	// Covers both the Knuth branch (<30) and the PTRS branch (>=30).
+	for _, lambda := range []float64{0.5, 3, 12, 40, 200} {
+		var s Summary
+		for i := 0; i < 100000; i++ {
+			s.Add(float64(r.Poisson(lambda)))
+		}
+		tol := 0.03*lambda + 0.05
+		if math.Abs(s.Mean()-lambda) > tol {
+			t.Fatalf("Poisson(%v) mean %v", lambda, s.Mean())
+		}
+		if math.Abs(s.Variance()-lambda) > 5*tol {
+			t.Fatalf("Poisson(%v) variance %v", lambda, s.Variance())
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(21)
+	child := r.Split()
+	// Streams should not be identical.
+	identical := true
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != child.Uint64() {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("Split stream is identical to parent stream")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(33)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moment statistics using Welford's method,
+// which is numerically stable for long runs.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into this one (parallel Welford combination).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	delta := o.mean - s.mean
+	total := s.n + o.n
+	s.mean += delta * float64(o.n) / float64(total)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(total)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = total
+}
+
+// N returns the number of observations.
+func (s Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 for an empty summary.
+func (s Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean. For the trial counts used by the experiments
+// (dozens and up) the normal approximation is adequate.
+func (s Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// String renders the summary for logs and experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6f ±%.6f [%.6f, %.6f]",
+		s.n, s.Mean(), s.CI95(), s.min, s.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the data using linear
+// interpolation between order statistics. The slice is not modified.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts observations into uniform-width bins over [lo, hi).
+// Observations outside the range are clamped into the edge bins so that
+// every Add is accounted for.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+// It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.bins[i]) / float64(h.n)
+}

@@ -1,0 +1,233 @@
+// Package transport carries wire frames between the mobile computer and
+// the stationary computer. Two implementations exist:
+//
+//   - the in-memory pair, which delivers frames synchronously in the
+//     sender's goroutine and is used by the simulator-equivalence
+//     experiment (E13) and most tests;
+//   - TCP links with length-prefixed frames, used by the mobirep-server
+//     and mobirep-client executables.
+//
+// Both deliver frames reliably and in order per direction, matching the
+// paper's assumption of a serialized request stream.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler consumes one received frame. Handlers must not block
+// indefinitely; for the in-memory pair they run on the sender's goroutine.
+type Handler func(frame []byte)
+
+// Link is one endpoint of a bidirectional frame pipe.
+type Link interface {
+	// Send transmits one frame to the peer.
+	Send(frame []byte) error
+	// SetHandler installs the receive callback. It must be called before
+	// the first frame arrives; for TCP links, before Start.
+	SetHandler(h Handler)
+	// Close tears the link down; subsequent Sends fail.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: link closed")
+
+// memLink is one end of an in-memory pair.
+type memLink struct {
+	mu      sync.Mutex
+	peer    *memLink
+	handler Handler
+	closed  bool
+}
+
+// NewMemPair returns two connected in-memory links. Send on one delivers
+// synchronously to the other's handler before returning, so a cascade of
+// protocol messages completes before the original Send returns — the
+// property the simulator-equivalence experiment relies on.
+func NewMemPair() (Link, Link) {
+	a, b := &memLink{}, &memLink{}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (l *memLink) Send(frame []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	peer := l.peer
+	l.mu.Unlock()
+
+	peer.mu.Lock()
+	h := peer.handler
+	closed := peer.closed
+	peer.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if h == nil {
+		return errors.New("transport: peer has no handler")
+	}
+	// Copy so the receiver may retain the frame.
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	h(cp)
+	return nil
+}
+
+func (l *memLink) SetHandler(h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handler = h
+}
+
+func (l *memLink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// TCPLink frames messages over a TCP connection as a uint32 length prefix
+// followed by the payload.
+type TCPLink struct {
+	conn    net.Conn
+	mu      sync.Mutex // guards writes
+	hmu     sync.Mutex
+	handler Handler
+	closed  chan struct{}
+	once    sync.Once
+	onClose func(error)
+}
+
+const maxFrame = 16 << 20
+
+// NewTCPLink wraps an established connection. Call SetHandler, then Start.
+func NewTCPLink(conn net.Conn) *TCPLink {
+	return &TCPLink{conn: conn, closed: make(chan struct{})}
+}
+
+// Start launches the read loop. onClose, if non-nil, is invoked once when
+// the loop exits, with nil on clean shutdown.
+func (l *TCPLink) Start(onClose func(error)) {
+	l.onClose = onClose
+	go l.readLoop()
+}
+
+func (l *TCPLink) readLoop() {
+	var err error
+	defer func() {
+		l.shutdown()
+		if l.onClose != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				err = nil
+			}
+			l.onClose(err)
+		}
+	}()
+	var hdr [4]byte
+	for {
+		if _, err = io.ReadFull(l.conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			err = fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+			return
+		}
+		frame := make([]byte, n)
+		if _, err = io.ReadFull(l.conn, frame); err != nil {
+			return
+		}
+		l.hmu.Lock()
+		h := l.handler
+		l.hmu.Unlock()
+		if h != nil {
+			h(frame)
+		}
+	}
+}
+
+func (l *TCPLink) Send(frame []byte) error {
+	select {
+	case <-l.closed:
+		return ErrClosed
+	default:
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := l.conn.Write(frame)
+	return err
+}
+
+func (l *TCPLink) SetHandler(h Handler) {
+	l.hmu.Lock()
+	defer l.hmu.Unlock()
+	l.handler = h
+}
+
+func (l *TCPLink) shutdown() {
+	l.once.Do(func() {
+		close(l.closed)
+		l.conn.Close()
+	})
+}
+
+func (l *TCPLink) Close() error {
+	l.shutdown()
+	return nil
+}
+
+// Dial connects to a mobirep server and returns a started link.
+func Dial(addr string, h Handler) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := NewTCPLink(conn)
+	l.SetHandler(h)
+	l.Start(nil)
+	return l, nil
+}
+
+// Listener accepts TCP links.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits for one connection and returns an unstarted link; install a
+// handler with SetHandler and call Start.
+func (l *Listener) Accept() (*TCPLink, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPLink(conn), nil
+}
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.ln.Close() }

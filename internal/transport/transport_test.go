@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemPairDeliversSynchronously(t *testing.T) {
+	a, b := NewMemPair()
+	var got []byte
+	b.SetHandler(func(frame []byte) { got = frame })
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous delivery: got is set before Send returns.
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemPairBothDirections(t *testing.T) {
+	a, b := NewMemPair()
+	var fromA, fromB string
+	a.SetHandler(func(f []byte) { fromB = string(f) })
+	b.SetHandler(func(f []byte) { fromA = string(f) })
+	a.Send([]byte("to-b"))
+	b.Send([]byte("to-a"))
+	if fromA != "to-b" || fromB != "to-a" {
+		t.Fatalf("fromA=%q fromB=%q", fromA, fromB)
+	}
+}
+
+func TestMemPairCopiesFrame(t *testing.T) {
+	a, b := NewMemPair()
+	var got []byte
+	b.SetHandler(func(f []byte) { got = f })
+	buf := []byte("mutate-me")
+	a.Send(buf)
+	buf[0] = 'X'
+	if string(got) != "mutate-me" {
+		t.Fatalf("receiver saw sender's mutation: %q", got)
+	}
+}
+
+func TestMemPairClose(t *testing.T) {
+	a, b := NewMemPair()
+	b.SetHandler(func([]byte) {})
+	a.Close()
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	c, d := NewMemPair()
+	d.SetHandler(func([]byte) {})
+	d.Close()
+	if err := c.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send to closed peer: %v", err)
+	}
+}
+
+func TestMemPairNoHandler(t *testing.T) {
+	a, _ := NewMemPair()
+	if err := a.Send([]byte("x")); err == nil {
+		t.Fatal("send to handlerless peer should error")
+	}
+}
+
+func TestMemPairReentrantPingPong(t *testing.T) {
+	// A handler that replies synchronously must not deadlock.
+	a, b := NewMemPair()
+	var final string
+	a.SetHandler(func(f []byte) {
+		if len(f) < 4 {
+			a.Send(append(f, 'a'))
+		} else {
+			final = string(f)
+		}
+	})
+	b.SetHandler(func(f []byte) { b.Send(append(f, 'b')) })
+	a.Send([]byte("p"))
+	if final != "pbab" {
+		t.Fatalf("final = %q", final)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serverGot := make(chan []byte, 10)
+	go func() {
+		link, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		link.SetHandler(func(f []byte) {
+			serverGot <- f
+			link.Send(append([]byte("echo:"), f...))
+		})
+		link.Start(nil)
+	}()
+
+	clientGot := make(chan []byte, 10)
+	cli, err := Dial(ln.Addr(), func(f []byte) { clientGot <- f })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	payload := []byte("over-tcp")
+	if err := cli.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-serverGot:
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("server got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server receive timeout")
+	}
+	select {
+	case got := <-clientGot:
+		if string(got) != "echo:over-tcp" {
+			t.Fatalf("client got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client receive timeout")
+	}
+}
+
+func TestTCPManyFramesInOrder(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const n = 500
+	done := make(chan error, 1)
+	go func() {
+		link, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		i := 0
+		var mu sync.Mutex
+		link.SetHandler(func(f []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			want := fmt.Sprintf("frame-%d", i)
+			if string(f) != want {
+				done <- fmt.Errorf("frame %d: got %q", i, f)
+				return
+			}
+			i++
+			if i == n {
+				done <- nil
+			}
+		})
+		link.Start(nil)
+	}()
+
+	cli, err := Dial(ln.Addr(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < n; i++ {
+		if err := cli.Send([]byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestTCPEmptyFrame(t *testing.T) {
+	ln, _ := Listen("127.0.0.1:0")
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		link, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		link.SetHandler(func(f []byte) { got <- f })
+		link.Start(nil)
+	}()
+	cli, err := Dial(ln.Addr(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Send(nil)
+	select {
+	case f := <-got:
+		if len(f) != 0 {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestTCPCloseUnblocksAndReports(t *testing.T) {
+	ln, _ := Listen("127.0.0.1:0")
+	defer ln.Close()
+	closed := make(chan error, 1)
+	go func() {
+		link, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		link.SetHandler(func([]byte) {})
+		link.Start(func(err error) { closed <- err })
+	}()
+	cli, err := Dial(ln.Addr(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("onClose got %v, want nil for clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server link never observed close")
+	}
+	if err := cli.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	ln, _ := Listen("127.0.0.1:0")
+	defer ln.Close()
+	const senders, per = 8, 50
+	total := make(chan struct{}, senders*per)
+	go func() {
+		link, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		link.SetHandler(func(f []byte) {
+			if len(f) == 32 {
+				total <- struct{}{}
+			}
+		})
+		link.Start(nil)
+	}()
+	cli, err := Dial(ln.Addr(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			frame := make([]byte, 32)
+			for i := 0; i < per; i++ {
+				if err := cli.Send(frame); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		select {
+		case <-total:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d frames arrived intact", i, senders*per)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mobirep/internal/sched"
+)
+
+// Batch messages implement the section 7.2 premise that "multiple data
+// items can be remotely read in one connection": a joint read sends one
+// control message naming every missing key and receives one data message
+// carrying every value (with per-entry allocation flags and piggybacked
+// windows), instead of a message pair per key.
+
+const (
+	// KindMultiReadReq is a joint read request (control message) listing
+	// the keys the mobile computer is missing.
+	KindMultiReadReq Kind = 10 + iota
+	// KindMultiReadResp is the joint response (one data message) carrying
+	// every requested item.
+	KindMultiReadResp
+)
+
+// Entry is one item inside a batch message.
+type Entry struct {
+	// Key names the data item.
+	Key string
+	// Value and Version carry the item (responses only).
+	Value   []byte
+	Version uint64
+	// Allocate is set when this entry's copy should be installed at the
+	// MC; Window then carries that key's sliding window for the handoff.
+	Allocate bool
+	Window   sched.Schedule
+	// NotModified is set when the client's version hint matched: the
+	// payload is omitted and the client's archived value is current.
+	NotModified bool
+}
+
+// Batch is a joint protocol message.
+type Batch struct {
+	// Kind is KindMultiReadReq or KindMultiReadResp.
+	Kind Kind
+	// Keys lists the requested keys (requests only).
+	Keys []string
+	// Versions, parallel to Keys, carries revalidation hints: the version
+	// the client last saw for each key (0 = no hint). A server holding
+	// exactly that version answers NotModified instead of shipping the
+	// payload again.
+	Versions []uint64
+	// Entries carries the items (responses only).
+	Entries []Entry
+}
+
+// Control reports whether the batch is a control message.
+func (b Batch) Control() bool { return b.Kind == KindMultiReadReq }
+
+const maxBatch = 1 << 12
+
+// EncodeBatch serializes a batch message.
+func EncodeBatch(b Batch) ([]byte, error) {
+	if b.Kind != KindMultiReadReq && b.Kind != KindMultiReadResp {
+		return nil, fmt.Errorf("wire: kind %v is not a batch kind", b.Kind)
+	}
+	if len(b.Keys) > maxBatch || len(b.Entries) > maxBatch {
+		return nil, fmt.Errorf("wire: batch exceeds %d items", maxBatch)
+	}
+	if len(b.Versions) != 0 && len(b.Versions) != len(b.Keys) {
+		return nil, fmt.Errorf("wire: %d version hints for %d keys", len(b.Versions), len(b.Keys))
+	}
+	out := []byte{byte(b.Kind)}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Keys)))
+	for i, k := range b.Keys {
+		if len(k) > maxKeyLen {
+			return nil, fmt.Errorf("wire: key length %d exceeds %d", len(k), maxKeyLen)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(k)))
+		out = append(out, k...)
+		hint := uint64(0)
+		if i < len(b.Versions) {
+			hint = b.Versions[i]
+		}
+		out = binary.LittleEndian.AppendUint64(out, hint)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Entries)))
+	for _, e := range b.Entries {
+		if len(e.Key) > maxKeyLen || len(e.Window) > maxKeyLen {
+			return nil, fmt.Errorf("wire: entry field too long for key %q", e.Key)
+		}
+		flags := byte(0)
+		if e.Allocate {
+			flags |= 1
+		}
+		if e.NotModified {
+			flags |= 2
+		}
+		out = append(out, flags)
+		out = binary.LittleEndian.AppendUint64(out, e.Version)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Key)))
+		out = append(out, e.Key...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Value)))
+		out = append(out, e.Value...)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Window)))
+		out = append(out, packWindow(e.Window)...)
+	}
+	return out, nil
+}
+
+// DecodeBatch parses a frame produced by EncodeBatch.
+func DecodeBatch(p []byte) (Batch, error) {
+	var b Batch
+	r := reader{p: p}
+	kind, err := r.byte()
+	if err != nil {
+		return b, err
+	}
+	b.Kind = Kind(kind)
+	if b.Kind != KindMultiReadReq && b.Kind != KindMultiReadResp {
+		return b, fmt.Errorf("wire: kind %d is not a batch kind", kind)
+	}
+	nKeys, err := r.uint16()
+	if err != nil {
+		return b, err
+	}
+	for i := 0; i < int(nKeys); i++ {
+		k, err := r.str16()
+		if err != nil {
+			return b, err
+		}
+		hint, err := r.uint64()
+		if err != nil {
+			return b, err
+		}
+		b.Keys = append(b.Keys, k)
+		b.Versions = append(b.Versions, hint)
+	}
+	nEntries, err := r.uint16()
+	if err != nil {
+		return b, err
+	}
+	for i := 0; i < int(nEntries); i++ {
+		var e Entry
+		flags, err := r.byte()
+		if err != nil {
+			return b, err
+		}
+		if flags > 3 {
+			return b, fmt.Errorf("wire: bad entry flags %#x", flags)
+		}
+		e.Allocate = flags&1 != 0
+		e.NotModified = flags&2 != 0
+		if e.Version, err = r.uint64(); err != nil {
+			return b, err
+		}
+		if e.Key, err = r.str16(); err != nil {
+			return b, err
+		}
+		if e.Value, err = r.bytes32(); err != nil {
+			return b, err
+		}
+		wlen, err := r.uint16()
+		if err != nil {
+			return b, err
+		}
+		packed, err := r.take((int(wlen) + 7) / 8)
+		if err != nil {
+			return b, err
+		}
+		e.Window = unpackWindow(packed, int(wlen))
+		b.Entries = append(b.Entries, e)
+	}
+	if !r.done() {
+		return b, fmt.Errorf("wire: %d trailing bytes after batch", r.remaining())
+	}
+	return b, nil
+}
+
+// IsBatchFrame reports whether the frame starts with a batch kind, letting
+// receivers dispatch between Decode and DecodeBatch.
+func IsBatchFrame(p []byte) bool {
+	return len(p) > 0 && (Kind(p[0]) == KindMultiReadReq || Kind(p[0]) == KindMultiReadResp)
+}
+
+// reader is a tiny bounds-checked cursor over a frame.
+type reader struct {
+	p   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.p) - r.off }
+func (r *reader) done() bool     { return r.off == len(r.p) }
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, errTruncated
+	}
+	out := r.p[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) str16() (string, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) bytes32() ([]byte, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(b)
+	raw, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), raw...), nil
+}

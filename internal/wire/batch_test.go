@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/sched"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	batches := []Batch{
+		{Kind: KindMultiReadReq, Keys: []string{"a", "b", "long key with spaces"}},
+		{Kind: KindMultiReadReq, Keys: nil},
+		{Kind: KindMultiReadResp, Entries: []Entry{
+			{Key: "a", Value: []byte("v1"), Version: 1},
+			{Key: "b", Value: nil, Version: 0, Allocate: true, Window: sched.MustParse("rwr")},
+			{Key: "", Value: bytes.Repeat([]byte{7}, 300), Version: 1 << 40},
+		}},
+		{Kind: KindMultiReadResp},
+	}
+	for i, b := range batches {
+		frame, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if !IsBatchFrame(frame) {
+			t.Fatalf("batch %d not recognized", i)
+		}
+		back, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if back.Kind != b.Kind || len(back.Keys) != len(b.Keys) || len(back.Entries) != len(b.Entries) {
+			t.Fatalf("batch %d shape: %+v vs %+v", i, back, b)
+		}
+		for j := range b.Keys {
+			if back.Keys[j] != b.Keys[j] {
+				t.Fatalf("batch %d key %d", i, j)
+			}
+		}
+		for j := range b.Entries {
+			w, g := b.Entries[j], back.Entries[j]
+			if w.Key != g.Key || w.Version != g.Version || w.Allocate != g.Allocate ||
+				!bytes.Equal(w.Value, g.Value) || w.Window.String() != g.Window.String() {
+				t.Fatalf("batch %d entry %d: %+v vs %+v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	if _, err := EncodeBatch(Batch{Kind: KindReadReq}); err == nil {
+		t.Fatal("non-batch kind accepted")
+	}
+	big := make([]string, maxBatch+1)
+	if _, err := EncodeBatch(Batch{Kind: KindMultiReadReq, Keys: big}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if _, err := DecodeBatch([]byte{byte(KindReadReq)}); err == nil {
+		t.Fatal("non-batch frame decoded")
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("empty frame decoded")
+	}
+	// Truncations must all fail.
+	frame, err := EncodeBatch(Batch{Kind: KindMultiReadResp, Entries: []Entry{
+		{Key: "k", Value: []byte("v"), Version: 3, Allocate: true, Window: sched.MustParse("rrr")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeBatch(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	if _, err := DecodeBatch(append(frame, 9)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestIsBatchFrame(t *testing.T) {
+	singleton, _ := Encode(Message{Kind: KindReadReq, Key: "x"})
+	if IsBatchFrame(singleton) {
+		t.Fatal("singleton frame classified as batch")
+	}
+	if IsBatchFrame(nil) {
+		t.Fatal("empty frame classified as batch")
+	}
+}
+
+func TestBatchProperty(t *testing.T) {
+	check := func(keys []string, entryKeys []string, vals [][]byte, alloc []bool) bool {
+		if len(keys) > 50 {
+			keys = keys[:50]
+		}
+		for i, k := range keys {
+			if len(k) > 100 {
+				keys[i] = k[:100]
+			}
+		}
+		b := Batch{Kind: KindMultiReadReq, Keys: keys}
+		frame, err := EncodeBatch(b)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeBatch(frame)
+		if err != nil || len(back.Keys) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if back.Keys[i] != keys[i] {
+				return false
+			}
+		}
+
+		resp := Batch{Kind: KindMultiReadResp}
+		for i, k := range entryKeys {
+			if i >= 20 {
+				break
+			}
+			if len(k) > 100 {
+				k = k[:100]
+			}
+			e := Entry{Key: k, Version: uint64(i)}
+			if i < len(vals) {
+				e.Value = vals[i]
+			}
+			if i < len(alloc) {
+				e.Allocate = alloc[i]
+			}
+			resp.Entries = append(resp.Entries, e)
+		}
+		frame, err = EncodeBatch(resp)
+		if err != nil {
+			return false
+		}
+		back, err = DecodeBatch(frame)
+		if err != nil || len(back.Entries) != len(resp.Entries) {
+			return false
+		}
+		for i := range resp.Entries {
+			if back.Entries[i].Key != resp.Entries[i].Key ||
+				back.Entries[i].Allocate != resp.Entries[i].Allocate ||
+				!bytes.Equal(back.Entries[i].Value, resp.Entries[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzDecodeBatch mirrors FuzzDecode for the batch codec.
+func FuzzDecodeBatch(f *testing.F) {
+	seed, _ := EncodeBatch(Batch{Kind: KindMultiReadResp, Entries: []Entry{
+		{Key: "k", Value: []byte("v"), Version: 3, Allocate: true, Window: sched.MustParse("rrrwr")},
+	}})
+	f.Add(seed)
+	f.Add([]byte{byte(KindMultiReadReq), 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		b, err := DecodeBatch(frame)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("accepted batch failed to re-encode: %v", err)
+		}
+		if _, err := DecodeBatch(re); err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package wire defines the binary message format spoken between the
+// mobile computer and the stationary computer in the replica protocol of
+// section 4. Four message kinds exist, matching the paper's communication
+// events exactly:
+//
+//   - ReadReq (control): the MC forwards a read to the SC.
+//   - ReadResp (data): the SC returns the item; the Allocate flag plus the
+//     piggybacked window implement the copy allocation of section 4.
+//   - WriteProp (data): the SC propagates a committed write to a
+//     subscribed MC.
+//   - DeleteReq (control): deallocation. Sent MC -> SC when the window
+//     turns write-majority (carrying the window for the ownership
+//     handoff), or SC -> MC under the SW1 optimization, where a write is
+//     answered by dropping the copy instead of propagating data.
+//
+// The encoding is a fixed header plus length-prefixed fields; window bits
+// are packed eight per byte. Decode rejects malformed frames rather than
+// guessing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mobirep/internal/sched"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+const (
+	// KindReadReq is the MC's remote read request (control message).
+	KindReadReq Kind = iota + 1
+	// KindReadResp is the SC's read response (data message).
+	KindReadResp
+	// KindWriteProp is the SC's write propagation (data message).
+	KindWriteProp
+	// KindDeleteReq is the deallocation request (control message).
+	KindDeleteReq
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindReadReq:
+		return "read-req"
+	case KindReadResp:
+		return "read-resp"
+	case KindWriteProp:
+		return "write-prop"
+	case KindDeleteReq:
+		return "delete-req"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Control reports whether the kind is a control message (cost omega);
+// otherwise it is a data message (cost 1).
+func (k Kind) Control() bool {
+	return k == KindReadReq || k == KindDeleteReq
+}
+
+// Message is one protocol message.
+type Message struct {
+	// Kind discriminates the payload.
+	Kind Kind
+	// Key names the data item.
+	Key string
+	// Value is the item payload (ReadResp, WriteProp).
+	Value []byte
+	// Version is the item version (ReadResp, WriteProp).
+	Version uint64
+	// Allocate is set on a ReadResp that allocates a copy at the MC.
+	Allocate bool
+	// Window carries the sliding window, oldest first, on ownership
+	// handoffs (allocating ReadResp and MC-originated DeleteReq).
+	Window sched.Schedule
+}
+
+const maxKeyLen = 1<<16 - 1
+
+// Encode serializes m.
+func Encode(m Message) ([]byte, error) {
+	if len(m.Key) > maxKeyLen {
+		return nil, fmt.Errorf("wire: key length %d exceeds %d", len(m.Key), maxKeyLen)
+	}
+	if len(m.Window) > maxKeyLen {
+		return nil, fmt.Errorf("wire: window length %d exceeds %d", len(m.Window), maxKeyLen)
+	}
+	flags := byte(0)
+	if m.Allocate {
+		flags = 1
+	}
+	out := make([]byte, 0, 16+len(m.Key)+len(m.Value)+len(m.Window)/8+1)
+	out = append(out, byte(m.Kind), flags)
+	out = binary.LittleEndian.AppendUint64(out, m.Version)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Key)))
+	out = append(out, m.Key...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Value)))
+	out = append(out, m.Value...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Window)))
+	out = append(out, packWindow(m.Window)...)
+	return out, nil
+}
+
+var errTruncated = errors.New("wire: truncated message")
+
+// Decode parses a frame produced by Encode.
+func Decode(p []byte) (Message, error) {
+	var m Message
+	if len(p) < 2+8+2 {
+		return m, errTruncated
+	}
+	m.Kind = Kind(p[0])
+	if m.Kind < KindReadReq || m.Kind > KindDeleteReq {
+		return m, fmt.Errorf("wire: unknown message kind %d", p[0])
+	}
+	if p[1] > 1 {
+		return m, fmt.Errorf("wire: bad flags %#x", p[1])
+	}
+	m.Allocate = p[1] == 1
+	p = p[2:]
+	m.Version = binary.LittleEndian.Uint64(p[:8])
+	p = p[8:]
+	klen := int(binary.LittleEndian.Uint16(p[:2]))
+	p = p[2:]
+	if len(p) < klen+4 {
+		return m, errTruncated
+	}
+	m.Key = string(p[:klen])
+	p = p[klen:]
+	vlen := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	if vlen > len(p) {
+		return m, errTruncated
+	}
+	if vlen > 0 {
+		m.Value = append([]byte(nil), p[:vlen]...)
+	}
+	p = p[vlen:]
+	if len(p) < 2 {
+		return m, errTruncated
+	}
+	wlen := int(binary.LittleEndian.Uint16(p[:2]))
+	p = p[2:]
+	packed := (wlen + 7) / 8
+	if len(p) != packed {
+		return m, fmt.Errorf("wire: window needs %d bytes, frame has %d", packed, len(p))
+	}
+	m.Window = unpackWindow(p, wlen)
+	return m, nil
+}
+
+// packWindow packs ops as bits, LSB-first within each byte, write = 1.
+func packWindow(w sched.Schedule) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	out := make([]byte, (len(w)+7)/8)
+	for i, op := range w {
+		if op == sched.Write {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func unpackWindow(p []byte, n int) sched.Schedule {
+	if n == 0 {
+		return nil
+	}
+	out := make(sched.Schedule, n)
+	for i := range out {
+		if p[i/8]>>(i%8)&1 == 1 {
+			out[i] = sched.Write
+		}
+	}
+	return out
+}

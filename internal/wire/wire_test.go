@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mobirep/internal/sched"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindReadReq: "read-req", KindReadResp: "read-resp",
+		KindWriteProp: "write-prop", KindDeleteReq: "delete-req",
+		Kind(0): "kind(0)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestKindControl(t *testing.T) {
+	if !KindReadReq.Control() || !KindDeleteReq.Control() {
+		t.Fatal("requests should be control messages")
+	}
+	if KindReadResp.Control() || KindWriteProp.Control() {
+		t.Fatal("responses/propagations should be data messages")
+	}
+}
+
+func TestEncodeDecodeAllKinds(t *testing.T) {
+	msgs := []Message{
+		{Kind: KindReadReq, Key: "x"},
+		{Kind: KindReadResp, Key: "x", Value: []byte("payload"), Version: 42},
+		{Kind: KindReadResp, Key: "x", Value: []byte("p"), Version: 7, Allocate: true,
+			Window: sched.MustParse("rwrwr")},
+		{Kind: KindWriteProp, Key: "a key with spaces", Value: nil, Version: 1},
+		{Kind: KindDeleteReq, Key: "x", Window: sched.MustParse("wwr")},
+		{Kind: KindDeleteReq, Key: ""},
+	}
+	for i, m := range msgs {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		back, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if back.Kind != m.Kind || back.Key != m.Key || back.Version != m.Version ||
+			back.Allocate != m.Allocate {
+			t.Fatalf("msg %d: %+v != %+v", i, back, m)
+		}
+		if !bytes.Equal(back.Value, m.Value) {
+			t.Fatalf("msg %d: value %q != %q", i, back.Value, m.Value)
+		}
+		if back.Window.String() != m.Window.String() {
+			t.Fatalf("msg %d: window %q != %q", i, back.Window, m.Window)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	check := func(kindRaw uint8, key string, value []byte, version uint64, alloc bool, winBits []bool) bool {
+		kind := Kind(kindRaw%4) + KindReadReq
+		if len(key) > maxKeyLen {
+			key = key[:maxKeyLen]
+		}
+		win := make(sched.Schedule, len(winBits))
+		for i, b := range winBits {
+			if b {
+				win[i] = sched.Write
+			}
+		}
+		m := Message{Kind: kind, Key: key, Value: value, Version: version,
+			Allocate: alloc, Window: win}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		if len(back.Value) == 0 && len(m.Value) == 0 {
+			// nil vs empty are equivalent on the wire
+		} else if !bytes.Equal(back.Value, m.Value) {
+			return false
+		}
+		return back.Kind == m.Kind && back.Key == m.Key &&
+			back.Version == m.Version && back.Allocate == m.Allocate &&
+			back.Window.String() == m.Window.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// Truncations of a valid frame must all fail or decode to a different,
+	// still-valid message — never panic.
+	m := Message{Kind: KindReadResp, Key: "key", Value: []byte("value"),
+		Version: 9, Allocate: true, Window: sched.MustParse("rrwwr")}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := Decode(frame[:n]); err == nil {
+			t.Fatalf("decode of %d/%d bytes unexpectedly succeeded", n, len(frame))
+		}
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	m := Message{Kind: KindReadReq, Key: "x"}
+	frame, _ := Encode(m)
+	frame[0] = 99
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	frame[0] = 0
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("zero kind accepted")
+	}
+}
+
+func TestDecodeRejectsBadFlags(t *testing.T) {
+	m := Message{Kind: KindReadReq, Key: "x"}
+	frame, _ := Encode(m)
+	frame[1] = 0xff
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	m := Message{Kind: KindReadReq, Key: "x"}
+	frame, _ := Encode(m)
+	if _, err := Decode(append(frame, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestEncodeRejectsOversizedKey(t *testing.T) {
+	if _, err := Encode(Message{Kind: KindReadReq, Key: string(make([]byte, maxKeyLen+1))}); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestWindowPackingDense(t *testing.T) {
+	// 9 bits crosses a byte boundary; check exact packing.
+	w := sched.MustParse("rwrwrwrwr")
+	packed := packWindow(w)
+	if len(packed) != 2 {
+		t.Fatalf("packed length = %d", len(packed))
+	}
+	// Writes sit at odd indices: bit pattern 10101010, ninth bit clear.
+	if packed[0] != 0b10101010 || packed[1] != 0 {
+		t.Fatalf("packed = %08b %08b", packed[0], packed[1])
+	}
+	if got := unpackWindow(packed, 9); got.String() != w.String() {
+		t.Fatalf("unpacked %q", got)
+	}
+	if packWindow(nil) != nil {
+		t.Fatal("empty window should pack to nil")
+	}
+	if unpackWindow(nil, 0) != nil {
+		t.Fatal("empty window should unpack to nil")
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/offline"
+	"mobirep/internal/sched"
+)
+
+// Adversarial schedule families. Each family forces the named online
+// algorithm to its tight competitive ratio against the ideal offline
+// comparator; the competitiveness experiments replay them and measure the
+// achieved ratio converging to the factor as cycles grow.
+
+// SWkAdversary returns (r^(n+1) w^(n+1))^cycles for k = 2n+1. Each cycle
+// makes SWk flip its allocation twice, paying k+1 connections (Theorem 4)
+// or (1+omega/2)(k+1)+omega message cost (Theorem 12), while the offline
+// optimum re-allocates once per cycle for cost 1.
+func SWkAdversary(k, cycles int) sched.Schedule {
+	if k <= 0 || k%2 == 0 {
+		panic("workload: SWkAdversary needs odd positive k")
+	}
+	n := (k - 1) / 2
+	cycle := sched.Concat(sched.Block(sched.Read, n+1), sched.Block(sched.Write, n+1))
+	return cycle.Repeat(cycles)
+}
+
+// SW1Adversary returns (w r)^cycles: under SW1 every write finds a copy
+// (delete-request, omega) and every read finds none (remote read,
+// 1+omega), so each cycle costs 1+2*omega while the offline optimum keeps
+// the copy and pays only the propagation, 1 (Theorem 11). In the
+// connection model the same family yields the ratio 2 = k+1 of Theorem 4.
+func SW1Adversary(cycles int) sched.Schedule {
+	return sched.MustParse("wr").Repeat(cycles)
+}
+
+// T1Adversary returns (r^m w)^cycles: T1m pays for all m reads (the m-th
+// re-allocates) plus the write that revokes the copy, m+1 connections per
+// cycle, while the offline optimum pays 1 — the (m+1)-competitiveness of
+// section 7.1 is tight on this family.
+func T1Adversary(m, cycles int) sched.Schedule {
+	if m <= 0 {
+		panic("workload: T1Adversary needs positive m")
+	}
+	cycle := sched.Concat(sched.Block(sched.Read, m), sched.Block(sched.Write, 1))
+	return cycle.Repeat(cycles)
+}
+
+// T2Adversary returns (w^m r)^cycles, the mirror family for T2m: all m
+// writes are propagated (the m-th deallocates) and the read that follows
+// is remote, m+1 connections per cycle against an offline cost of 1.
+func T2Adversary(m, cycles int) sched.Schedule {
+	if m <= 0 {
+		panic("workload: T2Adversary needs positive m")
+	}
+	cycle := sched.Concat(sched.Block(sched.Write, m), sched.Block(sched.Read, 1))
+	return cycle.Repeat(cycles)
+}
+
+// RatioResult reports a competitive-ratio measurement.
+type RatioResult struct {
+	// Schedule is the schedule achieving the ratio.
+	Schedule sched.Schedule
+	// OnlineCost is the policy's cost on the schedule.
+	OnlineCost float64
+	// OfflineCost is the ideal comparator's cost.
+	OfflineCost float64
+	// Ratio is OnlineCost / OfflineCost (Inf when OfflineCost is 0 and
+	// OnlineCost is not).
+	Ratio float64
+}
+
+// MeasureRatio replays s through a fresh run of policy p under model m and
+// compares with the ideal offline comparator.
+func MeasureRatio(p core.Policy, m cost.Model, s sched.Schedule) RatioResult {
+	p.Reset()
+	online := 0.0
+	for _, op := range s {
+		online += m.StepCost(p.Apply(op))
+	}
+	opt := offline.Cost(s, offline.Ideal())
+	ratio := math.Inf(1)
+	if opt > 0 {
+		ratio = online / opt
+	} else if online == 0 {
+		ratio = 1
+	}
+	return RatioResult{Schedule: s, OnlineCost: online, OfflineCost: opt, Ratio: ratio}
+}
+
+// WorstRatio exhaustively searches all 2^length schedules of the given
+// length and returns the one maximizing the policy's cost relative to the
+// ideal offline cost, ignoring schedules whose offline cost is below
+// minOpt (the additive constant in the competitiveness definition makes
+// ratios over near-zero offline costs meaningless). It is exponential and
+// intended for length <= 20.
+func WorstRatio(p core.Policy, m cost.Model, length int, minOpt float64) RatioResult {
+	if length > 20 {
+		panic("workload: WorstRatio limited to length 20")
+	}
+	best := RatioResult{Ratio: -1}
+	s := make(sched.Schedule, length)
+	for mask := 0; mask < 1<<length; mask++ {
+		for i := range s {
+			if mask>>i&1 == 1 {
+				s[i] = sched.Write
+			} else {
+				s[i] = sched.Read
+			}
+		}
+		opt := offline.Cost(s, offline.Ideal())
+		if opt < minOpt {
+			continue
+		}
+		p.Reset()
+		online := 0.0
+		for _, op := range s {
+			online += m.StepCost(p.Apply(op))
+		}
+		if opt > 0 && online/opt > best.Ratio {
+			cp := make(sched.Schedule, length)
+			copy(cp, s)
+			best = RatioResult{Schedule: cp, OnlineCost: online, OfflineCost: opt, Ratio: online / opt}
+		}
+	}
+	return best
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobirep/internal/analytic"
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+)
+
+// TestSWkAdversaryAchievesConnBound replays the Theorem 4 family and
+// checks the measured ratio converges to k+1 from below.
+func TestSWkAdversaryAchievesConnBound(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{1, 3, 5, 9} {
+		cycles := 400
+		res := MeasureRatio(core.NewSW(k), model, SWkAdversary(k, cycles))
+		bound := analytic.CompetitiveSWConn(k)
+		// Competitiveness is COST_A <= c*COST_M + b; the family's offline
+		// cost is cycles-1 (first cycle free), so one cycle's worth of b.
+		if res.OnlineCost > bound*res.OfflineCost+bound+1e-9 {
+			t.Fatalf("k=%d: online %v vs %v*%v+b", k, res.OnlineCost, bound, res.OfflineCost)
+		}
+		if res.Ratio < bound*0.99 || res.Ratio > bound*1.01 {
+			t.Fatalf("k=%d: ratio %v not tight against %v", k, res.Ratio, bound)
+		}
+	}
+}
+
+// TestSW1AdversaryAchievesMsgBound replays the Theorem 11 family.
+func TestSW1AdversaryAchievesMsgBound(t *testing.T) {
+	for _, omega := range []float64{0, 0.25, 0.5, 1} {
+		model := cost.NewMessage(omega)
+		res := MeasureRatio(core.NewSW(1), model, SW1Adversary(500))
+		bound := analytic.CompetitiveSW1Msg(omega)
+		if res.OnlineCost > bound*res.OfflineCost+bound+1e-9 {
+			t.Fatalf("omega=%v: online %v vs %v*%v+b", omega, res.OnlineCost, bound, res.OfflineCost)
+		}
+		if res.Ratio < bound*0.99 || res.Ratio > bound*1.01 {
+			t.Fatalf("omega=%v: ratio %v not tight against %v", omega, res.Ratio, bound)
+		}
+	}
+}
+
+// TestSWkAdversaryAchievesMsgBound replays the Theorem 12 family.
+func TestSWkAdversaryAchievesMsgBound(t *testing.T) {
+	for _, k := range []int{3, 5, 9} {
+		for _, omega := range []float64{0, 0.4, 1} {
+			model := cost.NewMessage(omega)
+			res := MeasureRatio(core.NewSW(k), model, SWkAdversary(k, 400))
+			bound := analytic.CompetitiveSWMsg(k, omega)
+			if res.OnlineCost > bound*res.OfflineCost+bound+1e-9 {
+				t.Fatalf("k=%d omega=%v: online %v vs %v*%v+b", k, omega, res.OnlineCost, bound, res.OfflineCost)
+			}
+			if res.Ratio < bound*0.99 || res.Ratio > bound*1.01 {
+				t.Fatalf("k=%d omega=%v: ratio %v not tight against %v", k, omega, res.Ratio, bound)
+			}
+		}
+	}
+}
+
+// TestT1AdversaryAchievesBound replays the section 7.1 family.
+func TestT1AdversaryAchievesBound(t *testing.T) {
+	model := cost.NewConnection()
+	for _, m := range []int{1, 3, 7} {
+		res := MeasureRatio(core.NewT1(m), model, T1Adversary(m, 400))
+		bound := analytic.CompetitiveT1Conn(m)
+		if res.OnlineCost > bound*res.OfflineCost+bound+1e-9 {
+			t.Fatalf("m=%d: online %v vs %v*%v+b", m, res.OnlineCost, bound, res.OfflineCost)
+		}
+		if res.Ratio < bound*0.99 || res.Ratio > bound*1.01 {
+			t.Fatalf("m=%d: ratio %v vs bound %v", m, res.Ratio, bound)
+		}
+	}
+}
+
+func TestT2AdversaryAchievesBound(t *testing.T) {
+	model := cost.NewConnection()
+	for _, m := range []int{1, 3, 7} {
+		res := MeasureRatio(core.NewT2(m), model, T2Adversary(m, 400))
+		bound := analytic.CompetitiveT2Conn(m)
+		if res.OnlineCost > bound*res.OfflineCost+bound+1e-9 {
+			t.Fatalf("m=%d: online %v vs %v*%v+b", m, res.OnlineCost, bound, res.OfflineCost)
+		}
+		if res.Ratio < bound*0.99 || res.Ratio > bound*1.01 {
+			t.Fatalf("m=%d: ratio %v vs bound %v", m, res.Ratio, bound)
+		}
+	}
+}
+
+// TestStaticsNotCompetitive shows the section 5.3 argument: on all-read
+// schedules ST1's cost grows without bound while the offline cost is 0.
+func TestStaticsNotCompetitive(t *testing.T) {
+	model := cost.NewConnection()
+	for _, n := range []int{10, 100, 1000} {
+		res := MeasureRatio(core.NewST1(), model, sched.Block(sched.Read, n))
+		if !math.IsInf(res.Ratio, 1) {
+			t.Fatalf("ST1 on r^%d: ratio %v, want +Inf", n, res.Ratio)
+		}
+		if res.OnlineCost != float64(n) {
+			t.Fatalf("ST1 online cost %v", res.OnlineCost)
+		}
+		res = MeasureRatio(core.NewST2(), model, sched.Block(sched.Write, n))
+		if !math.IsInf(res.Ratio, 1) {
+			t.Fatalf("ST2 on w^%d: ratio %v, want +Inf", n, res.Ratio)
+		}
+	}
+}
+
+// TestMeasureRatioZeroZero: a schedule costing nothing for both sides has
+// ratio 1 by convention.
+func TestMeasureRatioZeroZero(t *testing.T) {
+	res := MeasureRatio(core.NewST1(), cost.NewConnection(), sched.Block(sched.Write, 5))
+	if res.Ratio != 1 || res.OnlineCost != 0 || res.OfflineCost != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestWorstRatioRespectsBounds runs the exhaustive search for small
+// schedules and checks no schedule beats the theoretical factor (allowing
+// the additive constant by requiring a minimum offline cost).
+func TestWorstRatioRespectsBounds(t *testing.T) {
+	model := cost.NewConnection()
+	for _, k := range []int{1, 3} {
+		res := WorstRatio(core.NewSW(k), model, 12, 2)
+		bound := analytic.CompetitiveSWConn(k)
+		// Finite prefixes include warmup effects; allow the additive
+		// constant's worth of slack relative to minOpt=2.
+		slack := float64(k+1) / 2
+		if res.Ratio > bound+slack {
+			t.Fatalf("k=%d: worst ratio %v far exceeds bound %v (schedule %q)",
+				k, res.Ratio, bound, res.Schedule)
+		}
+		if res.Ratio <= 1 {
+			t.Fatalf("k=%d: worst ratio %v suspiciously small", k, res.Ratio)
+		}
+	}
+}
+
+// TestWorstRatioFindsAdversarialStructure checks the exhaustive search
+// rediscover alternation-heavy schedules for SW1.
+func TestWorstRatioFindsAdversarialStructure(t *testing.T) {
+	res := WorstRatio(core.NewSW(1), cost.NewConnection(), 10, 2)
+	str := res.Schedule.String()
+	if !strings.Contains(str, "wr") && !strings.Contains(str, "rw") {
+		t.Fatalf("worst schedule %q has no alternation", str)
+	}
+	if res.Ratio < 1.5 {
+		t.Fatalf("SW1 worst ratio %v, expected near 2", res.Ratio)
+	}
+}
+
+func TestWorstRatioPanicsOnLongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WorstRatio(core.NewSW(1), cost.NewConnection(), 21, 1)
+}

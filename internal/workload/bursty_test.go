@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+func TestBurstyMeanTheta(t *testing.T) {
+	rng := stats.NewRNG(31)
+	cfg := BurstyConfig{ThetaA: 0.1, ThetaB: 0.9, SwitchProb: 0.01}
+	s, regimes := Bursty(rng, cfg, 200000)
+	if len(s) != 200000 || len(regimes) != 200000 {
+		t.Fatal("shape wrong")
+	}
+	if f := s.WriteFraction(); math.Abs(f-cfg.MeanTheta()) > 0.02 {
+		t.Fatalf("write fraction %v, want ~%v", f, cfg.MeanTheta())
+	}
+}
+
+func TestBurstyRegimeLengths(t *testing.T) {
+	rng := stats.NewRNG(32)
+	cfg := BurstyConfig{ThetaA: 0.2, ThetaB: 0.8, SwitchProb: 0.02}
+	_, regimes := Bursty(rng, cfg, 100000)
+	// Mean run length of a regime should be ~1/SwitchProb = 50.
+	runs, cur := 0, regimes[0]
+	for _, r := range regimes {
+		if r != cur {
+			runs++
+			cur = r
+		}
+	}
+	mean := float64(len(regimes)) / float64(runs+1)
+	if math.Abs(mean-50) > 10 {
+		t.Fatalf("mean regime length %v, want ~50", mean)
+	}
+}
+
+func TestBurstyPerRegimeTheta(t *testing.T) {
+	rng := stats.NewRNG(33)
+	cfg := BurstyConfig{ThetaA: 0.1, ThetaB: 0.7, SwitchProb: 0.005}
+	s, regimes := Bursty(rng, cfg, 300000)
+	var writes, count [2]int
+	for i, r := range regimes {
+		count[r]++
+		if s[i] == sched.Write {
+			writes[r]++
+		}
+	}
+	fa := float64(writes[0]) / float64(count[0])
+	fb := float64(writes[1]) / float64(count[1])
+	if math.Abs(fa-0.1) > 0.02 || math.Abs(fb-0.7) > 0.02 {
+		t.Fatalf("regime thetas %v %v", fa, fb)
+	}
+}
+
+func TestBurstyPanics(t *testing.T) {
+	for _, cfg := range []BurstyConfig{
+		{ThetaA: -0.1, ThetaB: 0.5, SwitchProb: 0.1},
+		{ThetaA: 0.5, ThetaB: 1.1, SwitchProb: 0.1},
+		{ThetaA: 0.5, ThetaB: 0.5, SwitchProb: 0},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			Bursty(stats.NewRNG(1), cfg, 10)
+		}()
+	}
+}
+
+func TestCorrelatedWorkload(t *testing.T) {
+	rng := stats.NewRNG(34)
+	steps := CorrelatedWorkload(rng, 10, 4, 50000, 0.3)
+	reads, writes := 0, 0
+	for _, st := range steps {
+		if len(st.ReadKeys) > 0 {
+			reads++
+			if len(st.ReadKeys) != 4 {
+				t.Fatalf("group size %d", len(st.ReadKeys))
+			}
+		} else {
+			writes++
+			if st.WriteKey < 0 || st.WriteKey >= 10 {
+				t.Fatalf("write key %d", st.WriteKey)
+			}
+		}
+	}
+	if f := float64(writes) / 50000; math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("write fraction %v", f)
+	}
+	_ = reads
+}
+
+func TestCorrelatedWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CorrelatedWorkload(stats.NewRNG(1), 3, 5, 10, 0.5)
+}

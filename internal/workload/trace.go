@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mobirep/internal/sched"
+)
+
+// Timed-trace serialization for the mobirep-trace tool: a line-oriented
+// text format, one "<time> <r|w>" pair per line, with '#' comments.
+
+// WriteTimed writes the trace in the text format read by ReadTimed.
+func WriteTimed(w io.Writer, ops []TimedOp) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# mobirep timed trace v1"); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if _, err := fmt.Fprintf(bw, "%g %s\n", op.At, op.Op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimed parses a trace written by WriteTimed. Blank lines and lines
+// starting with '#' are skipped. It rejects traces that are not in time
+// order, since the model requires serialized requests.
+func ReadTimed(r io.Reader) ([]TimedOp, error) {
+	var out []TimedOp
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"<time> <r|w>\", got %q", lineNo, line)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		ops, err := sched.Parse(fields[1])
+		if err != nil || len(ops) != 1 {
+			return nil, fmt.Errorf("workload: trace line %d: bad op %q", lineNo, fields[1])
+		}
+		out = append(out, TimedOp{At: at, Op: ops[0]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !SortedByTime(out) {
+		return nil, fmt.Errorf("workload: trace is not in time order")
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+func TestTimedTraceRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(9)
+	ops := PoissonMerged(rng, 1, 2, 500)
+	var buf bytes.Buffer
+	if err := WriteTimed(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("len = %d, want %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i].Op != ops[i].Op {
+			t.Fatalf("op %d mismatch", i)
+		}
+		if d := back[i].At - ops[i].At; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("time %d: %v vs %v", i, back[i].At, ops[i].At)
+		}
+	}
+}
+
+func TestReadTimedSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0.5 r\n# middle\n1.5 w\n"
+	ops, err := ReadTimed(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Op != sched.Read || ops[1].Op != sched.Write {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestReadTimedErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad field count": "0.5 r extra\n",
+		"bad time":        "abc r\n",
+		"bad op":          "0.5 x\n",
+		"two ops":         "0.5 rw\n",
+		"out of order":    "2 r\n1 w\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTimed(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteTimedEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimed(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ReadTimed(&buf)
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("ops=%v err=%v", ops, err)
+	}
+}

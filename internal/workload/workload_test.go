@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+func TestBernoulliFraction(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, theta := range []float64{0, 0.25, 0.5, 0.8, 1} {
+		s := Bernoulli(rng, theta, 100000)
+		if len(s) != 100000 {
+			t.Fatalf("len = %d", len(s))
+		}
+		if f := s.WriteFraction(); math.Abs(f-theta) > 0.01 {
+			t.Fatalf("theta=%v: write fraction %v", theta, f)
+		}
+	}
+}
+
+func TestBernoulliPanicsOnBadTheta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bernoulli(stats.NewRNG(1), 1.5, 10)
+}
+
+func TestPoissonMergedOrderedAndComplete(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ops := PoissonMerged(rng, 3, 1, 5000)
+	if len(ops) != 5000 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	if !SortedByTime(ops) {
+		t.Fatal("merged trace out of order")
+	}
+}
+
+// TestPoissonEquivalence verifies the memorylessness argument of section
+// 3: in the merged process, each arrival is a write with probability
+// theta = lw/(lw+lr) independently, so the kind sequence matches the
+// Bernoulli model.
+func TestPoissonEquivalence(t *testing.T) {
+	rng := stats.NewRNG(3)
+	lr, lw := 2.0, 6.0
+	theta := lw / (lw + lr)
+	ops := PoissonMerged(rng, lr, lw, 200000)
+	s := StripTimes(ops)
+	if f := s.WriteFraction(); math.Abs(f-theta) > 0.01 {
+		t.Fatalf("write fraction %v, want ~%v", f, theta)
+	}
+	// Lag-1 independence: P(write | previous write) should also be theta.
+	prevWriteAndWrite, prevWrite := 0, 0
+	for i := 1; i < len(s); i++ {
+		if s[i-1] == sched.Write {
+			prevWrite++
+			if s[i] == sched.Write {
+				prevWriteAndWrite++
+			}
+		}
+	}
+	cond := float64(prevWriteAndWrite) / float64(prevWrite)
+	if math.Abs(cond-theta) > 0.01 {
+		t.Fatalf("P(w|w) = %v, want ~%v (independence)", cond, theta)
+	}
+}
+
+func TestPoissonMergedRates(t *testing.T) {
+	// Arrival count in the merged process over the elapsed time should
+	// reflect the combined rate.
+	rng := stats.NewRNG(4)
+	lr, lw := 5.0, 5.0
+	ops := PoissonMerged(rng, lr, lw, 50000)
+	elapsed := ops[len(ops)-1].At
+	rate := float64(len(ops)) / elapsed
+	if math.Abs(rate-(lr+lw)) > 0.3 {
+		t.Fatalf("merged rate %v, want ~%v", rate, lr+lw)
+	}
+}
+
+func TestPoissonMergedOneSided(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ops := PoissonMerged(rng, 0, 2, 100)
+	for _, op := range ops {
+		if op.Op != sched.Write {
+			t.Fatal("zero read rate produced a read")
+		}
+	}
+	ops = PoissonMerged(rng, 2, 0, 100)
+	for _, op := range ops {
+		if op.Op != sched.Read {
+			t.Fatal("zero write rate produced a write")
+		}
+	}
+}
+
+func TestPoissonMergedPanicsOnBadRates(t *testing.T) {
+	for _, rates := range [][2]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rates %v did not panic", rates)
+				}
+			}()
+			PoissonMerged(stats.NewRNG(1), rates[0], rates[1], 10)
+		}()
+	}
+}
+
+func TestDrifting(t *testing.T) {
+	rng := stats.NewRNG(6)
+	s, thetas := Drifting(rng, 50, 200)
+	if len(s) != 50*200 || len(thetas) != 50 {
+		t.Fatalf("shape: %d ops, %d thetas", len(s), len(thetas))
+	}
+	// Each period's empirical write fraction should track its theta.
+	var worst float64
+	for p, theta := range thetas {
+		period := s[p*200 : (p+1)*200]
+		d := math.Abs(period.WriteFraction() - theta)
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst per-period deviation %v", worst)
+	}
+	// Thetas should be roughly uniform: mean near 1/2.
+	var sum float64
+	for _, theta := range thetas {
+		sum += theta
+	}
+	if mean := sum / 50; math.Abs(mean-0.5) > 0.15 {
+		t.Fatalf("theta mean %v", mean)
+	}
+}
+
+func TestDriftingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Drifting(stats.NewRNG(1), 0, 10)
+}
+
+func TestAdversaryShapes(t *testing.T) {
+	// SWkAdversary for k=3 (n=1): cycle r^2 w^2.
+	s := SWkAdversary(3, 2)
+	if s.String() != "rrwwrrww" {
+		t.Fatalf("SWkAdversary(3,2) = %q", s)
+	}
+	if got := SW1Adversary(3).String(); got != "wrwrwr" {
+		t.Fatalf("SW1Adversary(3) = %q", got)
+	}
+	if got := T1Adversary(3, 2).String(); got != "rrrwrrrw" {
+		t.Fatalf("T1Adversary(3,2) = %q", got)
+	}
+	if got := T2Adversary(2, 2).String(); got != "wwrwwr" {
+		t.Fatalf("T2Adversary(2,2) = %q", got)
+	}
+}
+
+func TestAdversaryPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"even k": func() { SWkAdversary(4, 1) },
+		"T1 m=0": func() { T1Adversary(0, 1) },
+		"T2 m=0": func() { T2Adversary(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+// Package mobirep is a Go implementation of the data allocation algorithms
+// of Huang, Sistla and Wolfson, "Data Replication for Mobile Computers"
+// (ACM SIGMOD 1994), together with everything needed to reproduce the
+// paper's analysis: the two communication cost models, a Monte-Carlo
+// simulator, the closed-form expected/average cost formulas, the offline
+// optimal comparator used for competitive analysis, the multi-object
+// extension, and a real distributed client/server protocol over in-memory
+// or TCP transports.
+//
+// The problem: a mobile computer (MC) reads a data item whose master copy
+// lives on a stationary computer (SC); the SC also writes the item.
+// Wireless traffic costs money, so the MC should hold a copy exactly when
+// reads dominate writes. An allocation Policy decides this online.
+//
+// Quick start:
+//
+//	p := mobirep.NewSW(9)                    // sliding window, k = 9
+//	m := mobirep.MessageModel(0.5)           // control msgs cost 0.5
+//	res := mobirep.EstimateExpected(func() mobirep.Policy { return mobirep.NewSW(9) },
+//	    m, mobirep.ExpectedOpts{Theta: 0.3, Ops: 100_000, Seed: 1})
+//	fmt.Printf("measured %.4f, theory %.4f\n",
+//	    res.Mean(), mobirep.ExpSWMsg(9, 0.3, 0.5))
+//	_ = p
+//
+// The package is a facade over the implementation packages; every type
+// here is an alias, so values flow freely between the facade and any
+// deeper API.
+package mobirep
+
+import (
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+	"mobirep/internal/sched"
+)
+
+// Op is one relevant request: a read issued at the mobile computer or a
+// write issued at the stationary computer.
+type Op = sched.Op
+
+// Request kinds.
+const (
+	// Read is a read at the mobile computer.
+	Read = sched.Read
+	// Write is a write at the stationary computer.
+	Write = sched.Write
+)
+
+// Schedule is a finite sequence of relevant requests.
+type Schedule = sched.Schedule
+
+// ParseSchedule parses compact schedule notation such as "rwrrw".
+func ParseSchedule(s string) (Schedule, error) { return sched.Parse(s) }
+
+// Policy is an online data allocation algorithm: it observes the request
+// stream and decides whether the MC holds a copy.
+type Policy = core.Policy
+
+// Step reports what one request did to the allocation.
+type Step = core.Step
+
+// NewST1 returns the static one-copy method: the MC never holds a copy.
+func NewST1() Policy { return core.NewST1() }
+
+// NewST2 returns the static two-copies method: the MC always holds a copy.
+func NewST2() Policy { return core.NewST2() }
+
+// NewSW returns the sliding-window method SWk (section 4). k must be odd;
+// k = 1 gets the paper's delete-request optimization (SW1).
+func NewSW(k int) Policy { return core.NewSW(k) }
+
+// NewT1 returns the T1m method of section 7.1: static one-copy made
+// (m+1)-competitive.
+func NewT1(m int) Policy { return core.NewT1(m) }
+
+// NewT2 returns the symmetric T2m method of section 7.1.
+func NewT2(m int) Policy { return core.NewT2(m) }
+
+// CostModel prices one policy step.
+type CostModel = cost.Model
+
+// ConnectionModel returns the connection (cellular, per-call) cost model.
+func ConnectionModel() CostModel { return cost.NewConnection() }
+
+// MessageModel returns the message (packet, per-message) cost model with
+// control/data cost ratio omega in [0, 1].
+func MessageModel(omega float64) CostModel { return cost.NewMessage(omega) }
+
+// TotalCost prices a whole step trace under a model.
+func TotalCost(m CostModel, steps []Step) float64 { return cost.Total(m, steps) }
+
+// RunPolicy feeds a schedule through a policy and returns the step trace.
+func RunPolicy(p Policy, s Schedule) []Step { return core.Run(p, s) }

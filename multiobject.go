@@ -1,0 +1,67 @@
+package mobirep
+
+import "mobirep/internal/multi"
+
+// The section 7.2 multi-object extension, re-exported.
+
+// ObjectSet is a set of object ids (0-based, up to 64), e.g. the objects a
+// joint read touches.
+type ObjectSet = multi.Mask
+
+// NewObjectSet returns the set containing the given ids.
+func NewObjectSet(ids ...int) ObjectSet { return multi.NewMask(ids...) }
+
+// OpClass identifies a request class: kind plus exact object set.
+type OpClass = multi.Class
+
+// MultiOp is one multi-object request.
+type MultiOp = multi.Op
+
+// Multi-object request kinds.
+const (
+	// MultiRead is a (possibly joint) read at the mobile computer.
+	MultiRead = multi.Read
+	// MultiWrite is a (possibly joint) write at the stationary computer.
+	MultiWrite = multi.Write
+)
+
+// FreqTable maps request classes to relative frequencies.
+type FreqTable = multi.FreqTable
+
+// MultiCostModel prices one multi-object operation under an allocation.
+type MultiCostModel = multi.CostModel
+
+// MultiConnModel returns the connection model generalized to joint
+// operations.
+func MultiConnModel() MultiCostModel { return multi.ConnCost{} }
+
+// MultiMsgModel returns the message model generalized to joint operations.
+func MultiMsgModel(omega float64) MultiCostModel { return multi.MsgCost{Omega: omega} }
+
+// MultiExpectedCost returns the expected cost per operation of caching
+// exactly alloc at the MC — the section 7.2 formula.
+func MultiExpectedCost(f FreqTable, alloc ObjectSet, m MultiCostModel) float64 {
+	return multi.ExpectedCost(f, alloc, m)
+}
+
+// OptimalStaticAllocation enumerates all allocations over n objects and
+// returns the cheapest with its expected cost (n <= 24).
+func OptimalStaticAllocation(f FreqTable, n int, m MultiCostModel) (ObjectSet, float64) {
+	return multi.OptimalStatic(f, n, m)
+}
+
+// GreedyAllocation approximates the optimum with multi-start local search,
+// for object counts beyond enumeration.
+func GreedyAllocation(f FreqTable, n int, m MultiCostModel) (ObjectSet, float64) {
+	return multi.Greedy(f, n, m)
+}
+
+// DynamicMulti is the window-based dynamic multi-object method: it
+// estimates class frequencies from the last k operations and re-solves
+// every recompute operations.
+type DynamicMulti = multi.Dynamic
+
+// NewDynamicMulti builds the dynamic allocator over n objects.
+func NewDynamicMulti(n, k, recompute int, m MultiCostModel) *DynamicMulti {
+	return multi.NewDynamic(n, k, recompute, m)
+}
