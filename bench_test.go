@@ -108,6 +108,98 @@ func BenchmarkReplayThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayFusedSW9 is the fused-kernel counterpart of
+// BenchmarkReplayThroughput: same policy, model, and workload, but replayed
+// through the monomorphic SW kernel with the ops drawn inline from the RNG
+// instead of a materialized schedule.
+func BenchmarkReplayFusedSW9(b *testing.B) {
+	m := cost.NewMessage(0.5)
+	kn, ok := sim.NewKernel(core.NewSW(9), m)
+	if !ok {
+		b.Fatal("SW9 kernel unavailable")
+	}
+	rng := stats.NewRNG(1)
+	const n = 100000
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kn.Reset()
+		kn.ReplayBernoulli(rng, 0.4, n, 0)
+	}
+}
+
+// BenchmarkReplayStream measures the streaming replay path used for
+// policies without a fused kernel: ops come straight from the RNG, the
+// schedule is never materialized.
+func BenchmarkReplayStream(b *testing.B) {
+	m := cost.NewMessage(0.5)
+	const n = 100000
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(1)
+		src := sim.NewBernoulliStream(rng, 0.4)
+		sim.ReplayStream(core.NewT1(5), m, src, n, 0)
+	}
+}
+
+// BenchmarkParallelTrials measures a full estimator call — trial fan-out on
+// the shared worker pool included — at the sequential baseline and at eight
+// workers. The ns/op gap between the sub-benchmarks is the engine speedup.
+func BenchmarkParallelTrials(b *testing.B) {
+	m := cost.NewConnection()
+	opts := sim.ExpectedOpts{Theta: 0.4, Ops: 20000, Trials: 8, Seed: 7}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := sim.SetMaxWorkers(workers)
+			defer sim.SetMaxWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.EstimateExpected(func() core.Policy { return core.NewSW(9) }, m, opts)
+			}
+		})
+	}
+}
+
+// TestFusedKernelZeroAllocs is the ISSUE's allocation budget: once the
+// kernel and RNG exist, replaying a trial must not allocate at all.
+func TestFusedKernelZeroAllocs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, tc := range []struct {
+		name string
+		kn   *sim.Kernel
+	}{
+		{"SW9/msg", mustKernel(t, core.NewSW(9), cost.NewMessage(0.5))},
+		{"SW1/conn", mustKernel(t, core.NewSW(1), cost.NewConnection())},
+		{"ST1/conn", mustKernel(t, core.NewST1(), cost.NewConnection())},
+		{"ST2/msg", mustKernel(t, core.NewST2(), cost.NewMessage(0.3))},
+	} {
+		allocs := testing.AllocsPerRun(10, func() {
+			tc.kn.Reset()
+			tc.kn.ReplayBernoulli(rng, 0.4, 5000, 100)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ReplayBernoulli allocated %.0f times per run, want 0", tc.name, allocs)
+		}
+		allocs = testing.AllocsPerRun(10, func() {
+			tc.kn.Reset()
+			tc.kn.ReplayDrifting(rng, 20, 250)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ReplayDrifting allocated %.0f times per run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func mustKernel(t *testing.T, p core.Policy, m cost.Model) *sim.Kernel {
+	t.Helper()
+	kn, ok := sim.NewKernel(p, m)
+	if !ok {
+		t.Fatalf("no fused kernel for %s", p.Name())
+	}
+	return kn
+}
+
 func BenchmarkPiK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		analytic.PiK(95, 0.37)

@@ -1,0 +1,24 @@
+#!/bin/sh
+# ci.sh — the repo's full verification gate. Everything here must pass
+# before merging: static checks, the full test suite under the race
+# detector, and a quick-mode end-to-end run of the experiment CLI.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# End-to-end: regenerate every experiment table in quick mode and prove the
+# parallel engine reproduces the sequential tables byte-for-byte.
+out_seq=$(mktemp)
+out_par=$(mktemp)
+trap 'rm -f "$out_seq" "$out_par"' EXIT
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 |
+    sed 's/completed in [^]]*\]/completed]/' > "$out_seq"
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 |
+    sed 's/completed in [^]]*\]/completed]/' > "$out_par"
+diff "$out_seq" "$out_par"
+
+echo "ci.sh: all checks passed"

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -50,6 +52,67 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if strings.Contains(out, "== Figure") {
 		t.Fatal("ASCII table leaked into CSV mode")
+	}
+}
+
+// timingLine matches the wall-clock footer, the only non-deterministic
+// part of the text output.
+var timingLine = regexp.MustCompile(`\[E\d+ completed in [^\]]+\]`)
+
+// TestParallelOutputMatchesSequential: the same seed must produce
+// byte-identical tables whether experiments run one at a time or eight
+// abreast; only the timing footers may differ.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	code, seq, _ := runCapture(t, "-quick", "-seed", "9", "-parallel", "1", "E02", "E03", "E09")
+	if code != 0 {
+		t.Fatalf("sequential exit %d", code)
+	}
+	code, par, _ := runCapture(t, "-quick", "-seed", "9", "-parallel", "8", "E02", "E03", "E09")
+	if code != 0 {
+		t.Fatalf("parallel exit %d", code)
+	}
+	normalize := func(s string) string { return timingLine.ReplaceAllString(s, "[timing]") }
+	if normalize(seq) != normalize(par) {
+		t.Fatalf("parallel output differs from sequential:\n--- -parallel 1 ---\n%s\n--- -parallel 8 ---\n%s", seq, par)
+	}
+}
+
+// TestJSONOutput checks the -json document: valid JSON, one record per
+// experiment in ID order, with timings and table payloads.
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := runCapture(t, "-quick", "-json", "-seed", "4", "E10", "E02")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var doc []struct {
+		ID       string  `json:"id"`
+		Title    string  `json:"title"`
+		Artifact string  `json:"artifact"`
+		Seconds  float64 `json:"seconds"`
+		Tables   []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc) != 2 || doc[0].ID != "E10" || doc[1].ID != "E02" {
+		t.Fatalf("unexpected records: %+v", doc)
+	}
+	for _, e := range doc {
+		if e.Seconds <= 0 || e.Title == "" || e.Artifact == "" || len(e.Tables) == 0 {
+			t.Fatalf("incomplete record: %+v", e)
+		}
+		for _, tbl := range e.Tables {
+			if tbl.Title == "" || len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("incomplete table in %s: %+v", e.ID, tbl)
+			}
+		}
+	}
+	if strings.Contains(out, "### ") {
+		t.Fatal("ASCII header leaked into JSON mode")
 	}
 }
 

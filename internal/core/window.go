@@ -73,12 +73,24 @@ func (w *Window) Push(op sched.Op) {
 // which the window is piggybacked on handoff messages.
 func (w *Window) Bits() sched.Schedule {
 	out := make(sched.Schedule, len(w.bits))
-	for i := range w.bits {
-		if w.bits[(w.head+i)%len(w.bits)] {
-			out[i] = sched.Write
+	// Unroll the ring in two straight passes — head..end then 0..head —
+	// so the protocol handoff path pays no modulo per element.
+	n := copyBits(out, w.bits[w.head:])
+	copyBits(out[n:], w.bits[:w.head])
+	return out
+}
+
+// copyBits translates a contiguous run of ring bits into schedule ops and
+// returns the number of elements written.
+func copyBits(dst sched.Schedule, src []bool) int {
+	for i, isWrite := range src {
+		if isWrite {
+			dst[i] = sched.Write
+		} else {
+			dst[i] = sched.Read
 		}
 	}
-	return out
+	return len(src)
 }
 
 // LoadBits replaces the window contents with the given oldest-first

@@ -141,3 +141,30 @@ func TestWindowCountsConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWindowBitsAllRotations pins the two-pass Bits unroll against a
+// reference modulo walk for every head position at several sizes.
+func TestWindowBitsAllRotations(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 95} {
+		w := NewWindow(k, sched.Write)
+		for push := 0; push < 2*k+3; push++ {
+			ref := make(sched.Schedule, k)
+			for i := range ref {
+				if w.bits[(w.head+i)%k] {
+					ref[i] = sched.Write
+				}
+			}
+			got := w.Bits()
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("k=%d head=%d: Bits()[%d] = %v, want %v", k, w.head, i, got[i], ref[i])
+				}
+			}
+			op := sched.Read
+			if push%3 == 0 {
+				op = sched.Write
+			}
+			w.Push(op)
+		}
+	}
+}

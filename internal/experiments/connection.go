@@ -44,16 +44,23 @@ func runE03(cfg Config) []*report.Table {
 	}
 	tbl := report.New("EXP(theta), connection model: theory vs simulation", cols...)
 
-	maxErr := 0.0
-	for _, theta := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
-		row := []string{report.F(theta, 2)}
+	// One grid cell per theta; every cell keeps the per-policy seeds the
+	// sequential sweep used, so the parallel tables are byte-identical.
+	thetas := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	type cellOut struct {
+		row    []string
+		maxErr float64
+	}
+	cells := gridRun(len(thetas), func(ci int) cellOut {
+		theta := thetas[ci]
+		out := cellOut{row: []string{report.F(theta, 2)}}
 		add := func(theory float64, f sim.Factory, seed uint64) {
 			got := sim.EstimateExpected(f, model,
 				sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: seed}).Mean()
-			if d := abs(got - theory); d > maxErr {
-				maxErr = d
+			if d := abs(got - theory); d > out.maxErr {
+				out.maxErr = d
 			}
-			row = append(row, report.F(theory, 4), report.F(got, 4))
+			out.row = append(out.row, report.F(theory, 4), report.F(got, 4))
 		}
 		add(analytic.ExpST1Conn(theta), func() core.Policy { return core.NewST1() }, cfg.Seed)
 		add(analytic.ExpST2Conn(theta), func() core.Policy { return core.NewST2() }, cfg.Seed+1)
@@ -62,7 +69,14 @@ func runE03(cfg Config) []*report.Table {
 			add(analytic.ExpSWConn(k, theta),
 				func() core.Policy { return core.NewSW(k) }, cfg.Seed+2+uint64(i))
 		}
-		tbl.AddRow(row...)
+		return out
+	})
+	maxErr := 0.0
+	for _, c := range cells {
+		tbl.AddRow(c.row...)
+		if c.maxErr > maxErr {
+			maxErr = c.maxErr
+		}
 	}
 	tbl.AddNote("max |sim - theory| over the whole sweep: %.5f", maxErr)
 	tbl.AddNote("Theorem 2: every SWk column is >= min(ST1, ST2) at each theta")
@@ -81,18 +95,27 @@ func runE04(cfg Config) []*report.Table {
 	}
 	tbl := report.New("AVG, connection model: theory vs drifting-theta simulation",
 		"algorithm", "AVG theory", "AVG sim", "above optimum (1/4)")
-	tbl.AddRow("ST1", report.F(analytic.AvgST1Conn, 4),
-		report.F(sim.EstimateAverage(func() core.Policy { return core.NewST1() }, model, opts).Mean(), 4),
-		report.Pct(analytic.AvgST1Conn/analytic.OptimumAvgConn-1))
-	tbl.AddRow("ST2", report.F(analytic.AvgST2Conn, 4),
-		report.F(sim.EstimateAverage(func() core.Policy { return core.NewST2() }, model, opts).Mean(), 4),
-		report.Pct(analytic.AvgST2Conn/analytic.OptimumAvgConn-1))
+	type avgCell struct {
+		name   string
+		theory float64
+		f      sim.Factory
+	}
+	specs := []avgCell{
+		{"ST1", analytic.AvgST1Conn, func() core.Policy { return core.NewST1() }},
+		{"ST2", analytic.AvgST2Conn, func() core.Policy { return core.NewST2() }},
+	}
 	for _, k := range []int{1, 3, 5, 9, 15, 21, 39, 95} {
 		k := k
-		theory := analytic.AvgSWConn(k)
-		got := sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
-		tbl.AddRow("SW"+report.I(k), report.F(theory, 4), report.F(got, 4),
-			report.Pct(theory/analytic.OptimumAvgConn-1))
+		specs = append(specs, avgCell{"SW" + report.I(k), analytic.AvgSWConn(k),
+			func() core.Policy { return core.NewSW(k) }})
+	}
+	for _, row := range gridRows(len(specs), func(ci int) []string {
+		c := specs[ci]
+		got := sim.EstimateAverage(c.f, model, opts).Mean()
+		return []string{c.name, report.F(c.theory, 4), report.F(got, 4),
+			report.Pct(c.theory/analytic.OptimumAvgConn - 1)}
+	}) {
+		tbl.AddRow(row...)
 	}
 	tbl.AddNote("paper: k=15 comes within 6%% of the optimum; k=9 within 10%%")
 	tbl.AddNote("AVG_SWk = 1/4 + 1/(4(k+2)) decreases in k; both statics sit at 1/2")
@@ -109,10 +132,14 @@ func runE05(cfg Config) []*report.Table {
 
 	tight := report.New("Theorem 4: SWk is tightly (k+1)-competitive",
 		"k", "bound k+1", "ratio on (r^(n+1) w^(n+1))^N", "online cost", "offline cost")
-	for _, k := range []int{1, 3, 5, 9, 15} {
+	tightKs := []int{1, 3, 5, 9, 15}
+	for _, row := range gridRows(len(tightKs), func(ci int) []string {
+		k := tightKs[ci]
 		res := workload.MeasureRatio(core.NewSW(k), model, workload.SWkAdversary(k, cycles))
-		tight.AddRow(report.I(k), report.F(analytic.CompetitiveSWConn(k), 0),
-			report.F(res.Ratio, 4), report.F(res.OnlineCost, 0), report.F(res.OfflineCost, 0))
+		return []string{report.I(k), report.F(analytic.CompetitiveSWConn(k), 0),
+			report.F(res.Ratio, 4), report.F(res.OnlineCost, 0), report.F(res.OfflineCost, 0)}
+	}) {
+		tight.AddRow(row...)
 	}
 	tight.AddNote("ratio -> k+1 as N grows; the excess over k+1 is the additive constant b")
 

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"mobirep/internal/sim"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -68,6 +70,52 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGridMatchesSequential is the engine's determinism proof at the
+// experiment level: running the grid-parallelized experiments with 8
+// workers must reproduce the fully sequential tables byte for byte at the
+// same seed. It covers both estimator kinds (EXP and AVG sweeps) and the
+// competitive-ratio grids.
+func TestGridMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments twice")
+	}
+	render := func(id string) string {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tbl := range e.Run(Config{Seed: 1994, Quick: true}) {
+			b.WriteString(tbl.ASCII())
+			b.WriteString(tbl.CSV())
+		}
+		return b.String()
+	}
+	for _, id := range []string{"E01", "E03", "E04", "E06", "E07", "E08"} {
+		prev := sim.SetMaxWorkers(1)
+		seq := render(id)
+		sim.SetMaxWorkers(8)
+		par := render(id)
+		sim.SetMaxWorkers(prev)
+		if seq != par {
+			t.Fatalf("%s: parallel output differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", id, seq, par)
+		}
+	}
+}
+
+// TestGridRunOrdering pins gridRun's contract: results land in cell order
+// regardless of scheduling.
+func TestGridRunOrdering(t *testing.T) {
+	prev := sim.SetMaxWorkers(8)
+	defer sim.SetMaxWorkers(prev)
+	got := gridRun(64, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("cell %d = %d, want %d", i, v, i*i)
+		}
 	}
 }
 

@@ -211,13 +211,14 @@ func randomFreqs(rng *stats.RNG, n, classes int) multi.FreqTable {
 }
 
 func samplePhase(rng *stats.RNG, f multi.FreqTable, ops int, dyn *multi.Dynamic) {
-	classes := make([]multi.Class, 0, len(f))
+	// Canonical class order: building the sampling arrays from raw map
+	// iteration would map each RNG draw to a different class per run.
+	classes := f.Classes()
 	weights := make([]float64, 0, len(f))
 	total := 0.0
-	for c, w := range f {
-		classes = append(classes, c)
-		weights = append(weights, w)
-		total += w
+	for _, c := range classes {
+		weights = append(weights, f[c])
+		total += f[c]
 	}
 	for i := 0; i < ops; i++ {
 		xv := rng.Float64() * total

@@ -52,7 +52,9 @@ func runE01(cfg Config) []*report.Table {
 	verify := report.New("Figure 1 verification at omega=0.5: measured expected cost per request",
 		"theta", "EXP ST1", "EXP ST2", "EXP SW1", "winner(formula)", "winner(sim)", "agree")
 	ops := cfg.scale(200000, 10000)
-	for _, theta := range []float64{0.1, 0.3, 1.0 / 3, 0.5, 0.7, 0.75, 0.9} {
+	verifyThetas := []float64{0.1, 0.3, 1.0 / 3, 0.5, 0.7, 0.75, 0.9}
+	for _, row := range gridRows(len(verifyThetas), func(ci int) []string {
+		theta := verifyThetas[ci]
 		st1 := sim.EstimateExpected(func() core.Policy { return core.NewST1() },
 			msgModel(omega), sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: cfg.Seed}).Mean()
 		st2 := sim.EstimateExpected(func() core.Policy { return core.NewST2() },
@@ -66,9 +68,11 @@ func runE01(cfg Config) []*report.Table {
 			simWinner = analytic.AlgST2
 		}
 		formulaWinner := analytic.BestExpectedMsg(theta, omega)
-		verify.AddRow(report.F(theta, 3), report.F(st1, 4), report.F(st2, 4),
+		return []string{report.F(theta, 3), report.F(st1, 4), report.F(st2, 4),
 			report.F(sw1, 4), formulaWinner.String(), simWinner.String(),
-			boolMark(simWinner == formulaWinner))
+			boolMark(simWinner == formulaWinner)}
+	}) {
+		verify.AddRow(row...)
 	}
 	verify.AddNote("theta near a boundary can disagree within simulation noise; boundaries at %.3f and %.3f",
 		analytic.ThetaLowerST2(omega), analytic.ThetaUpperST1(omega))
@@ -124,11 +128,15 @@ func runE02(cfg Config) []*report.Table {
 	}
 	check := report.New("Figure 2 verification at omega=0.8 (simulated AVG)",
 		"algorithm", "AVG theory", "AVG simulated", "beats SW1 (theory)", "beats SW1 (sim)")
-	sw1 := sim.EstimateAverage(func() core.Policy { return core.NewSW(1) }, model, opts).Mean()
+	checkKs := []int{1, 5, 7, 9}
+	avgs := gridRun(len(checkKs), func(ci int) float64 {
+		k := checkKs[ci]
+		return sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
+	})
+	sw1 := avgs[0]
 	check.AddRow("SW1", report.F(analytic.AvgSW1Msg(omega), 4), report.F(sw1, 4), "-", "-")
-	for _, k := range []int{5, 7, 9} {
-		k := k
-		got := sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
+	for i, k := range checkKs[1:] {
+		got := avgs[i+1]
 		theory := analytic.AvgSWMsg(k, omega)
 		check.AddRow(
 			"SW"+report.I(k), report.F(theory, 4), report.F(got, 4),

@@ -1,0 +1,28 @@
+package experiments
+
+import "mobirep/internal/sim"
+
+// The grid runner: experiments declare their sweep as independent cells —
+// one (theta, policy) or (omega, row) point each — and the engine executes
+// them concurrently on the shared simulator worker pool.
+//
+// Cells must be pure functions of their index: each derives its own seed
+// (the experiments keep the exact per-cell seeds they used sequentially)
+// and touches no shared state. Results land in the cell's own slot and are
+// folded in declaration order, so the rendered tables are byte-identical
+// to a sequential run at any parallelism — TestGridMatchesSequential holds
+// the engine to that.
+
+// gridRun evaluates cell(i) for every i in [0, n) concurrently and
+// returns the results in cell order.
+func gridRun[T any](n int, cell func(i int) T) []T {
+	out := make([]T, n)
+	sim.Fan(n, func(i int) { out[i] = cell(i) })
+	return out
+}
+
+// gridRows is gridRun specialized to the common case where each cell
+// produces one pre-rendered table row.
+func gridRows(n int, cell func(i int) []string) [][]string {
+	return gridRun(n, cell)
+}

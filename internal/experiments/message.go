@@ -35,31 +35,49 @@ func init() {
 // envelope.
 func runE06(cfg Config) []*report.Table {
 	ops := cfg.scale(200000, 10000)
-	var tables []*report.Table
-	for _, omega := range []float64{0.25, 0.5, 1.0} {
+	omegas := []float64{0.25, 0.5, 1.0}
+	thetas := []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+
+	// The whole (omega, theta) sweep is one flat grid so every cell of
+	// every table runs concurrently; per-cell seeds match the sequential
+	// sweep, keeping the tables byte-identical.
+	type cellOut struct {
+		row    []string
+		maxErr float64
+	}
+	cells := gridRun(len(omegas)*len(thetas), func(ci int) cellOut {
+		omega, theta := omegas[ci/len(thetas)], thetas[ci%len(thetas)]
 		model := cost.NewMessage(omega)
+		out := cellOut{row: []string{report.F(theta, 2)}}
+		add := func(theory float64, f sim.Factory, seed uint64) {
+			got := sim.EstimateExpected(f, model,
+				sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: seed}).Mean()
+			if d := abs(got - theory); d > out.maxErr {
+				out.maxErr = d
+			}
+			out.row = append(out.row, report.F(theory, 4), report.F(got, 4))
+		}
+		add(analytic.ExpST1Msg(theta, omega), func() core.Policy { return core.NewST1() }, cfg.Seed)
+		add(analytic.ExpST2Msg(theta), func() core.Policy { return core.NewST2() }, cfg.Seed+1)
+		add(analytic.ExpSW1Msg(theta, omega), func() core.Policy { return core.NewSW(1) }, cfg.Seed+2)
+		add(analytic.ExpSWMsg(5, theta, omega), func() core.Policy { return core.NewSW(5) }, cfg.Seed+3)
+		add(analytic.ExpSWMsg(9, theta, omega), func() core.Policy { return core.NewSW(9) }, cfg.Seed+4)
+		out.row = append(out.row, report.F(analytic.MinExpectedMsg(theta, omega), 4))
+		return out
+	})
+
+	var tables []*report.Table
+	for oi, omega := range omegas {
 		tbl := report.New("EXP(theta), message model, omega="+report.F(omega, 2),
 			"theta", "ST1 thry", "ST1 sim", "ST2 thry", "ST2 sim",
 			"SW1 thry", "SW1 sim", "SW5 thry", "SW5 sim", "SW9 thry", "SW9 sim",
 			"envelope min")
 		maxErr := 0.0
-		for _, theta := range []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9} {
-			row := []string{report.F(theta, 2)}
-			add := func(theory float64, f sim.Factory, seed uint64) {
-				got := sim.EstimateExpected(f, model,
-					sim.ExpectedOpts{Theta: theta, Ops: ops, Seed: seed}).Mean()
-				if d := abs(got - theory); d > maxErr {
-					maxErr = d
-				}
-				row = append(row, report.F(theory, 4), report.F(got, 4))
+		for _, c := range cells[oi*len(thetas) : (oi+1)*len(thetas)] {
+			tbl.AddRow(c.row...)
+			if c.maxErr > maxErr {
+				maxErr = c.maxErr
 			}
-			add(analytic.ExpST1Msg(theta, omega), func() core.Policy { return core.NewST1() }, cfg.Seed)
-			add(analytic.ExpST2Msg(theta), func() core.Policy { return core.NewST2() }, cfg.Seed+1)
-			add(analytic.ExpSW1Msg(theta, omega), func() core.Policy { return core.NewSW(1) }, cfg.Seed+2)
-			add(analytic.ExpSWMsg(5, theta, omega), func() core.Policy { return core.NewSW(5) }, cfg.Seed+3)
-			add(analytic.ExpSWMsg(9, theta, omega), func() core.Policy { return core.NewSW(9) }, cfg.Seed+4)
-			row = append(row, report.F(analytic.MinExpectedMsg(theta, omega), 4))
-			tbl.AddRow(row...)
 		}
 		tbl.AddNote("max |sim - theory| over the sweep: %.5f", maxErr)
 		tbl.AddNote("Theorem 9: SW5 and SW9 never beat the {ST1, ST2, SW1} envelope at fixed theta")
@@ -76,24 +94,40 @@ func runE07(cfg Config) []*report.Table {
 		OpsPerPeriod: cfg.scale(500, 200),
 		Seed:         cfg.Seed,
 	}
-	var tables []*report.Table
-	for _, omega := range []float64{0.2, 0.5, 0.8} {
+	omegas := []float64{0.2, 0.5, 0.8}
+	ks := []int{1, 3, 7, 15, 39}
+	rowsPerOmega := 2 + len(ks)
+	// Flat (omega, algorithm) grid; each cell is one table row.
+	rows := gridRows(len(omegas)*rowsPerOmega, func(ci int) []string {
+		omega := omegas[ci/rowsPerOmega]
 		model := cost.NewMessage(omega)
+		bound := analytic.AvgSWMsgLowerBound(omega)
+		var name string
+		var theory float64
+		var f sim.Factory
+		switch ri := ci % rowsPerOmega; ri {
+		case 0:
+			name, theory = "ST1", analytic.AvgST1Msg(omega)
+			f = func() core.Policy { return core.NewST1() }
+		case 1:
+			name, theory = "ST2", analytic.AvgST2Msg
+			f = func() core.Policy { return core.NewST2() }
+		default:
+			k := ks[ri-2]
+			name, theory = "SW"+report.I(k), analytic.AvgSWMsg(k, omega)
+			f = func() core.Policy { return core.NewSW(k) }
+		}
+		got := sim.EstimateAverage(f, model, opts).Mean()
+		return []string{name, report.F(theory, 4), report.F(got, 4), report.Pct(theory/bound - 1)}
+	})
+
+	var tables []*report.Table
+	for oi, omega := range omegas {
+		bound := analytic.AvgSWMsgLowerBound(omega)
 		tbl := report.New("AVG, message model, omega="+report.F(omega, 2),
 			"algorithm", "AVG theory", "AVG sim", "above bound 1/4+w/8")
-		bound := analytic.AvgSWMsgLowerBound(omega)
-		tbl.AddRow("ST1", report.F(analytic.AvgST1Msg(omega), 4),
-			report.F(sim.EstimateAverage(func() core.Policy { return core.NewST1() }, model, opts).Mean(), 4),
-			report.Pct(analytic.AvgST1Msg(omega)/bound-1))
-		tbl.AddRow("ST2", report.F(analytic.AvgST2Msg, 4),
-			report.F(sim.EstimateAverage(func() core.Policy { return core.NewST2() }, model, opts).Mean(), 4),
-			report.Pct(analytic.AvgST2Msg/bound-1))
-		for _, k := range []int{1, 3, 7, 15, 39} {
-			k := k
-			theory := analytic.AvgSWMsg(k, omega)
-			got := sim.EstimateAverage(func() core.Policy { return core.NewSW(k) }, model, opts).Mean()
-			tbl.AddRow("SW"+report.I(k), report.F(theory, 4), report.F(got, 4),
-				report.Pct(theory/bound-1))
+		for _, row := range rows[oi*rowsPerOmega : (oi+1)*rowsPerOmega] {
+			tbl.AddRow(row...)
 		}
 		tbl.AddNote("Corollary 2: AVG_SWk decreases in k toward (not reaching) %.4f", bound)
 		if omega <= analytic.OmegaBreakEven {
@@ -124,13 +158,16 @@ func runE08(cfg Config) []*report.Table {
 
 	swk := report.New("Theorem 12: SWk is tightly ((1+w/2)(k+1)+w)-competitive",
 		"k", "omega", "bound", "ratio on (r^(n+1) w^(n+1))^N")
-	for _, k := range []int{3, 5, 9} {
-		for _, omega := range []float64{0.25, 0.5, 1} {
-			res := workload.MeasureRatio(core.NewSW(k), cost.NewMessage(omega),
-				workload.SWkAdversary(k, cycles))
-			swk.AddRow(report.I(k), report.F(omega, 2),
-				report.F(analytic.CompetitiveSWMsg(k, omega), 3), report.F(res.Ratio, 4))
-		}
+	swkKs := []int{3, 5, 9}
+	swkOmegas := []float64{0.25, 0.5, 1}
+	for _, row := range gridRows(len(swkKs)*len(swkOmegas), func(ci int) []string {
+		k, omega := swkKs[ci/len(swkOmegas)], swkOmegas[ci%len(swkOmegas)]
+		res := workload.MeasureRatio(core.NewSW(k), cost.NewMessage(omega),
+			workload.SWkAdversary(k, cycles))
+		return []string{report.I(k), report.F(omega, 2),
+			report.F(analytic.CompetitiveSWMsg(k, omega), 3), report.F(res.Ratio, 4)}
+	}) {
+		swk.AddRow(row...)
 	}
 	swk.AddNote("SW1's factor 1+2w is below SWk's for every k > 1: the worst case prefers small windows")
 	tables = append(tables, swk)

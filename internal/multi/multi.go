@@ -17,6 +17,7 @@ package multi
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 )
 
@@ -96,11 +97,30 @@ func (o Op) Class() Class { return Class{Kind: o.Kind, Objects: o.Objects} }
 // always reported per operation.
 type FreqTable map[Class]float64
 
+// Classes returns the table's classes in a canonical order (by kind, then
+// object set). Every float accumulation over the table goes through this:
+// map iteration order is randomized, and summing frequencies in a different
+// order each run perturbs the low bits, which is enough to flip near-tie
+// allocation choices and the sign of ~0 error percentages in reports.
+func (f FreqTable) Classes() []Class {
+	cs := make([]Class, 0, len(f))
+	for c := range f {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Kind != cs[j].Kind {
+			return cs[i].Kind < cs[j].Kind
+		}
+		return cs[i].Objects < cs[j].Objects
+	})
+	return cs
+}
+
 // Total returns the sum of all frequencies.
 func (f FreqTable) Total() float64 {
 	sum := 0.0
-	for _, v := range f {
-		sum += v
+	for _, c := range f.Classes() {
+		sum += f[c]
 	}
 	return sum
 }
@@ -187,8 +207,8 @@ func ExpectedCost(f FreqTable, alloc Mask, m CostModel) float64 {
 		return 0
 	}
 	sum := 0.0
-	for c, freq := range f {
-		sum += freq * m.OpCost(c, alloc)
+	for _, c := range f.Classes() {
+		sum += f[c] * m.OpCost(c, alloc)
 	}
 	return sum / total
 }
@@ -256,16 +276,17 @@ func descend(f FreqTable, start Mask, n int, m CostModel) (Mask, float64) {
 // mass, ignoring the joint structure.
 func heuristicStart(f FreqTable, n int) Mask {
 	var alloc Mask
+	classes := f.Classes()
 	for id := 0; id < n; id++ {
 		reads, writes := 0.0, 0.0
-		for c, v := range f {
+		for _, c := range classes {
 			if !c.Objects.Has(id) {
 				continue
 			}
 			if c.Kind == Read {
-				reads += v
+				reads += f[c]
 			} else {
-				writes += v
+				writes += f[c]
 			}
 		}
 		if reads > writes {

@@ -1,0 +1,158 @@
+package sim
+
+// The measurement engine's shared runner. Every parallel construct in the
+// repository — Monte-Carlo trials, experiment grid sweeps, the bench CLI's
+// concurrent experiments — fans indexed work over one persistent pool of
+// worker goroutines instead of spinning goroutines per call.
+//
+// Work distribution is an atomic cursor over the index range: every
+// participant (the submitting goroutine plus any pool workers it managed
+// to enlist) repeatedly claims the next unclaimed index, so a slow cell
+// never strands work behind it and fast participants steal the remainder.
+// The submitting goroutine always participates, which makes nested Fan
+// calls deadlock-free even when every pool worker is busy: enlisting is a
+// non-blocking offer that only an idle worker can accept.
+//
+// Because each index runs exactly once and results are written to the
+// index's own slot, output placement is deterministic: a Fan over pure
+// per-index functions produces bit-identical results at any parallelism,
+// including MaxWorkers()==1, which degenerates to a plain sequential loop.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkersOverride caps Fan's parallelism when positive; zero means
+// "use GOMAXPROCS".
+var maxWorkersOverride atomic.Int32
+
+// MaxWorkers returns the number of participants Fan may use per call.
+func MaxWorkers() int {
+	if v := maxWorkersOverride.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetMaxWorkers overrides the parallelism of every subsequent Fan call and
+// returns the previous setting. n <= 1 forces fully sequential execution
+// (the submitting goroutine runs every index in order); larger values cap
+// the number of concurrent participants. The bench CLI plumbs its
+// -parallel flag through this, and the determinism tests use it to prove
+// that parallel and sequential runs produce identical bytes.
+func SetMaxWorkers(n int) int {
+	prev := MaxWorkers()
+	if n < 1 {
+		n = 1
+	}
+	maxWorkersOverride.Store(int32(n))
+	return prev
+}
+
+// workerPool is the process-wide set of persistent worker goroutines.
+type workerPool struct {
+	tasks chan func()
+}
+
+var (
+	poolOnce sync.Once
+	pool     *workerPool
+)
+
+// sharedPool starts the workers on first use. The pool is sized above
+// GOMAXPROCS so that tests raising SetMaxWorkers on small machines still
+// exercise real concurrency; parked workers cost only their stacks.
+func sharedPool() *workerPool {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+		pool = &workerPool{tasks: make(chan func())}
+		for i := 0; i < n; i++ {
+			go pool.worker()
+		}
+	})
+	return pool
+}
+
+func (p *workerPool) worker() {
+	for task := range p.tasks {
+		task()
+	}
+}
+
+// Fan runs fn(i) exactly once for every i in [0, n), possibly
+// concurrently, and returns when all calls have finished. fn must be safe
+// for concurrent invocation with distinct indices; writing to the i-th
+// slot of a caller-owned slice is race-free. If any fn panics, the
+// remaining indices still run and the first panic value is re-raised in
+// the calling goroutine, mirroring a sequential loop closely enough for
+// the experiments' panic-on-error style.
+func Fan(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	helpers := MaxWorkers() - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	if helpers <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		cursor   atomic.Int64
+		panicMu  sync.Mutex
+		panicked any
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			call(i)
+		}
+	}
+
+	p := sharedPool()
+	var wg sync.WaitGroup
+	task := func() {
+		defer wg.Done()
+		work()
+	}
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		select {
+		case p.tasks <- task:
+		default:
+			// Every worker is busy; the caller covers the load alone
+			// rather than blocking, which keeps nested fans live.
+			wg.Done()
+		}
+	}
+	work()
+	wg.Wait()
+
+	if panicked != nil {
+		panic(panicked)
+	}
+}

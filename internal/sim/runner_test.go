@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/cost"
+)
+
+// TestFanCoversAllIndicesOnce checks the basic contract at several widths.
+func TestFanCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetMaxWorkers(workers)
+		for _, n := range []int{0, 1, 7, 100} {
+			counts := make([]int32, n)
+			Fan(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+		SetMaxWorkers(prev)
+	}
+}
+
+// TestFanNestedDoesNotDeadlock runs fans inside fans wide enough to
+// saturate the pool; the caller-participates design must keep making
+// progress.
+func TestFanNestedDoesNotDeadlock(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	var total atomic.Int64
+	Fan(16, func(i int) {
+		Fan(16, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 256 {
+		t.Fatalf("nested fan ran %d inner cells, want 256", got)
+	}
+}
+
+// TestFanPropagatesPanic: a panicking cell must surface in the caller, and
+// the remaining cells must still run.
+func TestFanPropagatesPanic(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	var ran atomic.Int64
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		if got := ran.Load(); got != 7 {
+			t.Fatalf("%d healthy cells ran, want 7", got)
+		}
+	}()
+	Fan(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+		ran.Add(1)
+	})
+	t.Fatal("Fan returned instead of panicking")
+}
+
+// TestSetMaxWorkersClampsAndRestores documents the knob's semantics.
+func TestSetMaxWorkersClampsAndRestores(t *testing.T) {
+	orig := MaxWorkers()
+	prev := SetMaxWorkers(-5)
+	if MaxWorkers() != 1 {
+		t.Fatalf("MaxWorkers after SetMaxWorkers(-5) = %d, want 1", MaxWorkers())
+	}
+	if got := SetMaxWorkers(prev); got != 1 {
+		t.Fatalf("SetMaxWorkers returned %d, want 1", got)
+	}
+	if MaxWorkers() != orig {
+		t.Fatalf("MaxWorkers not restored: %d != %d", MaxWorkers(), orig)
+	}
+}
+
+// TestEstimatorsIdenticalAcrossParallelism is the engine-level determinism
+// proof: the same estimate at workers=1 and workers=8 must agree to the
+// last bit, because trials write to per-index slots and fold in order.
+func TestEstimatorsIdenticalAcrossParallelism(t *testing.T) {
+	m := cost.NewMessage(0.5)
+	eopts := ExpectedOpts{Theta: 0.4, Ops: 20000, Trials: 8, Seed: 123}
+	aopts := AverageOpts{Periods: 60, OpsPerPeriod: 300, Trials: 8, Seed: 321}
+
+	prev := SetMaxWorkers(1)
+	seqE := EstimateExpected(swFactory(9), m, eopts)
+	seqA := EstimateAverage(func() core.Policy { return core.NewT1(5) }, m, aopts)
+	SetMaxWorkers(8)
+	parE := EstimateExpected(swFactory(9), m, eopts)
+	parA := EstimateAverage(func() core.Policy { return core.NewT1(5) }, m, aopts)
+	SetMaxWorkers(prev)
+
+	if seqE.Mean() != parE.Mean() || seqE.CI95() != parE.CI95() {
+		t.Fatalf("EstimateExpected differs across parallelism: %v vs %v", seqE, parE)
+	}
+	if seqA.Mean() != parA.Mean() || seqA.CI95() != parA.CI95() {
+		t.Fatalf("EstimateAverage differs across parallelism: %v vs %v", seqA, parA)
+	}
+}

@@ -10,14 +10,11 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mobirep/internal/core"
 	"mobirep/internal/cost"
 	"mobirep/internal/sched"
 	"mobirep/internal/stats"
-	"mobirep/internal/workload"
 )
 
 // Factory builds a fresh policy instance for one trial.
@@ -115,11 +112,16 @@ func (o *ExpectedOpts) fill() {
 // per-trial means, so its CI95 bounds the estimate of the mean.
 func EstimateExpected(f Factory, m cost.Model, opts ExpectedOpts) stats.Summary {
 	opts.fill()
+	_, fused := NewKernel(f(), m)
 	results := parallelTrials(opts.Trials, func(trial int) float64 {
 		rng := stats.NewRNG(opts.Seed + uint64(trial)*0x9e3779b9)
-		s := workload.Bernoulli(rng, opts.Theta, opts.Warmup+opts.Ops)
-		p := f()
-		return Replay(p, m, s, opts.Warmup).PerOp()
+		n := opts.Warmup + opts.Ops
+		if fused {
+			kn, _ := NewKernel(f(), m)
+			return kn.ReplayBernoulli(rng, opts.Theta, n, opts.Warmup).PerOp()
+		}
+		src := NewBernoulliStream(rng, opts.Theta)
+		return ReplayStream(f(), m, src, n, opts.Warmup).PerOp()
 	})
 	var sum stats.Summary
 	for _, v := range results {
@@ -160,11 +162,15 @@ func (o *AverageOpts) fill() {
 // average expected cost integral.
 func EstimateAverage(f Factory, m cost.Model, opts AverageOpts) stats.Summary {
 	opts.fill()
+	_, fused := NewKernel(f(), m)
 	results := parallelTrials(opts.Trials, func(trial int) float64 {
 		rng := stats.NewRNG(opts.Seed + uint64(trial)*0x9e3779b9)
-		s, _ := workload.Drifting(rng, opts.Periods, opts.OpsPerPeriod)
-		p := f()
-		return Replay(p, m, s, 0).PerOp()
+		if fused {
+			kn, _ := NewKernel(f(), m)
+			return kn.ReplayDrifting(rng, opts.Periods, opts.OpsPerPeriod).PerOp()
+		}
+		src := NewDriftingStream(rng, opts.OpsPerPeriod)
+		return ReplayStream(f(), m, src, opts.Periods*opts.OpsPerPeriod, 0).PerOp()
 	})
 	var sum stats.Summary
 	for _, v := range results {
@@ -173,31 +179,12 @@ func EstimateAverage(f Factory, m cost.Model, opts AverageOpts) stats.Summary {
 	return sum
 }
 
-// parallelTrials runs fn for each trial index on all cores and returns the
-// values in trial order, keeping runs reproducible regardless of
-// scheduling.
+// parallelTrials runs fn for each trial index on the shared worker pool
+// and returns the values in trial order, keeping runs reproducible
+// regardless of scheduling.
 func parallelTrials(trials int, fn func(trial int) float64) []float64 {
 	out := make([]float64, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	Fan(trials, func(i int) { out[i] = fn(i) })
 	return out
 }
 

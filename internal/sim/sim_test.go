@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"mobirep/internal/analytic"
@@ -188,6 +189,52 @@ func TestParsePolicy(t *testing.T) {
 		if _, err := ParsePolicy(bad); err == nil {
 			t.Fatalf("%q: expected error", bad)
 		}
+	}
+}
+
+// TestParsePolicyRejectionMessages pins each rejection family to its
+// diagnostic, so the CLI's error text names the actual constraint rather
+// than falling through to "unknown policy".
+func TestParsePolicyRejectionMessages(t *testing.T) {
+	cases := map[string]string{
+		// Even (and non-positive) sliding windows.
+		"SW2":   "must be odd and positive",
+		"SW100": "must be odd and positive",
+		"SW0":   "must be odd and positive",
+		// The even-window ablation is the dual: it rejects odd sizes.
+		"SWe7": "must be even and positive",
+		"SWe0": "must be even and positive",
+		// Trailing garbage must not silently truncate to a valid name.
+		"SW5x":      "unknown policy",
+		"SW5 ":      "unknown policy",
+		"SWe4x":     "unknown policy",
+		"T1(3)x":    "unknown policy",
+		"EWMA(0.5x": "unknown policy",
+		// EWMA alpha must lie in (0, 1].
+		"EWMA(0)":    "must be in (0,1]",
+		"EWMA(-0.5)": "must be in (0,1]",
+		"EWMA(1.5)":  "must be in (0,1]",
+		// Thresholds must be positive.
+		"T1(0)":  "must be positive",
+		"T1(-2)": "must be positive",
+		"T2(0)":  "must be positive",
+	}
+	for in, want := range cases {
+		_, err := ParsePolicy(in)
+		if err == nil {
+			t.Fatalf("%q: expected error containing %q", in, want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: error %q does not mention %q", in, err, want)
+		}
+	}
+	// Boundary acceptance: alpha exactly 1 is legal.
+	f, err := ParsePolicy("EWMA(1)")
+	if err != nil {
+		t.Fatalf("EWMA(1): %v", err)
+	}
+	if got := f().Name(); got != "EWMA(1.00)" {
+		t.Fatalf("EWMA(1) parsed to %q", got)
 	}
 }
 

@@ -21,16 +21,26 @@ import (
 // theta = lambda_w / (lambda_w + lambda_r); TestPoissonEquivalence
 // verifies the equivalence empirically.
 func Bernoulli(rng *stats.RNG, theta float64, n int) sched.Schedule {
+	s := make(sched.Schedule, n)
+	FillBernoulli(rng, theta, s)
+	return s
+}
+
+// FillBernoulli overwrites every element of s with an independent
+// Bernoulli(theta) request, consuming rng exactly like Bernoulli. It
+// exists so callers can reuse pooled schedule buffers (sim.GetSchedule)
+// instead of allocating a fresh slice per trial.
+func FillBernoulli(rng *stats.RNG, theta float64, s sched.Schedule) {
 	if theta < 0 || theta > 1 {
 		panic(fmt.Sprintf("workload: theta %v outside [0,1]", theta))
 	}
-	s := make(sched.Schedule, n)
 	for i := range s {
 		if rng.Bernoulli(theta) {
 			s[i] = sched.Write
+		} else {
+			s[i] = sched.Read
 		}
 	}
-	return s
 }
 
 // TimedOp is a relevant request with its arrival time, produced by the
@@ -108,12 +118,12 @@ func Drifting(rng *stats.RNG, periods, opsPerPeriod int) (sched.Schedule, []floa
 	if periods <= 0 || opsPerPeriod <= 0 {
 		panic("workload: periods and opsPerPeriod must be positive")
 	}
-	s := make(sched.Schedule, 0, periods*opsPerPeriod)
+	s := make(sched.Schedule, periods*opsPerPeriod)
 	thetas := make([]float64, periods)
 	for p := range thetas {
 		theta := rng.Float64()
 		thetas[p] = theta
-		s = append(s, Bernoulli(rng, theta, opsPerPeriod)...)
+		FillBernoulli(rng, theta, s[p*opsPerPeriod:(p+1)*opsPerPeriod])
 	}
 	return s, thetas
 }
