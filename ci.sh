@@ -10,6 +10,15 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Protocol conformance under fault injection: a focused race-detector
+# slice, then a fixed-seed smoke replay of a frozen regression schedule to
+# prove seed replay works end to end. "ci.sh -long" explores far deeper.
+go test -race -run 'Conformance' -count=1 ./internal/replica/
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.seed=35 -count=1
+if [ "${1:-}" = "-long" ]; then
+    go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.schedules=20000 -count=1
+fi
+
 # End-to-end: regenerate every experiment table in quick mode and prove the
 # parallel engine reproduces the sequential tables byte-for-byte.
 out_seq=$(mktemp)

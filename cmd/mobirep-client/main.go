@@ -28,6 +28,8 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to run")
 	omega := flag.Float64("omega", 0.5, "control/data ratio used to price the measured traffic")
 	seed := flag.Uint64("seed", 2, "random seed for the read process")
+	chaosSpec := flag.String("chaos", "",
+		"fault injection on the server link, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -35,11 +37,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	chaosCfg, err := transport.ParseChaosSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	link, err := transport.Dial(*server, nil)
+	tcp, err := transport.Dial(*server, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dial:", err)
 		os.Exit(1)
+	}
+	var link transport.Link = tcp
+	var chaos *transport.Chaos
+	if chaosCfg.Enabled() {
+		chaos, err = transport.NewChaos(tcp, chaosCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		link = chaos
+		fmt.Printf("chaos enabled on the server link: %s\n", *chaosSpec)
 	}
 	defer link.Close()
 	cli, err := replica.NewClient(link, mode)
@@ -74,6 +92,11 @@ func main() {
 	fmt.Printf("MC-side traffic:     data=%d control=%d bytes=%d\n", mc.DataMsgs, mc.ControlMsgs, mc.Bytes)
 	fmt.Printf("MC-side cost:        connection=%.0f message(omega=%.2f)=%.2f\n",
 		mc.ConnectionCost(), *omega, mc.MessageCost(*omega))
+	if chaos != nil {
+		st := chaos.Stats()
+		fmt.Printf("chaos faults:        sent=%d delivered=%d dropped=%d duplicated=%d deferred=%d\n",
+			st.Sent, st.Delivered, st.Dropped, st.Duplicated, st.Deferred)
+	}
 	fmt.Println("note: the server meters its own side; total cost is the sum of both meters")
 }
 

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/transport"
+)
 
 func TestParseMode(t *testing.T) {
 	cases := map[string]string{
@@ -19,5 +26,65 @@ func TestParseMode(t *testing.T) {
 		if _, err := parseMode(bad); err == nil {
 			t.Fatalf("%q: expected error", bad)
 		}
+	}
+}
+
+// TestChaosWrappedDial mirrors main's -chaos wiring: dial a real TCP
+// server, wrap the link in the auto-mode injector, and check reads still
+// complete and the fault counters move. Duplication only, so no read can
+// be lost.
+func TestChaosWrappedDial(t *testing.T) {
+	srv, err := replica.NewServer(db.NewStore(), replica.SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Write("x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			link, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sess := srv.Attach(link)
+			link.Start(func(error) { sess.Detach() })
+		}
+	}()
+
+	cfg, err := transport.ParseChaosSpec("seed=5,dup=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := transport.Dial(ln.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := transport.NewChaos(tcp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chaos.Close()
+	cli, err := replica.NewClient(chaos, replica.SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Timeout = 5 * time.Second
+	for i := 0; i < 5; i++ {
+		it, err := cli.Read("x")
+		if err != nil {
+			t.Fatalf("read %d under chaos: %v", i, err)
+		}
+		if string(it.Value) != "v1" {
+			t.Fatalf("read %d returned %q", i, it.Value)
+		}
+	}
+	if st := chaos.Stats(); st.Duplicated == 0 {
+		t.Fatalf("chaos injector never fired: %+v", st)
 	}
 }

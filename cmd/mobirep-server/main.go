@@ -28,9 +28,16 @@ func main() {
 	logPath := flag.String("log", "", "append-only persistence log (empty = in-memory)")
 	seed := flag.Uint64("seed", 1, "random seed for the write process")
 	statsEvery := flag.Duration("stats-every", 10*time.Second, "meter print interval")
+	chaosSpec := flag.String("chaos", "",
+		"fault injection on client links, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	chaosCfg, err := transport.ParseChaosSpec(*chaosSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -54,12 +61,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	ln, err := listenAndServe(srv, *listen)
+	ln, err := listenAndServe(srv, *listen, chaosCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("mobirep-server: mode=%s listening on %s\n", mode, ln)
+	if chaosCfg.Enabled() {
+		fmt.Printf("chaos enabled on client links: %s\n", *chaosSpec)
+	}
 
 	if *writeRate > 0 {
 		go writeLoop(srv, *key, *writeRate, *seed)
@@ -74,19 +84,32 @@ func main() {
 }
 
 // listenAndServe accepts clients forever in the background and returns the
-// bound address.
-func listenAndServe(srv *replica.Server, addr string) (string, error) {
+// bound address. When chaos is enabled every client link is wrapped in the
+// fault injector, each connection on its own derived seed.
+func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config) (string, error) {
 	ln, err := transport.Listen(addr)
 	if err != nil {
 		return "", err
 	}
 	go func() {
-		for {
+		for conn := uint64(0); ; conn++ {
 			link, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			sess := srv.Attach(link)
+			var attached transport.Link = link
+			if chaosCfg.Enabled() {
+				cfg := chaosCfg
+				cfg.Seed += conn
+				chaos, err := transport.NewChaos(link, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "chaos:", err)
+					link.Close()
+					continue
+				}
+				attached = chaos
+			}
+			sess := srv.Attach(attached)
 			link.Start(func(err error) {
 				sess.Detach()
 				if err != nil {

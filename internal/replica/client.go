@@ -170,9 +170,12 @@ func (c *Client) onFrame(frame []byte) {
 }
 
 // onReadResp completes a pending remote read and applies an allocation.
+// Allocation applies only while no copy is held: a duplicated allocating
+// response must not reinstall a possibly older value or roll the window
+// back to the bits that rode the original handoff.
 func (c *Client) onReadResp(msg wire.Message) {
 	c.mu.Lock()
-	if msg.Allocate {
+	if msg.Allocate && !c.state(msg.Key).hasCopy {
 		st := c.state(msg.Key)
 		st.hasCopy = true
 		if st.mode.Kind == ModeSW {
@@ -203,19 +206,29 @@ func (c *Client) onReadResp(msg wire.Message) {
 
 // onWriteProp applies a propagated write: update the cached copy, slide
 // the window, and deallocate (sending the delete-request with the window)
-// if writes now hold the majority.
+// if writes now hold the majority. The window slides only when the version
+// actually advances the cache — a duplicated or reordered propagation is
+// inert, or it would count one write twice and deallocate too early.
 func (c *Client) onWriteProp(msg wire.Message) {
 	c.mu.Lock()
 	st := c.state(msg.Key)
 	if !st.hasCopy {
-		// Benign race: the propagation crossed our delete-request.
+		// The SC still believes this MC is subscribed, so the deallocation
+		// (our delete-request, or the allocation response it answers) was
+		// lost in transit. Re-assert it so the SC stops paying a data
+		// message per write; a duplicate delete-request is ignored there.
 		c.cache.Update(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
+		out := wire.Message{Kind: wire.KindDeleteReq, Key: msg.Key}
+		if st.mode.Kind == ModeSW {
+			out.Window = st.window.Bits()
+		}
 		c.mu.Unlock()
+		_ = c.sendControl(out)
 		return
 	}
-	c.cache.Update(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
+	fresh := c.cache.Update(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
 	var out *wire.Message
-	if st.mode.Kind == ModeSW {
+	if fresh && st.mode.Kind == ModeSW {
 		st.window.Push(sched.Write)
 		if !st.window.ReadMajority() {
 			// Deallocate: hand the window back to the SC.

@@ -1,0 +1,550 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// The conformance explorer runs thousands of seeded random op/fault
+// schedules through the real Client/Server over a chaos-wrapped in-memory
+// pair and checks every observable — each emitted frame, each read result,
+// and the final per-key state on both sides — against the single-goroutine
+// reference model in model.go. A divergence report carries the seed and
+// the full op trace; replaying is
+//
+//	go test ./internal/replica -run 'TestConformanceExplorer$' -conformance.seed=<seed> -v
+//
+// which reruns exactly that schedule verbosely, because every choice (mode,
+// fault rates, ops, fault dice) derives from the one seed.
+var (
+	confSchedules = flag.Int("conformance.schedules", 1200,
+		"number of seeded fault schedules the conformance explorer runs")
+	confSeed = flag.Uint64("conformance.seed", 0,
+		"replay a single conformance schedule verbosely (0 = explore)")
+)
+
+// valueFor is the deterministic payload for version v of key: the harness
+// always writes it, so any byte of divergence is a protocol bug, not test
+// noise. Version 0 (never written) has no payload.
+func valueFor(key string, version uint64) []byte {
+	if version == 0 {
+		return nil
+	}
+	return []byte(fmt.Sprintf("%s#%d", key, version))
+}
+
+func describeMsg(m wire.Message) string {
+	s := fmt.Sprintf("%v(%s", m.Kind, m.Key)
+	if m.Kind == wire.KindReadResp || m.Kind == wire.KindWriteProp {
+		s += fmt.Sprintf(" v%d", m.Version)
+	}
+	if m.Allocate {
+		s += " alloc"
+	}
+	if len(m.Window) > 0 {
+		s += " win=" + m.Window.String()
+	}
+	return s + ")"
+}
+
+func windowsEqual(a, b sched.Schedule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffMsg returns "" when got matches want, else the first differing
+// field. want.Value must already be filled in by the caller.
+func diffMsg(got, want wire.Message) string {
+	switch {
+	case got.Kind != want.Kind:
+		return "kind"
+	case got.Key != want.Key:
+		return "key"
+	case got.Version != want.Version:
+		return "version"
+	case got.Allocate != want.Allocate:
+		return "allocate flag"
+	case !bytes.Equal(got.Value, want.Value):
+		return "value"
+	case !windowsEqual(got.Window, want.Window):
+		return "window"
+	}
+	return ""
+}
+
+// conformance is one schedule's harness state.
+type conformance struct {
+	t       *testing.T
+	seed    uint64
+	rng     *stats.RNG
+	verbose bool
+
+	mode     Mode
+	chaosCfg transport.Config
+	keys     []string
+
+	model *Model
+	srv   *Server
+	sess  *Session
+	cli   *Client
+	// s2c queues server->client frames, c2s client->server; both manual.
+	s2c, c2s *transport.Chaos
+
+	trace     []string
+	completed *uint64 // version the last remote read resolved to
+}
+
+func (h *conformance) tracef(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	h.trace = append(h.trace, line)
+	if h.verbose {
+		h.t.Logf("seed %d: %s", h.seed, line)
+	}
+}
+
+func (h *conformance) fail(format string, args ...any) error {
+	return fmt.Errorf("%s\n  model: %s\n  trace:\n    %s",
+		fmt.Sprintf(format, args...), h.model, strings.Join(h.trace, "\n    "))
+}
+
+func newConformance(t *testing.T, seed uint64, verbose bool) (*conformance, error) {
+	rng := stats.NewRNG(seed)
+	modes := []Mode{SW(1), SW(1), SW(3), SW(3), SW(5), SW(5), Static1(), Static2()}
+	mode := modes[rng.Intn(len(modes))]
+	drops := []float64{0, 0.05, 0.15}
+	dups := []float64{0, 0.05, 0.15}
+	reorders := []float64{0, 0.1, 0.3}
+	cfg := transport.Config{
+		Drop:    drops[rng.Intn(len(drops))],
+		Dup:     dups[rng.Intn(len(dups))],
+		Reorder: reorders[rng.Intn(len(reorders))],
+		Manual:  true,
+	}
+	srv, err := NewServer(db.NewStore(), mode)
+	if err != nil {
+		return nil, err
+	}
+	h := &conformance{
+		t: t, seed: seed, rng: rng, verbose: verbose,
+		mode: mode, chaosCfg: cfg,
+		keys:  []string{"a", "b", "c"},
+		model: NewModel(mode),
+		srv:   srv,
+	}
+	h.tracef("mode=%v drop=%v dup=%v reorder=%v", mode, cfg.Drop, cfg.Dup, cfg.Reorder)
+	if err := h.connect(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// connect builds a fresh chaos pair and attaches both endpoints to it.
+func (h *conformance) connect() error {
+	cfg := h.chaosCfg
+	cfg.Seed = h.rng.Uint64()
+	sLink, cLink, err := transport.NewChaosPair(cfg)
+	if err != nil {
+		return err
+	}
+	h.s2c, h.c2s = sLink, cLink
+	h.sess = h.srv.Attach(sLink)
+	if h.cli == nil {
+		h.cli, err = NewClient(cLink, h.mode)
+		return err
+	}
+	h.cli.Reattach(cLink)
+	return nil
+}
+
+// reconnect models the mobile user cycling the connection: undelivered
+// frames on both directions are lost with the old links.
+func (h *conformance) reconnect() error {
+	h.tracef("reconnect (lose %d+%d in-flight frames)", h.s2c.Pending(), h.c2s.Pending())
+	h.s2c.Close()
+	h.c2s.Close()
+	h.cli.Disconnect()
+	h.sess.Detach()
+	h.model.Reconnect()
+	return h.connect()
+}
+
+func (h *conformance) randKey() string { return h.keys[h.rng.Intn(len(h.keys))] }
+
+// expectEmits checks that exactly the predicted frames were queued on q
+// past index before, in order, byte for byte.
+func (h *conformance) expectEmits(side string, q *transport.Chaos, before int, want []wire.Message) error {
+	frames := q.PendingFrames()
+	if len(frames) < before {
+		return h.fail("%s queue shrank from %d to %d frames", side, before, len(frames))
+	}
+	got := frames[before:]
+	if len(got) != len(want) {
+		var gotDesc []string
+		for _, f := range got {
+			if m, err := wire.Decode(f); err == nil {
+				gotDesc = append(gotDesc, describeMsg(m))
+			} else {
+				gotDesc = append(gotDesc, "<undecodable>")
+			}
+		}
+		return h.fail("%s emitted %d frames, model predicts %d: got [%s]",
+			side, len(got), len(want), strings.Join(gotDesc, " "))
+	}
+	for i, f := range got {
+		msg, err := wire.Decode(f)
+		if err != nil {
+			return h.fail("%s emitted undecodable frame: %v", side, err)
+		}
+		w := want[i]
+		if w.Kind == wire.KindReadResp || w.Kind == wire.KindWriteProp {
+			w.Value = valueFor(w.Key, w.Version)
+		}
+		if d := diffMsg(msg, w); d != "" {
+			return h.fail("%s frame %d diverges on %s: impl %s, model %s",
+				side, i, d, describeMsg(msg), describeMsg(w))
+		}
+	}
+	return nil
+}
+
+// pumpOne steps one queued frame through the chaos link (direction chosen
+// by the seeded RNG), mirrors the outcome into the model, and checks any
+// protocol response the implementation emitted against the model's
+// prediction.
+func (h *conformance) pumpOne() error {
+	cN, sN := h.c2s.Pending(), h.s2c.Pending()
+	if cN+sN == 0 {
+		return nil
+	}
+	useC2S := cN > 0 && (sN == 0 || h.rng.Bernoulli(0.5))
+	var q, opp *transport.Chaos
+	var dir string
+	if useC2S {
+		q, opp, dir = h.c2s, h.s2c, "mc->sc"
+	} else {
+		q, opp, dir = h.s2c, h.c2s, "sc->mc"
+	}
+	oppBefore := opp.Pending()
+	ev, ok := q.Step()
+	if !ok {
+		return h.fail("step on %s produced no event with frames pending", dir)
+	}
+	msg, err := wire.Decode(ev.Frame)
+	if err != nil {
+		return h.fail("chaos surfaced corrupted frame on %s: %v", dir, err)
+	}
+	h.tracef("%s %v %s", dir, ev.Action, describeMsg(msg))
+	if ev.Action == transport.ChaosDropped || ev.Action == transport.ChaosDeferred {
+		return nil // nothing reached the peer
+	}
+	// Delivered (a duplicate also re-queued a copy behind the rest).
+	if useC2S {
+		return h.expectEmits("server", opp, oppBefore, h.model.DeliverToServer(msg))
+	}
+	want, completed := h.model.DeliverToClient(msg)
+	if completed != nil {
+		h.completed = completed
+	}
+	return h.expectEmits("client", opp, oppBefore, want)
+}
+
+func (h *conformance) doWrite(key string) error {
+	version, want := h.model.Write(key)
+	before := h.s2c.Pending()
+	h.tracef("write %s -> v%d", key, version)
+	it, err := h.srv.Write(key, valueFor(key, version))
+	if err != nil {
+		return h.fail("server write %s: %v", key, err)
+	}
+	if it.Version != version {
+		return h.fail("write %s: impl committed v%d, model v%d", key, it.Version, version)
+	}
+	return h.expectEmits("server", h.s2c, before, want)
+}
+
+func (h *conformance) doRead(key string) error {
+	before := h.c2s.Pending()
+	if v, local := h.model.LocalRead(key); local {
+		h.tracef("read %s (local, expect v%d)", key, v)
+		it, err := h.cli.Read(key)
+		if err != nil {
+			return h.fail("local read %s failed: %v", key, err)
+		}
+		if it.Version != v || !bytes.Equal(it.Value, valueFor(key, v)) {
+			return h.fail("local read %s: impl v%d %q, model v%d", key, it.Version, it.Value, v)
+		}
+		if n := h.c2s.Pending(); n != before {
+			return h.fail("local read %s sent %d frames", key, n-before)
+		}
+		return nil
+	}
+
+	want := h.model.StartRead(key)
+	h.tracef("read %s (remote)", key)
+	type result struct {
+		it  db.Item
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		it, err := h.cli.Read(key)
+		done <- result{it, err}
+	}()
+	if !h.c2s.WaitPending(before+1, 2*time.Second) {
+		select {
+		case r := <-done:
+			return h.fail("remote read %s finished without sending: v%d err=%v",
+				key, r.it.Version, r.err)
+		default:
+		}
+		return h.fail("remote read %s sent no request frame", key)
+	}
+	if err := h.expectEmits("client", h.c2s, before, want); err != nil {
+		return err
+	}
+	// Pump until the read resolves. If both queues dry out first, the
+	// request or its response was lost in the chaos: the mobile user gives
+	// up and cycles the connection, which must fail the read with
+	// ErrOffline.
+	h.completed = nil
+	for steps := 0; h.model.PendingRead(); steps++ {
+		if steps > 4000 {
+			return h.fail("read %s pump exceeded step budget", key)
+		}
+		if h.s2c.Pending() == 0 && h.c2s.Pending() == 0 {
+			h.tracef("read %s lost in transit; reconnecting", key)
+			h.model.FailPendingRead()
+			if err := h.reconnect(); err != nil {
+				return err
+			}
+			select {
+			case r := <-done:
+				if !errors.Is(r.err, ErrOffline) {
+					return h.fail("severed read %s: got v%d err=%v, want ErrOffline",
+						key, r.it.Version, r.err)
+				}
+			case <-time.After(2 * time.Second):
+				return h.fail("severed read %s still blocked after reconnect", key)
+			}
+			return nil
+		}
+		if err := h.pumpOne(); err != nil {
+			return err
+		}
+	}
+	if h.completed == nil {
+		return h.fail("harness bug: read %s completed without a version", key)
+	}
+	v := *h.completed
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return h.fail("remote read %s failed: %v", key, r.err)
+		}
+		if r.it.Version != v || !bytes.Equal(r.it.Value, valueFor(key, v)) {
+			return h.fail("remote read %s: impl v%d %q, model v%d", key, r.it.Version, r.it.Value, v)
+		}
+	case <-time.After(2 * time.Second):
+		return h.fail("remote read %s blocked although model resolved it to v%d", key, v)
+	}
+	return nil
+}
+
+// implSide snapshots one implementation side's per-key state under its
+// lock: the copy bit and the window (all-writes default when the key was
+// never touched, matching newItemState).
+func implMCState(c *Client, mode Mode, key string) (bool, sched.Schedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return implState(c.items, mode, key)
+}
+
+func implSCState(ss *Session, mode Mode, key string) (bool, sched.Schedule) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return implState(ss.items, mode, key)
+}
+
+func implState(items map[string]*itemState, mode Mode, key string) (bool, sched.Schedule) {
+	st, ok := items[key]
+	if !ok {
+		var win sched.Schedule
+		if mode.Kind == ModeSW {
+			win = make(sched.Schedule, mode.K)
+			for i := range win {
+				win[i] = sched.Write
+			}
+		}
+		return false, win
+	}
+	var win sched.Schedule
+	if st.window != nil {
+		win = st.window.Bits()
+	}
+	return st.hasCopy, win
+}
+
+// checkFinalState compares every key's terminal state: store version, copy
+// bits on both sides, cache contents, and the in-charge windows.
+func (h *conformance) checkFinalState() error {
+	for _, key := range h.keys {
+		it, _ := h.srv.Store().Get(key)
+		if it.Version != h.model.StoreVersion(key) {
+			return h.fail("final %s: store at v%d, model v%d", key, it.Version, h.model.StoreVersion(key))
+		}
+
+		mcCopy, mcWin := implMCState(h.cli, h.mode, key)
+		if mcCopy != h.model.MCHasCopy(key) {
+			return h.fail("final %s: MC hasCopy=%v, model %v", key, mcCopy, h.model.MCHasCopy(key))
+		}
+		cacheIt, cached := h.cli.cache.Peek(key)
+		mv, mok := h.model.CacheVersion(key)
+		if cached != mok {
+			return h.fail("final %s: cache present=%v, model %v", key, cached, mok)
+		}
+		if cached && (cacheIt.Version != mv || !bytes.Equal(cacheIt.Value, valueFor(key, mv))) {
+			return h.fail("final %s: cache v%d %q, model v%d", key, cacheIt.Version, cacheIt.Value, mv)
+		}
+		if h.mode.Kind == ModeSW && mcCopy && !windowsEqual(mcWin, h.model.MCWindow(key)) {
+			return h.fail("final %s: MC window %v, model %v", key, mcWin, h.model.MCWindow(key))
+		}
+
+		scCopy, scWin := implSCState(h.sess, h.mode, key)
+		if scCopy != h.model.SCHasCopy(key) {
+			return h.fail("final %s: SC hasCopy=%v, model %v", key, scCopy, h.model.SCHasCopy(key))
+		}
+		if h.mode.Kind == ModeSW && !scCopy && !windowsEqual(scWin, h.model.SCWindow(key)) {
+			return h.fail("final %s: SC window %v, model %v", key, scWin, h.model.SCWindow(key))
+		}
+	}
+	return nil
+}
+
+// runConformance executes one full schedule derived from seed, returning a
+// replayable divergence report on the first mismatch.
+func runConformance(t *testing.T, seed uint64, verbose bool) error {
+	h, err := newConformance(t, seed, verbose)
+	if err != nil {
+		return err
+	}
+	// Release any read goroutine still parked on a severed link.
+	defer func() { h.cli.Disconnect() }()
+
+	nOps := 30 + h.rng.Intn(31)
+	for op := 0; op < nOps; op++ {
+		var err error
+		switch h.rng.Intn(10) {
+		case 0, 1, 2, 3:
+			err = h.doRead(h.randKey())
+		case 4, 5, 6:
+			err = h.doWrite(h.randKey())
+		case 7:
+			for i, n := 0, 1+h.rng.Intn(3); i < n && err == nil; i++ {
+				err = h.pumpOne()
+			}
+		case 8:
+			n := 1 + h.rng.Intn(3)
+			if h.rng.Bernoulli(0.5) {
+				h.tracef("partition sc->mc for %d frames", n)
+				h.s2c.Partition(n)
+			} else {
+				h.tracef("partition mc->sc for %d frames", n)
+				h.c2s.Partition(n)
+			}
+		case 9:
+			err = h.reconnect()
+		}
+		if err != nil {
+			return err
+		}
+		// Usually let some traffic through before the next operation.
+		for h.s2c.Pending()+h.c2s.Pending() > 0 && h.rng.Bernoulli(0.6) {
+			if err := h.pumpOne(); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain what is still in flight so the final states are comparable.
+	for steps := 0; h.s2c.Pending()+h.c2s.Pending() > 0; steps++ {
+		if steps > 4000 {
+			h.tracef("drain budget hit; discarding %d+%d frames",
+				h.s2c.Pending(), h.c2s.Pending())
+			h.s2c.DiscardPending()
+			h.c2s.DiscardPending()
+			break
+		}
+		if err := h.pumpOne(); err != nil {
+			return err
+		}
+	}
+	return h.checkFinalState()
+}
+
+// TestConformanceRegressionSeeds replays the schedules on which the
+// explorer first caught real protocol bugs, frozen so they stay green
+// forever:
+//
+//   - seed 35 (SW3, drop+dup+reorder): a duplicated WriteProp slid the
+//     window a second time and deallocated a copy that reads still held —
+//     onWriteProp now slides only when the version advances the cache.
+//   - seed 46 (SW5, dup): a duplicated allocating ReadResp re-applied the
+//     handoff, rolling the window back to the piggybacked bits and
+//     clobbering the cache — onReadResp now applies Allocate only while no
+//     copy is held.
+//   - seed 61 (SW3, dup): a WriteProp crossing the MC's in-flight
+//     delete-request was swallowed silently, leaving the SC paying a data
+//     message per write to an MC without a copy — onWriteProp now
+//     re-asserts the deallocation.
+func TestConformanceRegressionSeeds(t *testing.T) {
+	for _, seed := range []uint64{35, 46, 61} {
+		if err := runConformance(t, seed, false); err != nil {
+			t.Errorf("regression seed %d diverged:\n%v", seed, err)
+		}
+	}
+}
+
+// TestConformanceExplorer is the schedule explorer. Run counts:
+// -conformance.schedules (default 1200) seeds normally, 200 under -short;
+// ci.sh -long raises it. With -conformance.seed=N it replays exactly one
+// schedule verbosely instead.
+func TestConformanceExplorer(t *testing.T) {
+	if *confSeed != 0 {
+		if err := runConformance(t, *confSeed, true); err != nil {
+			t.Fatalf("seed %d diverged:\n%v", *confSeed, err)
+		}
+		return
+	}
+	n := *confSchedules
+	if testing.Short() && n > 200 {
+		n = 200
+	}
+	failed := 0
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		if err := runConformance(t, seed, false); err != nil {
+			t.Errorf("schedule seed=%d diverged:\n%v\nreplay: go test ./internal/replica -run 'TestConformanceExplorer$' -conformance.seed=%d -v",
+				seed, err, seed)
+			failed++
+			if failed >= 3 {
+				t.Fatalf("stopping after %d divergent schedules", failed)
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"mobirep/internal/sched"
+	"mobirep/internal/wire"
+)
+
+// Model is a single-goroutine reference model of the MC/SC protocol state
+// machine of section 4: the copy-at-MC bit as seen from each side, the
+// sliding-window contents, the MC cache versions, and the store versions.
+// The conformance harness (conformance_test.go) drives the real Client and
+// Server through a fault-injecting transport and, in lockstep, feeds the
+// model the exact same operations and delivered frames; every frame the
+// real implementation emits and every read result it returns must match
+// the model's prediction, and so must the final per-key state.
+//
+// The model is the specification under unreliable delivery, so it encodes
+// the hardened semantics the implementation must provide:
+//
+//   - a duplicated allocating ReadResp must not re-allocate or roll the
+//     window back (allocation applies only when no copy is held);
+//   - a duplicated or reordered WriteProp whose version does not advance
+//     the cache must not slide the window (stale propagations are inert);
+//   - a WriteProp arriving while the MC holds no copy means the SC has
+//     lost (or not yet received) the deallocation — the MC re-asserts it
+//     with a DeleteReq so the SC stops propagating into the void.
+//
+// Everything else is the paper's protocol verbatim, mirrored from
+// client.go and server.go.
+type Model struct {
+	mode  Mode
+	store map[string]uint64 // SC database: key -> committed version
+	sc    map[string]*modelSide
+	mc    map[string]*modelSide
+	cache map[string]uint64 // live MC cache: present iff MC holds a copy
+	// pendingRead is the key of the one outstanding remote read, "" when
+	// none. The harness resolves each read fully before starting the next,
+	// so a single slot suffices.
+	pendingRead   string
+	hasPendingRead bool
+}
+
+// modelSide is one side's view of a key: the copy bit and, for SW modes,
+// the window, kept oldest-first.
+type modelSide struct {
+	hasCopy bool
+	window  sched.Schedule // nil for ST modes
+}
+
+// NewModel returns the reference model for one client/server pair in the
+// given mode, over an empty store.
+func NewModel(mode Mode) *Model {
+	return &Model{
+		mode:  mode,
+		store: make(map[string]uint64),
+		sc:    make(map[string]*modelSide),
+		mc:    make(map[string]*modelSide),
+		cache: make(map[string]uint64),
+	}
+}
+
+func (m *Model) newSide() *modelSide {
+	s := &modelSide{}
+	if m.mode.Kind == ModeSW {
+		s.window = make(sched.Schedule, m.mode.K)
+		for i := range s.window {
+			s.window[i] = sched.Write
+		}
+	}
+	return s
+}
+
+func (m *Model) side(views map[string]*modelSide, key string) *modelSide {
+	st, ok := views[key]
+	if !ok {
+		st = m.newSide()
+		views[key] = st
+	}
+	return st
+}
+
+// push slides the window by one request. No-op for ST modes.
+func (s *modelSide) push(op sched.Op) {
+	if s.window == nil {
+		return
+	}
+	copy(s.window, s.window[1:])
+	s.window[len(s.window)-1] = op
+}
+
+// fill resets every window slot to op. No-op for ST modes.
+func (s *modelSide) fill(op sched.Op) {
+	for i := range s.window {
+		s.window[i] = op
+	}
+}
+
+// readMajority reports whether reads strictly outnumber writes in the
+// window.
+func (s *modelSide) readMajority() bool {
+	reads := 0
+	for _, op := range s.window {
+		if op == sched.Read {
+			reads++
+		}
+	}
+	return 2*reads > len(s.window)
+}
+
+func (s *modelSide) windowCopy() sched.Schedule {
+	return append(sched.Schedule(nil), s.window...)
+}
+
+// StoreVersion returns the committed version of key (0 if never written).
+func (m *Model) StoreVersion(key string) uint64 { return m.store[key] }
+
+// MCHasCopy reports the MC-side copy bit for key.
+func (m *Model) MCHasCopy(key string) bool { return m.side(m.mc, key).hasCopy }
+
+// SCHasCopy reports the SC-side copy bit for key.
+func (m *Model) SCHasCopy(key string) bool { return m.side(m.sc, key).hasCopy }
+
+// CacheVersion returns the live cached version for key; ok is false when
+// the MC holds no copy.
+func (m *Model) CacheVersion(key string) (uint64, bool) {
+	v, ok := m.cache[key]
+	return v, ok
+}
+
+// MCWindow returns a copy of the MC-side window (nil for ST modes).
+func (m *Model) MCWindow(key string) sched.Schedule { return m.side(m.mc, key).windowCopy() }
+
+// SCWindow returns a copy of the SC-side window (nil for ST modes).
+func (m *Model) SCWindow(key string) sched.Schedule { return m.side(m.sc, key).windowCopy() }
+
+// PendingRead reports whether a remote read is outstanding.
+func (m *Model) PendingRead() bool { return m.hasPendingRead }
+
+// Write commits a write at the SC and returns the new version plus the
+// frames the server must emit toward the client, in order.
+func (m *Model) Write(key string) (uint64, []wire.Message) {
+	m.store[key]++
+	v := m.store[key]
+	st := m.side(m.sc, key)
+	switch m.mode.Kind {
+	case ModeStatic1:
+		return v, nil
+	case ModeStatic2:
+		if st.hasCopy {
+			return v, []wire.Message{{Kind: wire.KindWriteProp, Key: key, Version: v}}
+		}
+		return v, nil
+	}
+	switch {
+	case !st.hasCopy:
+		// SC in charge: slide the window, no communication.
+		st.push(sched.Write)
+		return v, nil
+	case m.mode.K == 1:
+		// SW1 optimization: answer the write with a bare delete-request.
+		st.hasCopy = false
+		st.fill(sched.Write)
+		return v, []wire.Message{{Kind: wire.KindDeleteReq, Key: key}}
+	default:
+		return v, []wire.Message{{Kind: wire.KindWriteProp, Key: key, Version: v}}
+	}
+}
+
+// LocalRead attempts a local read at the MC. When the MC holds a copy it
+// returns the version the read must yield and slides the window; otherwise
+// ok is false and the caller must go remote via StartRead.
+func (m *Model) LocalRead(key string) (version uint64, ok bool) {
+	st := m.side(m.mc, key)
+	if !st.hasCopy {
+		return 0, false
+	}
+	st.push(sched.Read)
+	return m.cache[key], true
+}
+
+// StartRead begins a remote read and returns the frames the client must
+// emit (the control request). The read completes when DeliverToClient
+// processes a ReadResp for the key, or fails when FailPendingRead is
+// called (disconnection).
+func (m *Model) StartRead(key string) []wire.Message {
+	if m.hasPendingRead {
+		panic("model: overlapping remote reads")
+	}
+	m.pendingRead, m.hasPendingRead = key, true
+	return []wire.Message{{Kind: wire.KindReadReq, Key: key}}
+}
+
+// FailPendingRead abandons the outstanding remote read (the client
+// disconnected before the response arrived).
+func (m *Model) FailPendingRead() {
+	m.pendingRead, m.hasPendingRead = "", false
+}
+
+// DeliverToServer feeds one client->server frame to the SC state machine
+// and returns the frames the server must emit in response, in order.
+func (m *Model) DeliverToServer(msg wire.Message) []wire.Message {
+	switch msg.Kind {
+	case wire.KindReadReq:
+		return m.scReadReq(msg.Key)
+	case wire.KindDeleteReq:
+		m.scDeleteReq(msg)
+		return nil
+	default:
+		return nil // server ignores server-to-client kinds
+	}
+}
+
+func (m *Model) scReadReq(key string) []wire.Message {
+	st := m.side(m.sc, key)
+	resp := wire.Message{Kind: wire.KindReadResp, Key: key, Version: m.store[key]}
+	switch m.mode.Kind {
+	case ModeStatic1:
+		// Never allocate.
+	case ModeStatic2:
+		if !st.hasCopy {
+			resp.Allocate = true
+			st.hasCopy = true
+		}
+	default:
+		if !st.hasCopy {
+			st.push(sched.Read)
+			if st.readMajority() {
+				resp.Allocate = true
+				resp.Window = st.windowCopy()
+				st.hasCopy = true
+			}
+		}
+	}
+	return []wire.Message{resp}
+}
+
+func (m *Model) scDeleteReq(msg wire.Message) {
+	st := m.side(m.sc, msg.Key)
+	if !st.hasCopy {
+		return // stale duplicate
+	}
+	st.hasCopy = false
+	if m.mode.Kind == ModeSW && len(msg.Window) == m.mode.K {
+		copy(st.window, msg.Window)
+	}
+}
+
+// DeliverToClient feeds one server->client frame to the MC state machine.
+// It returns the frames the client must emit in response and, when the
+// frame completes the outstanding remote read, the version that read must
+// return.
+func (m *Model) DeliverToClient(msg wire.Message) (emits []wire.Message, completed *uint64) {
+	switch msg.Kind {
+	case wire.KindReadResp:
+		return nil, m.mcReadResp(msg)
+	case wire.KindWriteProp:
+		return m.mcWriteProp(msg), nil
+	case wire.KindDeleteReq:
+		m.mcDeleteReq(msg.Key)
+		return nil, nil
+	default:
+		return nil, nil // client ignores client-to-server kinds
+	}
+}
+
+func (m *Model) mcReadResp(msg wire.Message) (completed *uint64) {
+	st := m.side(m.mc, msg.Key)
+	if msg.Allocate && !st.hasCopy {
+		st.hasCopy = true
+		if m.mode.Kind == ModeSW {
+			if len(msg.Window) == m.mode.K {
+				copy(st.window, msg.Window)
+			} else {
+				st.fill(sched.Read)
+			}
+		}
+		m.cache[msg.Key] = msg.Version
+	}
+	if m.hasPendingRead && m.pendingRead == msg.Key {
+		m.pendingRead, m.hasPendingRead = "", false
+		v := msg.Version
+		return &v
+	}
+	return nil
+}
+
+func (m *Model) mcWriteProp(msg wire.Message) []wire.Message {
+	st := m.side(m.mc, msg.Key)
+	if !st.hasCopy {
+		// The SC believes the MC is subscribed but the MC holds no copy:
+		// the deallocation was lost or is still in flight. Re-assert it so
+		// the SC stops paying a data message per write.
+		out := wire.Message{Kind: wire.KindDeleteReq, Key: msg.Key}
+		if m.mode.Kind == ModeSW {
+			out.Window = st.windowCopy()
+		}
+		return []wire.Message{out}
+	}
+	if msg.Version <= m.cache[msg.Key] {
+		return nil // stale or duplicated propagation: inert
+	}
+	m.cache[msg.Key] = msg.Version
+	if m.mode.Kind != ModeSW {
+		return nil
+	}
+	st.push(sched.Write)
+	if st.readMajority() {
+		return nil
+	}
+	// Write majority: deallocate and hand the window back.
+	st.hasCopy = false
+	delete(m.cache, msg.Key)
+	return []wire.Message{{
+		Kind: wire.KindDeleteReq, Key: msg.Key, Window: st.windowCopy(),
+	}}
+}
+
+func (m *Model) mcDeleteReq(key string) {
+	st := m.side(m.mc, key)
+	st.hasCopy = false
+	st.fill(sched.Write)
+	delete(m.cache, key)
+}
+
+// Reconnect models a full disconnect/reattach cycle: the MC drops every
+// copy and both sides restart from the one-copy scheme with fresh
+// all-writes windows, exactly like a newly arrived client. Any outstanding
+// remote read has already been failed by the disconnection.
+func (m *Model) Reconnect() {
+	m.mc = make(map[string]*modelSide)
+	m.sc = make(map[string]*modelSide)
+	m.cache = make(map[string]uint64)
+	m.pendingRead, m.hasPendingRead = "", false
+}
+
+// Keys returns every key the model has state for, for final-state sweeps.
+func (m *Model) Keys() []string {
+	set := make(map[string]struct{})
+	for k := range m.store {
+		set[k] = struct{}{}
+	}
+	for k := range m.mc {
+		set[k] = struct{}{}
+	}
+	for k := range m.sc {
+		set[k] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact dump of the model state, for divergence
+// reports.
+func (m *Model) String() string {
+	s := fmt.Sprintf("model[%v]", m.mode)
+	for _, k := range m.Keys() {
+		mc, sc := m.side(m.mc, k), m.side(m.sc, k)
+		s += fmt.Sprintf(" %s{store=v%d mc=%v/%v sc=%v/%v", k,
+			m.store[k], mc.hasCopy, mc.window, sc.hasCopy, sc.window)
+		if v, ok := m.cache[k]; ok {
+			s += fmt.Sprintf(" cache=v%d", v)
+		}
+		s += "}"
+	}
+	return s
+}

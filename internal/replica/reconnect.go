@@ -77,11 +77,33 @@ func (c *Client) Offline() bool {
 // Reattach brings the client back online over a new link (the caller has
 // dialed and, on the server side, Attached it). All keys restart in the
 // one-copy scheme with fresh windows.
+//
+// Reattach is also safe while still online: the old link is closed and any
+// read still waiting on it fails with ErrOffline, instead of leaving a
+// stale waiter that would swallow the first response meant for a read
+// issued on the new link.
 func (c *Client) Reattach(link transport.Link) {
 	c.mu.Lock()
+	old := c.link
 	c.link = link
 	c.offline = false
 	c.items = make(map[string]*itemState)
+	pending := c.pending
+	c.pending = make(map[string][]chan wire.Message)
+	batch := c.pendingBatch
+	c.pendingBatch = nil
 	c.mu.Unlock()
+
+	if old != nil && old != link {
+		old.Close()
+	}
+	for _, waiters := range pending {
+		for _, ch := range waiters {
+			close(ch)
+		}
+	}
+	for _, ch := range batch {
+		close(ch)
+	}
 	link.SetHandler(c.onFrame)
 }

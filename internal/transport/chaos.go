@@ -1,0 +1,501 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mobirep/internal/stats"
+)
+
+// Chaos wraps a Link and injects transmission faults — dropped, duplicated,
+// deferred (reordered), and partition-swallowed frames, plus abrupt link
+// death — driven by a seeded deterministic RNG, so every failure run is
+// byte-reproducible from its seed.
+//
+// Two operating modes exist:
+//
+//   - Manual mode (Config.Manual) queues every sent frame; nothing reaches
+//     the peer until Step is called. Each Step pops the oldest frame, rolls
+//     the fault dice, and reports exactly what happened, which lets a
+//     single-goroutine test interleave operations and deliveries
+//     deterministically. The conformance harness in internal/replica is
+//     built on this mode.
+//   - Auto mode applies faults inline at Send (and drop/duplicate on the
+//     receive path) and forwards surviving frames immediately, optionally
+//     after a random delay. The -chaos flag of mobirep-server and
+//     mobirep-client wraps the real TCP links in this mode, so the same
+//     injector runs against the production path.
+//
+// Faults are applied per direction: a Chaos endpoint faults the frames it
+// sends (and, in auto mode, the frames it receives). Wrapping both ends of
+// a connection faults both directions independently.
+type Chaos struct {
+	inner Link
+	cfg   Config
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	queue     [][]byte // manual mode: frames sent but not yet stepped
+	held      []byte   // auto mode: frame held back for reordering
+	partition int      // frames still to swallow in the current partition
+	closed    bool
+	notify    chan struct{}
+	stats     ChaosStats
+}
+
+// Config parameterizes a Chaos link. All probabilities are per frame and
+// must lie in [0, 1]; zero disables the corresponding fault.
+type Config struct {
+	// Seed seeds the fault RNG. Two links with the same seed and the same
+	// frame sequence make identical fault decisions.
+	Seed uint64
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability a frame is delivered twice. In manual mode
+	// the duplicate re-enters the back of the queue, so the copies are
+	// separated by whatever traffic is in flight — the nastier case.
+	Dup float64
+	// Reorder is the probability a frame is deferred behind the frame
+	// after it (manual mode), or held until the next Send (auto mode).
+	Reorder float64
+	// Delay is the probability a frame is delivered late (auto mode only;
+	// in manual mode delivery timing is the caller's to control).
+	Delay float64
+	// MaxDelay bounds the random delay of a delayed frame (auto mode).
+	MaxDelay time.Duration
+	// Crash is the probability, checked at each Send, that the link dies
+	// abruptly: it closes and every later Send fails (auto mode only).
+	Crash float64
+	// Part is the probability, checked at each Send, that a partition
+	// starts: the next 1..PartLen frames are swallowed (auto mode; manual
+	// callers start partitions explicitly with Partition).
+	Part float64
+	// PartLen bounds the length of a partition in frames.
+	PartLen int
+	// Manual selects manual (stepped) mode.
+	Manual bool
+}
+
+// Validate reports whether the configuration is well-formed.
+func (cfg Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", cfg.Drop}, {"dup", cfg.Dup}, {"reorder", cfg.Reorder},
+		{"delay", cfg.Delay}, {"crash", cfg.Crash}, {"part", cfg.Part},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("transport: chaos %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if cfg.PartLen < 0 {
+		return fmt.Errorf("transport: chaos partlen %d must be non-negative", cfg.PartLen)
+	}
+	if cfg.MaxDelay < 0 {
+		return fmt.Errorf("transport: chaos maxdelay %v must be non-negative", cfg.MaxDelay)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault can ever fire under the configuration.
+func (cfg Config) Enabled() bool {
+	return cfg.Drop > 0 || cfg.Dup > 0 || cfg.Reorder > 0 || cfg.Delay > 0 ||
+		cfg.Crash > 0 || cfg.Part > 0
+}
+
+// ChaosStats counts fault decisions, for reporting.
+type ChaosStats struct {
+	// Sent counts frames handed to Send (before faults).
+	Sent int
+	// Delivered counts frames forwarded to the peer, duplicates included.
+	Delivered int
+	// Dropped counts frames discarded by drop faults or partitions.
+	Dropped int
+	// Duplicated counts frames delivered more than once.
+	Duplicated int
+	// Deferred counts manual-mode reorderings and auto-mode holds.
+	Deferred int
+}
+
+// ChaosAction describes what one manual Step did with the oldest frame.
+type ChaosAction uint8
+
+const (
+	// ChaosDelivered: the frame reached the peer's handler.
+	ChaosDelivered ChaosAction = iota
+	// ChaosDropped: the frame was discarded (drop fault or partition).
+	ChaosDropped
+	// ChaosDuplicated: the frame reached the peer AND a copy re-entered
+	// the back of the queue for a later, separated redelivery.
+	ChaosDuplicated
+	// ChaosDeferred: the frame swapped places with the next queued frame;
+	// nothing was delivered.
+	ChaosDeferred
+)
+
+// String implements fmt.Stringer.
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosDelivered:
+		return "deliver"
+	case ChaosDropped:
+		return "drop"
+	case ChaosDuplicated:
+		return "duplicate"
+	case ChaosDeferred:
+		return "defer"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// ChaosEvent reports one manual Step outcome.
+type ChaosEvent struct {
+	Action ChaosAction
+	// Frame is the affected frame (the delivered copy for Delivered and
+	// Duplicated, the lost frame for Dropped, the deferred frame for
+	// Deferred).
+	Frame []byte
+}
+
+// NewChaos wraps inner with fault injection.
+func NewChaos(inner Link, cfg Config) (*Chaos, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Chaos{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    stats.NewRNG(cfg.Seed),
+		notify: make(chan struct{}, 1),
+	}, nil
+}
+
+// NewChaosPair wraps both ends of an in-memory pair with chaos injectors
+// sharing one seed (each direction gets an independent derived RNG stream).
+// The first link is conventionally the server side, the second the client.
+func NewChaosPair(cfg Config) (*Chaos, *Chaos, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	a, b := NewMemPair()
+	base := stats.NewRNG(cfg.Seed)
+	ca, _ := NewChaos(a, cfg)
+	cb, _ := NewChaos(b, cfg)
+	ca.rng = base.Split()
+	cb.rng = base.Split()
+	return ca, cb, nil
+}
+
+// Send transmits one frame toward the peer, subject to faults. In manual
+// mode the frame only enters the queue; the caller delivers it with Step.
+func (c *Chaos) Send(frame []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	cp := append([]byte(nil), frame...)
+	c.stats.Sent++
+	if c.cfg.Manual {
+		c.queue = append(c.queue, cp)
+		select {
+		case c.notify <- struct{}{}:
+		default:
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	return c.autoSend(cp)
+}
+
+// autoSend applies the fault rolls inline. Called with c.mu held; releases
+// it before touching the inner link.
+func (c *Chaos) autoSend(frame []byte) error {
+	if c.cfg.Crash > 0 && c.rng.Bernoulli(c.cfg.Crash) {
+		c.mu.Unlock()
+		c.Close()
+		return ErrClosed
+	}
+	if c.partition == 0 && c.cfg.Part > 0 && c.rng.Bernoulli(c.cfg.Part) {
+		c.partition = 1
+		if c.cfg.PartLen > 1 {
+			c.partition += c.rng.Intn(c.cfg.PartLen)
+		}
+	}
+	if c.partition > 0 {
+		c.partition--
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return nil
+	}
+	if c.rng.Bernoulli(c.cfg.Drop) {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return nil
+	}
+	dup := c.rng.Bernoulli(c.cfg.Dup)
+	var delay time.Duration
+	if c.cfg.MaxDelay > 0 && c.rng.Bernoulli(c.cfg.Delay) {
+		delay = time.Duration(c.rng.Float64() * float64(c.cfg.MaxDelay))
+	}
+	// Reordering holds this frame back until the next Send flushes it.
+	flush := c.held
+	c.held = nil
+	if flush == nil && c.rng.Bernoulli(c.cfg.Reorder) {
+		c.held = frame
+		c.stats.Deferred++
+		c.mu.Unlock()
+		return nil
+	}
+	n := 1
+	if dup {
+		n = 2
+		c.stats.Duplicated++
+	}
+	c.stats.Delivered += n
+	if flush != nil {
+		c.stats.Delivered++
+	}
+	inner := c.inner
+	c.mu.Unlock()
+
+	send := func(f []byte) {
+		if delay > 0 {
+			time.AfterFunc(delay, func() { _ = inner.Send(f) })
+			return
+		}
+		_ = inner.Send(f)
+	}
+	for i := 0; i < n; i++ {
+		send(frame)
+	}
+	if flush != nil {
+		send(flush)
+	}
+	return nil
+}
+
+// SetHandler installs the receive callback. In auto mode incoming frames
+// are subject to drop and duplicate faults before reaching h.
+func (c *Chaos) SetHandler(h Handler) {
+	if c.cfg.Manual || h == nil || !c.cfg.Enabled() {
+		c.inner.SetHandler(h)
+		return
+	}
+	c.inner.SetHandler(func(frame []byte) {
+		c.mu.Lock()
+		drop := c.rng.Bernoulli(c.cfg.Drop)
+		dup := !drop && c.rng.Bernoulli(c.cfg.Dup)
+		if drop {
+			c.stats.Dropped++
+		} else {
+			c.stats.Delivered++
+			if dup {
+				c.stats.Delivered++
+				c.stats.Duplicated++
+			}
+		}
+		c.mu.Unlock()
+		if drop {
+			return
+		}
+		h(frame)
+		if dup {
+			h(frame)
+		}
+	})
+}
+
+// Close tears the link down. Safe to call more than once.
+func (c *Chaos) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.queue = nil
+	c.held = nil
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// Pending returns the number of queued frames (manual mode).
+func (c *Chaos) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// PendingFrames returns copies of the queued frames, oldest first.
+func (c *Chaos) PendingFrames() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.queue))
+	for i, f := range c.queue {
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}
+
+// WaitPending blocks until at least n frames are queued or the timeout
+// expires, reporting which. It exists for test harnesses that hand Sends
+// to another goroutine and need a deterministic rendezvous.
+func (c *Chaos) WaitPending(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		ok := len(c.queue) >= n
+		c.mu.Unlock()
+		if ok {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if remain > time.Millisecond {
+			remain = time.Millisecond
+		}
+		select {
+		case <-c.notify:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// DiscardPending drops every queued frame without delivering it, as when a
+// dying link's socket buffers are lost.
+func (c *Chaos) DiscardPending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.queue)
+	c.stats.Dropped += n
+	c.queue = nil
+	return n
+}
+
+// Partition swallows the next n frames (queued frames first), modeling a
+// link outage of bounded length that the sender cannot observe.
+func (c *Chaos) Partition(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partition = n
+}
+
+// Step processes the oldest queued frame in manual mode: it rolls the
+// fault dice and delivers, drops, duplicates, or defers the frame,
+// reporting exactly what happened. It returns false when nothing is
+// queued or the link is closed. Delivery runs the peer's handler on the
+// calling goroutine, so any protocol response the peer emits has been
+// sent (and, if the peer is also chaos-wrapped, queued) before Step
+// returns — the property the conformance harness's bookkeeping relies on.
+func (c *Chaos) Step() (ChaosEvent, bool) {
+	c.mu.Lock()
+	if c.closed || len(c.queue) == 0 {
+		c.mu.Unlock()
+		return ChaosEvent{}, false
+	}
+	frame := c.queue[0]
+	if c.partition > 0 {
+		c.partition--
+		c.queue = c.queue[1:]
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return ChaosEvent{Action: ChaosDropped, Frame: frame}, true
+	}
+	switch {
+	case c.rng.Bernoulli(c.cfg.Drop):
+		c.queue = c.queue[1:]
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return ChaosEvent{Action: ChaosDropped, Frame: frame}, true
+	case len(c.queue) >= 2 && c.rng.Bernoulli(c.cfg.Reorder):
+		c.queue[0], c.queue[1] = c.queue[1], c.queue[0]
+		c.stats.Deferred++
+		c.mu.Unlock()
+		return ChaosEvent{Action: ChaosDeferred, Frame: frame}, true
+	case c.rng.Bernoulli(c.cfg.Dup):
+		c.queue = append(c.queue[1:], append([]byte(nil), frame...))
+		c.stats.Duplicated++
+		c.stats.Delivered++
+		inner := c.inner
+		c.mu.Unlock()
+		_ = inner.Send(frame)
+		return ChaosEvent{Action: ChaosDuplicated, Frame: frame}, true
+	default:
+		c.queue = c.queue[1:]
+		c.stats.Delivered++
+		inner := c.inner
+		c.mu.Unlock()
+		_ = inner.Send(frame)
+		return ChaosEvent{Action: ChaosDelivered, Frame: frame}, true
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ParseChaosSpec parses the -chaos flag syntax: a comma-separated list of
+// key=value pairs, e.g.
+//
+//	seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20
+//
+// Unset keys default to zero (fault disabled). The empty string yields a
+// zero Config, which Enabled reports as off.
+func ParseChaosSpec(s string) (Config, error) {
+	var cfg Config
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("transport: chaos spec %q: want key=value", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			cfg.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			cfg.Dup, err = strconv.ParseFloat(val, 64)
+		case "reorder":
+			cfg.Reorder, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			cfg.Delay, err = strconv.ParseFloat(val, 64)
+		case "maxdelay":
+			cfg.MaxDelay, err = time.ParseDuration(val)
+		case "crash":
+			cfg.Crash, err = strconv.ParseFloat(val, 64)
+		case "part":
+			cfg.Part, err = strconv.ParseFloat(val, 64)
+		case "partlen":
+			cfg.PartLen, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("transport: chaos spec: unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("transport: chaos spec %s=%q: %v", key, val, err)
+		}
+	}
+	if cfg.Delay > 0 && cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	if cfg.Part > 0 && cfg.PartLen == 0 {
+		cfg.PartLen = 10
+	}
+	return cfg, cfg.Validate()
+}

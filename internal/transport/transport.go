@@ -8,7 +8,11 @@
 //     and mobirep-client executables.
 //
 // Both deliver frames reliably and in order per direction, matching the
-// paper's assumption of a serialized request stream.
+// paper's assumption of a serialized request stream. The Chaos wrapper
+// (chaos.go) deliberately breaks those guarantees — dropping, duplicating,
+// delaying, and reordering frames from a seeded RNG — so the replica
+// protocol can be tested under the unreliable mobile links the paper's
+// setting actually implies.
 package transport
 
 import (
