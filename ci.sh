@@ -11,13 +11,20 @@ go build ./...
 go test -race ./...
 
 # Protocol conformance under fault injection: a focused race-detector
-# slice, then a fixed-seed smoke replay of a frozen regression schedule to
-# prove seed replay works end to end. "ci.sh -long" explores far deeper.
+# slice, then fixed-seed smoke replays of frozen regression schedules —
+# one per generator generation — to prove seed replay works end to end.
+# "ci.sh -long" explores far deeper.
 go test -race -run 'Conformance' -count=1 ./internal/replica/
-go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.seed=35 -count=1
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.seed=35 -conformance.gen=1 -count=1
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.seed=3 -count=1
 if [ "${1:-}" = "-long" ]; then
     go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.schedules=20000 -count=1
 fi
+
+# Recovery slice: the chaos soak (supervised client vs crashing links),
+# the supervisor unit tests, and the accept-loop detach contract, all
+# under the race detector and rerun to shake out schedule luck.
+go test -race -count=2 -run 'TestChaosSoakRecovery|TestSupervisor|TestServerCloseCallbackDetachesSession|Resync|Reattach|TestTCPLinkCloseDetaches' ./internal/replica/
 
 # End-to-end: regenerate every experiment table in quick mode and prove the
 # parallel engine reproduces the sequential tables byte-for-byte.

@@ -30,6 +30,8 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 10*time.Second, "meter print interval")
 	chaosSpec := flag.String("chaos", "",
 		"fault injection on client links, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20")
+	sessionTTL := flag.Duration("session-ttl", 0,
+		"detach sessions silent for this long (half-open links); 0 disables the reaper; clients must heartbeat well under it")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -73,6 +75,15 @@ func main() {
 
 	if *writeRate > 0 {
 		go writeLoop(srv, *key, *writeRate, *seed)
+	}
+	if *sessionTTL > 0 {
+		go func(ttl time.Duration) {
+			for range time.Tick(ttl / 2) {
+				if n := srv.ExpireIdle(ttl); n > 0 {
+					fmt.Printf("reaped %d idle session(s)\n", n)
+				}
+			}
+		}(*sessionTTL)
 	}
 	for {
 		time.Sleep(*statsEvery)

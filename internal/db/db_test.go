@@ -2,7 +2,9 @@ package db
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -188,6 +190,78 @@ func TestTornTailRecovery(t *testing.T) {
 	x, _ = re2.Get("x")
 	if string(x.Value) != "after-crash" || x.Version != 2 {
 		t.Fatalf("post-crash x = %+v", x)
+	}
+}
+
+func TestCrashMidAppendRecovery(t *testing.T) {
+	// A process killed mid-append leaves a record prefix with no clean
+	// shutdown: no Close, no Sync, just whatever the OS had. The store is
+	// abandoned (never closed) and a second handle plays the crashed
+	// writer, leaving header+partial payload at the tail.
+	path := filepath.Join(t.TempDir(), "items.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("x", []byte("v1"))
+	s.Put("y", []byte("w1"))
+	s.Put("x", []byte("v2"))
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeRecord(Record{Key: "x", Value: []byte("lost-in-crash"), Version: 3})
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	f.Write(hdr[:])
+	f.Write(payload[:len(payload)/2]) // the crash hits here
+	f.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := re.Get("x")
+	y, _ := re.Get("y")
+	if x.Version != 2 || string(x.Value) != "v2" || y.Version != 1 || string(y.Value) != "w1" {
+		t.Fatalf("recovered x=%+v y=%+v", x, y)
+	}
+	// The torn tail was truncated; the next append lands where the partial
+	// record was and survives another reopen.
+	if _, err := re.Put("x", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	x, _ = re2.Get("x")
+	if x.Version != 3 || string(x.Value) != "v3" {
+		t.Fatalf("post-crash append lost: %+v", x)
+	}
+}
+
+func TestLogCloseSurfacesSyncFailure(t *testing.T) {
+	// Close must sync to stable storage and must not swallow the error
+	// when it cannot: a silently unsynced close is exactly the data-loss
+	// window the sync exists to shut.
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Key: "k", Value: []byte("v"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.f.Close() // yank the fd: the sync inside Close must fail loudly
+	if err := l.Close(); err == nil {
+		t.Fatal("close with a dead fd should surface the sync failure")
 	}
 }
 

@@ -121,12 +121,14 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
-// Close flushes and closes the underlying file.
+// Close flushes, syncs to stable storage, and closes the underlying
+// file. Without the sync a crash right after a clean shutdown could
+// still lose the buffered tail — Close must leave nothing volatile.
 func (l *Log) Close() error {
-	flushErr := l.w.Flush()
+	syncErr := l.Sync()
 	closeErr := l.f.Close()
-	if flushErr != nil {
-		return flushErr
+	if syncErr != nil {
+		return syncErr
 	}
 	return closeErr
 }

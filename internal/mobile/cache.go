@@ -8,6 +8,7 @@ package mobile
 
 import (
 	"sync"
+	"time"
 
 	"mobirep/internal/db"
 )
@@ -40,7 +41,12 @@ type Cache struct {
 	mu      sync.RWMutex
 	items   map[string]db.Item
 	archive map[string]db.Item
-	stats   Stats
+	// fresh records when each entry (live or archived) was last known to
+	// match the server: at install, update, and revalidation. Bounded
+	// staleness offline reads compare against it.
+	fresh map[string]time.Time
+	now   func() time.Time
+	stats Stats
 }
 
 // NewCache returns an empty cache.
@@ -48,7 +54,17 @@ func NewCache() *Cache {
 	return &Cache{
 		items:   make(map[string]db.Item),
 		archive: make(map[string]db.Item),
+		fresh:   make(map[string]time.Time),
+		now:     time.Now,
 	}
+}
+
+// SetClock overrides the cache's time source, for tests that need
+// deterministic staleness ages.
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
 }
 
 // Get returns the cached item, recording a hit or miss.
@@ -78,6 +94,7 @@ func (c *Cache) Install(it db.Item) {
 	defer c.mu.Unlock()
 	c.items[it.Key] = it
 	delete(c.archive, it.Key)
+	c.fresh[it.Key] = c.now()
 	c.stats.Installs++
 }
 
@@ -93,6 +110,7 @@ func (c *Cache) Update(it db.Item) bool {
 		return false
 	}
 	c.items[it.Key] = it
+	c.fresh[it.Key] = c.now()
 	c.stats.Updates++
 	return true
 }
@@ -132,8 +150,40 @@ func (c *Cache) Revalidated(key string) (db.Item, bool) {
 	if !ok {
 		return db.Item{}, false
 	}
+	c.fresh[key] = c.now()
 	c.stats.Revalidations++
 	return it, true
+}
+
+// Refresh marks a live entry as just confirmed current by the server
+// (a warm-resync NotModified answer), counting a revalidation. It reports
+// whether a live entry existed.
+func (c *Cache) Refresh(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; !ok {
+		return false
+	}
+	c.fresh[key] = c.now()
+	c.stats.Revalidations++
+	return true
+}
+
+// LastKnown returns the most recent value held for key — the live entry
+// if present, else the stale archived one — along with its age: how long
+// ago it was last known to match the server, measured by the cache clock.
+// Callers that serve it during an outage must flag it as possibly stale.
+func (c *Cache) LastKnown(key string) (db.Item, time.Duration, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	it, ok := c.items[key]
+	if !ok {
+		it, ok = c.archive[key]
+	}
+	if !ok {
+		return db.Item{}, 0, false
+	}
+	return it, c.now().Sub(c.fresh[key]), true
 }
 
 // ArchiveLen returns the number of archived items.

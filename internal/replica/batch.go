@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,8 +26,16 @@ import (
 
 // ReadMany performs a joint read at the mobile computer. The returned
 // items are in the order of keys. Duplicate keys are served consistently
-// (the same item for each occurrence).
+// (the same item for each occurrence). It is ReadManyContext with no
+// cancellation.
 func (c *Client) ReadMany(keys []string) ([]db.Item, error) {
+	return c.ReadManyContext(context.Background(), keys)
+}
+
+// ReadManyContext is ReadMany with a per-request deadline, mirroring
+// ReadContext: the remote leg gives up with ctx.Err() when the context
+// ends, on top of the client-wide Timeout.
+func (c *Client) ReadManyContext(ctx context.Context, keys []string) ([]db.Item, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
@@ -87,23 +96,31 @@ func (c *Client) ReadMany(keys []string) ([]db.Item, error) {
 	}
 	if err := link.Send(frame); err != nil {
 		c.cancelPendingBatch(ch)
-		return nil, err
+		c.suspect(link, err)
+		// As in ReadContext: a failed send is an offline condition.
+		return nil, fmt.Errorf("%w: %v", ErrOffline, err)
 	}
 
 	var resp wire.Batch
-	var ok bool
+	var timeout <-chan time.Time
 	if c.Timeout > 0 {
-		select {
-		case resp, ok = <-ch:
-		case <-time.After(c.Timeout):
-			c.cancelPendingBatch(ch)
-			return nil, ErrTimeout
-		}
-	} else {
-		resp, ok = <-ch
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	if !ok {
-		return nil, ErrOffline
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return nil, ErrOffline
+		}
+		resp = r
+	case <-timeout:
+		c.cancelPendingBatch(ch)
+		c.suspect(link, ErrTimeout)
+		return nil, ErrTimeout
+	case <-ctx.Done():
+		c.cancelPendingBatch(ch)
+		return nil, ctx.Err()
 	}
 	for _, e := range resp.Entries {
 		it := db.Item{Key: e.Key, Value: e.Value, Version: e.Version}
@@ -135,10 +152,14 @@ func (c *Client) cancelPendingBatch(ch chan wire.Batch) {
 	}
 }
 
-// onBatch handles a MultiReadResp: install allocations and wake the
-// oldest joint read (the transport is ordered, so responses arrive in
-// request order).
+// onBatch handles server-to-client batch messages. For a MultiReadResp:
+// install allocations and wake the oldest joint read (the transport is
+// ordered, so responses arrive in request order).
 func (c *Client) onBatch(b wire.Batch) {
+	if b.Kind == wire.KindResyncResp {
+		c.onResyncResp(b)
+		return
+	}
 	if b.Kind != wire.KindMultiReadResp {
 		return
 	}
@@ -177,10 +198,14 @@ func (c *Client) onBatch(b wire.Batch) {
 	}
 }
 
-// onBatch handles a MultiReadReq on the server side: every key gets the
-// same treatment as a singleton read request, but the whole answer rides
-// one data message.
+// onBatch handles client-to-server batch messages. For a MultiReadReq:
+// every key gets the same treatment as a singleton read request, but the
+// whole answer rides one data message.
 func (ss *Session) onBatch(b wire.Batch) {
+	if b.Kind == wire.KindResyncReq {
+		ss.onResyncReq(b)
+		return
+	}
 	if b.Kind != wire.KindMultiReadReq {
 		return
 	}
@@ -223,6 +248,52 @@ func (ss *Session) onBatch(b wire.Batch) {
 	frame, err := wire.EncodeBatch(resp)
 	if err != nil {
 		panic(fmt.Sprintf("replica: encode batch response: %v", err))
+	}
+	ss.meter.addData(len(frame))
+	_ = ss.link.Send(frame)
+}
+
+// onResyncReq re-admits a warm client after a link blip: re-assert every
+// declared subscription and answer with one data message that
+// revalidates current copies (NotModified when the version stamp still
+// matches, payload omitted) and re-ships only the keys that changed
+// while the client was away. While the MC holds a copy it is in charge
+// of the window, so the SC records only the subscription bit; if the
+// resync answer makes the MC deallocate, its delete-request hands the
+// window back as usual. A duplicated request (chaos) re-asserts
+// idempotently; the duplicated answer is version-guarded at the client.
+func (ss *Session) onResyncReq(b wire.Batch) {
+	resp := wire.Batch{Kind: wire.KindResyncResp}
+	ss.mu.Lock()
+	if ss.detached {
+		ss.mu.Unlock()
+		return
+	}
+	for ki, key := range b.Keys {
+		it, _ := ss.srv.store.Get(key)
+		st := ss.state(key)
+		if st.mode.Kind != ModeStatic1 {
+			// ST1 never places copies; a declared copy there is a client
+			// bug and gets a refresh without a subscription.
+			st.hasCopy = true
+		}
+		e := wire.Entry{Key: key, Version: it.Version}
+		hint := uint64(0)
+		if ki < len(b.Versions) {
+			hint = b.Versions[ki]
+		}
+		if hint == it.Version {
+			e.NotModified = true
+		} else {
+			e.Value = it.Value
+		}
+		resp.Entries = append(resp.Entries, e)
+	}
+	ss.mu.Unlock()
+
+	frame, err := wire.EncodeBatch(resp)
+	if err != nil {
+		panic(fmt.Sprintf("replica: encode resync response: %v", err))
 	}
 	ss.meter.addData(len(frame))
 	_ = ss.link.Send(frame)

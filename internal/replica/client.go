@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,18 @@ type Client struct {
 	pending      map[string][]chan wire.Message
 	pendingBatch []chan wire.Batch
 	offline      bool
+	// staleMax, when positive, lets offline reads serve the last known
+	// value (flagged with ErrStale) if it was confirmed fresh within
+	// this age. See AllowStale.
+	staleMax time.Duration
+	// resyncDone, when non-nil, is closed once the in-flight warm
+	// resync ends (see ResumeResync).
+	resyncDone chan struct{}
+	// onLinkError, if set, is told about failures on the current link —
+	// the reconnect supervisor's failure-detection hook.
+	onLinkError func(error)
+	// onPong, if set, receives each Pong's sequence number.
+	onPong func(seq uint64)
 
 	// Timeout bounds how long a remote read waits for its response;
 	// zero means wait forever (the in-memory transport responds inline).
@@ -65,12 +78,21 @@ func (c *Client) HasCopy(key string) bool { return c.cache.Contains(key) }
 
 // Read performs a read at the mobile computer: local when a copy exists,
 // remote (one control request, one data response) otherwise. A remote read
-// may allocate a copy, as decided by the server per section 4.
+// may allocate a copy, as decided by the server per section 4. It is
+// ReadContext with no cancellation.
 func (c *Client) Read(key string) (db.Item, error) {
+	return c.ReadContext(context.Background(), key)
+}
+
+// ReadContext is Read with a per-request deadline: a remote read gives up
+// with ctx.Err() when the context is cancelled or its deadline passes,
+// on top of the client-wide Timeout. Local reads never block.
+func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 	c.mu.Lock()
 	if c.offline {
+		staleMax := c.staleMax
 		c.mu.Unlock()
-		return db.Item{}, ErrOffline
+		return c.staleRead(key, staleMax)
 	}
 	st := c.state(key)
 	if st.hasCopy {
@@ -98,25 +120,46 @@ func (c *Client) Read(key string) (db.Item, error) {
 	c.meter.addConnection()
 	if err := c.sendControlOn(link, wire.Message{Kind: wire.KindReadReq, Key: key}); err != nil {
 		c.cancelPending(key, ch)
-		return db.Item{}, err
+		// A link that fails mid-send is an offline condition to the
+		// caller (the suspect hook above has already told the recovery
+		// layer); the transport detail rides along for diagnostics.
+		return db.Item{}, fmt.Errorf("%w: %v", ErrOffline, err)
 	}
-	var resp wire.Message
-	var ok bool
+	var timeout <-chan time.Time
 	if c.Timeout > 0 {
-		select {
-		case resp, ok = <-ch:
-		case <-time.After(c.Timeout):
-			c.cancelPending(key, ch)
-			return db.Item{}, ErrTimeout
-		}
-	} else {
-		resp, ok = <-ch
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	if !ok {
-		// The channel was closed by Disconnect.
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			// The channel was closed by Disconnect or Suspend.
+			return db.Item{}, ErrOffline
+		}
+		return db.Item{Key: key, Value: resp.Value, Version: resp.Version}, nil
+	case <-timeout:
+		c.cancelPending(key, ch)
+		// A silent link is as suspect as a failing one.
+		c.suspect(link, ErrTimeout)
+		return db.Item{}, ErrTimeout
+	case <-ctx.Done():
+		c.cancelPending(key, ch)
+		return db.Item{}, ctx.Err()
+	}
+}
+
+// staleRead serves an offline read from the last known value when
+// AllowStale permits it, flagging the result with ErrStale.
+func (c *Client) staleRead(key string, staleMax time.Duration) (db.Item, error) {
+	if staleMax <= 0 {
 		return db.Item{}, ErrOffline
 	}
-	return db.Item{Key: key, Value: resp.Value, Version: resp.Version}, nil
+	it, age, ok := c.cache.LastKnown(key)
+	if !ok || age > staleMax {
+		return db.Item{}, ErrOffline
+	}
+	return it, ErrStale
 }
 
 // state returns (creating if needed) the client's state for key. The
@@ -164,8 +207,68 @@ func (c *Client) onFrame(frame []byte) {
 		c.onWriteProp(msg)
 	case wire.KindDeleteReq:
 		c.onDeleteReq(msg)
+	case wire.KindPong:
+		c.mu.Lock()
+		f := c.onPong
+		c.mu.Unlock()
+		if f != nil {
+			f(msg.Version)
+		}
 	default:
-		// ReadReq is client-to-server only; ignore.
+		// ReadReq and Ping are client-to-server only; ignore.
+	}
+}
+
+// Ping sends a keepalive probe carrying seq; the server echoes it as a
+// Pong delivered to the pong handler. Liveness traffic: it is not metered
+// as protocol cost.
+func (c *Client) Ping(seq uint64) error {
+	c.mu.Lock()
+	offline := c.offline
+	link := c.link
+	c.mu.Unlock()
+	if offline || link == nil {
+		return ErrOffline
+	}
+	frame, err := wire.Encode(wire.Message{Kind: wire.KindPing, Version: seq})
+	if err != nil {
+		return fmt.Errorf("replica: encode ping: %w", err)
+	}
+	if err := link.Send(frame); err != nil {
+		c.suspect(link, err)
+		return err
+	}
+	return nil
+}
+
+// SetPongHandler registers f to receive each Pong's sequence number. f
+// runs on the transport's delivery goroutine and must not call back into
+// the client while blocking it.
+func (c *Client) SetPongHandler(f func(seq uint64)) {
+	c.mu.Lock()
+	c.onPong = f
+	c.mu.Unlock()
+}
+
+// SetLinkErrorHandler registers f to be told when traffic on the current
+// link fails — the reconnect supervisor's cue that the link is suspect.
+// Errors from links already replaced or cleared are not reported.
+func (c *Client) SetLinkErrorHandler(f func(err error)) {
+	c.mu.Lock()
+	c.onLinkError = f
+	c.mu.Unlock()
+}
+
+// suspect reports a link failure to the error handler, but only when the
+// failing link is still the client's current one: a stale link's death
+// must not restart recovery that already moved on.
+func (c *Client) suspect(link transport.Link, err error) {
+	c.mu.Lock()
+	cur := c.link
+	f := c.onLinkError
+	c.mu.Unlock()
+	if f != nil && link != nil && link == cur {
+		f(err)
 	}
 }
 
@@ -278,5 +381,9 @@ func (c *Client) sendControlOn(link transport.Link, msg wire.Message) error {
 		return fmt.Errorf("replica: encode %v: %w", msg.Kind, err)
 	}
 	c.meter.addControl(len(frame))
-	return link.Send(frame)
+	if err := link.Send(frame); err != nil {
+		c.suspect(link, err)
+		return err
+	}
+	return nil
 }

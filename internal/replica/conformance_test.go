@@ -32,6 +32,8 @@ var (
 		"number of seeded fault schedules the conformance explorer runs")
 	confSeed = flag.Uint64("conformance.seed", 0,
 		"replay a single conformance schedule verbosely (0 = explore)")
+	confGen = flag.Int("conformance.gen", 2,
+		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects")
 )
 
 // valueFor is the deterministic payload for version v of key: the harness
@@ -49,11 +51,37 @@ func describeMsg(m wire.Message) string {
 	if m.Kind == wire.KindReadResp || m.Kind == wire.KindWriteProp {
 		s += fmt.Sprintf(" v%d", m.Version)
 	}
+	if m.Kind == wire.KindPing || m.Kind == wire.KindPong {
+		s += fmt.Sprintf(" seq=%d", m.Version)
+	}
 	if m.Allocate {
 		s += " alloc"
 	}
 	if len(m.Window) > 0 {
 		s += " win=" + m.Window.String()
+	}
+	return s + ")"
+}
+
+func describeBatch(b wire.Batch) string {
+	s := fmt.Sprintf("%v(", b.Kind)
+	for i, k := range b.Keys {
+		if i > 0 {
+			s += " "
+		}
+		s += k
+		if i < len(b.Versions) {
+			s += fmt.Sprintf("@v%d", b.Versions[i])
+		}
+	}
+	for i, e := range b.Entries {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=v%d", e.Key, e.Version)
+		if e.NotModified {
+			s += "!"
+		}
 	}
 	return s + ")"
 }
@@ -110,6 +138,7 @@ type conformance struct {
 
 	trace     []string
 	completed *uint64 // version the last remote read resolved to
+	pingSeq   uint64  // keepalive sequence counter (harness state, not RNG)
 }
 
 func (h *conformance) tracef(format string, args ...any) {
@@ -188,6 +217,53 @@ func (h *conformance) reconnect() error {
 
 func (h *conformance) randKey() string { return h.keys[h.rng.Intn(len(h.keys))] }
 
+// expectBatchEmits checks that exactly the predicted batch frame (or
+// nothing, when want is nil) was queued on q past index before. The
+// harness fills payloads for entries the model predicts as re-shipped.
+func (h *conformance) expectBatchEmits(side string, q *transport.Chaos, before int, want *wire.Batch) error {
+	frames := q.PendingFrames()
+	if len(frames) < before {
+		return h.fail("%s queue shrank from %d to %d frames", side, before, len(frames))
+	}
+	got := frames[before:]
+	if want == nil {
+		if len(got) != 0 {
+			return h.fail("%s emitted %d frames, model predicts none", side, len(got))
+		}
+		return nil
+	}
+	if len(got) != 1 {
+		return h.fail("%s emitted %d frames, model predicts one batch", side, len(got))
+	}
+	b, err := wire.DecodeBatch(got[0])
+	if err != nil {
+		return h.fail("%s emitted undecodable batch: %v", side, err)
+	}
+	if b.Kind != want.Kind || len(b.Keys) != len(want.Keys) || len(b.Entries) != len(want.Entries) {
+		return h.fail("%s batch shape diverges: impl %s, model %s",
+			side, describeBatch(b), describeBatch(*want))
+	}
+	for i := range want.Keys {
+		if b.Keys[i] != want.Keys[i] || b.Versions[i] != want.Versions[i] {
+			return h.fail("%s batch key %d diverges: impl %s, model %s",
+				side, i, describeBatch(b), describeBatch(*want))
+		}
+	}
+	for i, w := range want.Entries {
+		if !w.NotModified {
+			w.Value = valueFor(w.Key, w.Version)
+		}
+		g := b.Entries[i]
+		if g.Key != w.Key || g.Version != w.Version || g.NotModified != w.NotModified ||
+			g.Allocate != w.Allocate || !bytes.Equal(g.Value, w.Value) ||
+			!windowsEqual(g.Window, w.Window) {
+			return h.fail("%s batch entry %d diverges: impl %s, model %s",
+				side, i, describeBatch(b), describeBatch(*want))
+		}
+	}
+	return nil
+}
+
 // expectEmits checks that exactly the predicted frames were queued on q
 // past index before, in order, byte for byte.
 func (h *conformance) expectEmits(side string, q *transport.Chaos, before int, want []wire.Message) error {
@@ -247,6 +323,20 @@ func (h *conformance) pumpOne() error {
 	if !ok {
 		return h.fail("step on %s produced no event with frames pending", dir)
 	}
+	if wire.IsBatchFrame(ev.Frame) {
+		b, err := wire.DecodeBatch(ev.Frame)
+		if err != nil {
+			return h.fail("chaos surfaced corrupted batch on %s: %v", dir, err)
+		}
+		h.tracef("%s %v %s", dir, ev.Action, describeBatch(b))
+		if ev.Action == transport.ChaosDropped || ev.Action == transport.ChaosDeferred {
+			return nil
+		}
+		if useC2S {
+			return h.expectBatchEmits("server", opp, oppBefore, h.model.DeliverResyncToServer(b))
+		}
+		return h.expectEmits("client", opp, oppBefore, h.model.DeliverResyncToClient(b))
+	}
 	msg, err := wire.Decode(ev.Frame)
 	if err != nil {
 		return h.fail("chaos surfaced corrupted frame on %s: %v", dir, err)
@@ -264,6 +354,79 @@ func (h *conformance) pumpOne() error {
 		h.completed = completed
 	}
 	return h.expectEmits("client", opp, oppBefore, want)
+}
+
+// doPing sends a keepalive probe; the model predicts the echoed pong when
+// the frame is eventually delivered.
+func (h *conformance) doPing() error {
+	before := h.c2s.Pending()
+	h.pingSeq++
+	h.tracef("ping seq=%d", h.pingSeq)
+	if err := h.cli.Ping(h.pingSeq); err != nil {
+		return h.fail("ping failed: %v", err)
+	}
+	return h.expectEmits("client", h.c2s, before,
+		[]wire.Message{{Kind: wire.KindPing, Version: h.pingSeq}})
+}
+
+// reconnectWarm models a link blip short enough for a warm resync: the
+// links die (server session included — the close callback detaches it),
+// the client suspends keeping its copies, redials, and reconciles with a
+// ResyncReq/ResyncResp exchange. Chaos can eat either resync frame, in
+// which case the client stays offline and the supervisor's behaviour —
+// abandon the attempt and redial — is replayed deterministically.
+func (h *conformance) reconnectWarm() error {
+	for attempt := 0; attempt < 25; attempt++ {
+		h.tracef("warm reconnect (lose %d+%d in-flight frames)", h.s2c.Pending(), h.c2s.Pending())
+		h.s2c.Close()
+		h.c2s.Close()
+		h.cli.Suspend()
+		h.sess.Detach()
+		h.model.DetachSC()
+
+		cfg := h.chaosCfg
+		cfg.Seed = h.rng.Uint64()
+		sLink, cLink, err := transport.NewChaosPair(cfg)
+		if err != nil {
+			return err
+		}
+		h.s2c, h.c2s = sLink, cLink
+		h.sess = h.srv.Attach(sLink)
+
+		want := h.model.ResyncRequest()
+		before := h.c2s.Pending()
+		if _, err := h.cli.ResumeResync(cLink); err != nil {
+			return h.fail("resume resync: %v", err)
+		}
+		if want == nil {
+			if h.cli.Offline() {
+				return h.fail("empty resync left the client offline")
+			}
+			return h.expectEmits("client", h.c2s, before, nil)
+		}
+		if err := h.expectBatchEmits("client", h.c2s, before, want); err != nil {
+			return err
+		}
+		// Pump until the resync answer lands (delivery is synchronous, so
+		// the client is online the moment it does) or both queues dry out
+		// — the resync was lost in the chaos and the attempt restarts.
+		for steps := 0; h.cli.Offline(); steps++ {
+			if steps > 4000 {
+				return h.fail("warm resync pump exceeded step budget")
+			}
+			if h.s2c.Pending()+h.c2s.Pending() == 0 {
+				h.tracef("resync lost in transit; redialing")
+				break
+			}
+			if err := h.pumpOne(); err != nil {
+				return err
+			}
+		}
+		if !h.cli.Offline() {
+			return nil
+		}
+	}
+	return h.fail("warm reconnect never completed")
 }
 
 func (h *conformance) doWrite(key string) error {
@@ -439,8 +602,11 @@ func (h *conformance) checkFinalState() error {
 }
 
 // runConformance executes one full schedule derived from seed, returning a
-// replayable divergence report on the first mismatch.
-func runConformance(t *testing.T, seed uint64, verbose bool) error {
+// replayable divergence report on the first mismatch. gen selects the
+// schedule generator: 1 is the original op mix (kept verbatim so the
+// frozen regression seeds replay the exact schedules that caught their
+// bugs), 2 widens the switch with keepalive pings and warm reconnects.
+func runConformance(t *testing.T, seed uint64, gen int, verbose bool) error {
 	h, err := newConformance(t, seed, verbose)
 	if err != nil {
 		return err
@@ -448,10 +614,14 @@ func runConformance(t *testing.T, seed uint64, verbose bool) error {
 	// Release any read goroutine still parked on a severed link.
 	defer func() { h.cli.Disconnect() }()
 
+	die := 10
+	if gen >= 2 {
+		die = 12
+	}
 	nOps := 30 + h.rng.Intn(31)
 	for op := 0; op < nOps; op++ {
 		var err error
-		switch h.rng.Intn(10) {
+		switch h.rng.Intn(die) {
 		case 0, 1, 2, 3:
 			err = h.doRead(h.randKey())
 		case 4, 5, 6:
@@ -471,6 +641,10 @@ func runConformance(t *testing.T, seed uint64, verbose bool) error {
 			}
 		case 9:
 			err = h.reconnect()
+		case 10:
+			err = h.doPing()
+		case 11:
+			err = h.reconnectWarm()
 		}
 		if err != nil {
 			return err
@@ -513,10 +687,35 @@ func runConformance(t *testing.T, seed uint64, verbose bool) error {
 //     delete-request was swallowed silently, leaving the SC paying a data
 //     message per write to an MC without a copy — onWriteProp now
 //     re-asserts the deallocation.
+// gen2RegressionSeeds pins generator-2 schedules chosen (by trace
+// inspection after a 100000-schedule hunt) to cover every recovery
+// corner the explorer can reach, so the warm path cannot quietly
+// regress:
+//
+//   - seed 3: the ResyncReq is dropped once and the ResyncResp twice
+//     before an attempt lands; the answer mixes a NotModified
+//     revalidation with a re-shipped newer version, and a later resync
+//     turns a window write-heavy and deallocates.
+//   - seeds 18, 36: resync frames lost in transit force the
+//     deterministic redial loop under different fault mixes.
+//   - seed 33: missed writes during the blip push the window to a write
+//     majority — the copy is deallocated and the DeleteReq carries the
+//     window back over the resync connection.
+var gen2RegressionSeeds = []uint64{3, 18, 33, 36}
+
 func TestConformanceRegressionSeeds(t *testing.T) {
+	// Generator-1 seeds: the original op mix.
 	for _, seed := range []uint64{35, 46, 61} {
-		if err := runConformance(t, seed, false); err != nil {
-			t.Errorf("regression seed %d diverged:\n%v", seed, err)
+		if err := runConformance(t, seed, 1, false); err != nil {
+			t.Errorf("regression seed %d (gen 1) diverged:\n%v", seed, err)
+		}
+	}
+	// Generator-2 seeds: schedules with pings and warm reconnects that
+	// exercised the recovery layer's corner cases (resync frames dropped,
+	// duplicated, and reordered against live propagation).
+	for _, seed := range gen2RegressionSeeds {
+		if err := runConformance(t, seed, 2, false); err != nil {
+			t.Errorf("regression seed %d (gen 2) diverged:\n%v", seed, err)
 		}
 	}
 }
@@ -527,8 +726,8 @@ func TestConformanceRegressionSeeds(t *testing.T) {
 // schedule verbosely instead.
 func TestConformanceExplorer(t *testing.T) {
 	if *confSeed != 0 {
-		if err := runConformance(t, *confSeed, true); err != nil {
-			t.Fatalf("seed %d diverged:\n%v", *confSeed, err)
+		if err := runConformance(t, *confSeed, *confGen, true); err != nil {
+			t.Fatalf("seed %d (gen %d) diverged:\n%v", *confSeed, *confGen, err)
 		}
 		return
 	}
@@ -538,7 +737,7 @@ func TestConformanceExplorer(t *testing.T) {
 	}
 	failed := 0
 	for seed := uint64(1); seed <= uint64(n); seed++ {
-		if err := runConformance(t, seed, false); err != nil {
+		if err := runConformance(t, seed, 2, false); err != nil {
 			t.Errorf("schedule seed=%d diverged:\n%v\nreplay: go test ./internal/replica -run 'TestConformanceExplorer$' -conformance.seed=%d -v",
 				seed, err, seed)
 			failed++

@@ -28,6 +28,19 @@ import (
 //     lost (or not yet received) the deallocation — the MC re-asserts it
 //     with a DeleteReq so the SC stops propagating into the void.
 //
+// The recovery layer adds two exchanges, modeled here so the conformance
+// explorer can schedule them against chaos faults:
+//
+//   - Ping/Pong keepalives are stateless echoes (DeliverToServer answers
+//     a Ping with a Pong carrying the same sequence number);
+//   - warm resync: ResyncRequest is the declaration the client must emit
+//     on ResumeResync, DeliverResyncToServer re-asserts the declared
+//     subscriptions and predicts the server's answer, and
+//     DeliverResyncToClient applies that answer — refreshing stale
+//     copies, counting missed writes into the window (capped at K), and
+//     deallocating keys the outage turned write-majority. All of it is
+//     duplicate-tolerant: re-delivered resync traffic must be inert.
+//
 // Everything else is the paper's protocol verbatim, mirrored from
 // client.go and server.go.
 type Model struct {
@@ -208,6 +221,9 @@ func (m *Model) DeliverToServer(msg wire.Message) []wire.Message {
 	case wire.KindDeleteReq:
 		m.scDeleteReq(msg)
 		return nil
+	case wire.KindPing:
+		// Keepalives are stateless echoes, never metered.
+		return []wire.Message{{Kind: wire.KindPong, Version: msg.Version}}
 	default:
 		return nil // server ignores server-to-client kinds
 	}
@@ -334,6 +350,105 @@ func (m *Model) Reconnect() {
 	m.sc = make(map[string]*modelSide)
 	m.cache = make(map[string]uint64)
 	m.pendingRead, m.hasPendingRead = "", false
+}
+
+// DetachSC models the server replacing the client's session (the old one
+// detached on link death): SC-side state restarts fresh while the MC
+// keeps its warm copies, anticipating a resync.
+func (m *Model) DetachSC() {
+	m.sc = make(map[string]*modelSide)
+}
+
+// ResyncRequest returns the warm-resync declaration the client must emit
+// on ResumeResync: every held key, sorted, with its cached version stamp.
+// nil when no copies are held — the client comes back online immediately
+// and for free.
+func (m *Model) ResyncRequest() *wire.Batch {
+	var keys []string
+	for key, st := range m.mc {
+		if st.hasCopy {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	versions := make([]uint64, len(keys))
+	for i, k := range keys {
+		versions[i] = m.cache[k]
+	}
+	return &wire.Batch{Kind: wire.KindResyncReq, Keys: keys, Versions: versions}
+}
+
+// DeliverResyncToServer feeds a client->server batch to the SC state
+// machine and returns the answer batch the server must emit (nil for
+// kinds the server ignores). Declared subscriptions are re-asserted
+// idempotently; entries answer NotModified when the version stamp still
+// matches the store.
+func (m *Model) DeliverResyncToServer(b wire.Batch) *wire.Batch {
+	if b.Kind != wire.KindResyncReq {
+		return nil
+	}
+	resp := &wire.Batch{Kind: wire.KindResyncResp}
+	for i, key := range b.Keys {
+		st := m.side(m.sc, key)
+		if m.mode.Kind != ModeStatic1 {
+			st.hasCopy = true
+		}
+		e := wire.Entry{Key: key, Version: m.store[key]}
+		var hint uint64
+		if i < len(b.Versions) {
+			hint = b.Versions[i]
+		}
+		if hint == e.Version {
+			e.NotModified = true
+		}
+		resp.Entries = append(resp.Entries, e)
+	}
+	return resp
+}
+
+// DeliverResyncToClient applies a server->client ResyncResp to the MC
+// state machine and returns the frames the client must emit: a DeleteReq
+// for every key the missed writes turned write-majority. Entries apply
+// only to held keys and are version-guarded, so duplicates are inert.
+func (m *Model) DeliverResyncToClient(b wire.Batch) []wire.Message {
+	if b.Kind != wire.KindResyncResp {
+		return nil
+	}
+	var emits []wire.Message
+	for _, e := range b.Entries {
+		st := m.side(m.mc, e.Key)
+		if !st.hasCopy || e.NotModified {
+			continue
+		}
+		cur := m.cache[e.Key]
+		if e.Version <= cur {
+			continue // duplicated or reordered answer
+		}
+		m.cache[e.Key] = e.Version
+		if m.mode.Kind != ModeSW {
+			continue
+		}
+		// Missed writes slide the window as if propagated one by one,
+		// capped at K (older pushes would have slid out anyway).
+		missed := int(e.Version - cur)
+		if missed > m.mode.K {
+			missed = m.mode.K
+		}
+		for i := 0; i < missed; i++ {
+			st.push(sched.Write)
+		}
+		if !st.readMajority() {
+			st.hasCopy = false
+			delete(m.cache, e.Key)
+			emits = append(emits, wire.Message{
+				Kind: wire.KindDeleteReq, Key: e.Key, Window: st.windowCopy(),
+			})
+		}
+	}
+	return emits
 }
 
 // Keys returns every key the model has state for, for final-state sweeps.

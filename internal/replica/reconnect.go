@@ -2,7 +2,12 @@ package replica
 
 import (
 	"errors"
+	"fmt"
+	"sort"
+	"time"
 
+	"mobirep/internal/db"
+	"mobirep/internal/sched"
 	"mobirep/internal/transport"
 	"mobirep/internal/wire"
 )
@@ -10,8 +15,8 @@ import (
 // Disconnection support. Mobile computers disconnect: they move out of
 // coverage, power down, or the tariff makes the user pull the plug. The
 // paper assumes a connected system (availability is "handled exclusively
-// within the stationary system", section 8.1), so the policy here is the
-// conservative one its model implies:
+// within the stationary system", section 8.1), so the baseline policy is
+// the conservative one its model implies:
 //
 //   - A disconnected MC cannot receive write propagations, so its cached
 //     copies may silently go stale. Disconnect therefore drops every
@@ -23,18 +28,73 @@ import (
 //     unreachable radio.
 //   - On Reattach both sides start from the one-copy scheme with a fresh
 //     all-writes window, exactly like a newly arrived client; the window
-//     then re-learns the read/write mix. This is deliberately the
-//     cheapest correct behaviour; smarter resync (version vectors,
-//     Coda-style reintegration) is write-side work the single-writer
-//     model does not need.
+//     then re-learns the read/write mix.
+//
+// Cold restarts are the right answer for long partitions, but a link blip
+// of seconds would throw away a warm cache and learned windows only to
+// re-fetch them. The warm path — Suspend plus ResumeResync — keeps every
+// copy and window across the outage and reconciles with one control
+// message (the held keys and their version stamps) answered by one data
+// message that revalidates current copies and re-ships only what changed.
+// Until that answer arrives the client stays offline: a read in the gap
+// fails (or, under AllowStale, returns the last known value explicitly
+// flagged) instead of silently serving data that may have been
+// overwritten while the radio was dark.
 
 // ErrOffline is returned by Read while the client is disconnected.
 var ErrOffline = errors.New("replica: client is offline")
 
-// Disconnect takes the client offline: every cached copy is dropped (it
-// can no longer be kept coherent) and subsequent Reads fail with
+// ErrStale flags a read served from the last known cached value while
+// offline under AllowStale: the data may have been overwritten at the
+// server since it was last confirmed fresh.
+var ErrStale = errors.New("replica: value may be stale")
+
+// AllowStale permits reads while offline to be served from the last
+// known value — live or archived — provided it was confirmed fresh
+// within maxAge. Such reads return the item together with ErrStale so
+// callers can tell flagged data from a normal read. maxAge <= 0 restores
+// the default fail-fast ErrOffline behaviour.
+func (c *Client) AllowStale(maxAge time.Duration) {
+	c.mu.Lock()
+	c.staleMax = maxAge
+	c.mu.Unlock()
+}
+
+// takeWaitersLocked clears and returns everything currently blocked on
+// the link: pending singleton reads, pending joint reads, and the
+// in-flight resync signal. The caller must hold c.mu and close them all
+// after releasing it.
+func (c *Client) takeWaitersLocked() (map[string][]chan wire.Message, []chan wire.Batch, chan struct{}) {
+	pending := c.pending
+	c.pending = make(map[string][]chan wire.Message)
+	batch := c.pendingBatch
+	c.pendingBatch = nil
+	done := c.resyncDone
+	c.resyncDone = nil
+	return pending, batch, done
+}
+
+// failWaiters closes every channel collected by takeWaitersLocked;
+// receivers treat a closed channel as ErrOffline.
+func failWaiters(pending map[string][]chan wire.Message, batch []chan wire.Batch, done chan struct{}) {
+	for _, waiters := range pending {
+		for _, ch := range waiters {
+			close(ch)
+		}
+	}
+	for _, ch := range batch {
+		close(ch)
+	}
+	if done != nil {
+		close(done)
+	}
+}
+
+// Disconnect takes the client offline cold: every cached copy is dropped
+// (it can no longer be kept coherent) and subsequent Reads fail with
 // ErrOffline until Reattach. The old link is closed. Pending reads are
-// failed immediately.
+// failed immediately. For short outages prefer Suspend, which keeps the
+// cache warm for a ResumeResync.
 func (c *Client) Disconnect() {
 	c.mu.Lock()
 	c.offline = true
@@ -47,24 +107,32 @@ func (c *Client) Disconnect() {
 		}
 	}
 	c.items = make(map[string]*itemState)
-	// Fail pending remote reads, singleton and batch alike.
-	pending := c.pending
-	c.pending = make(map[string][]chan wire.Message)
-	batch := c.pendingBatch
-	c.pendingBatch = nil
+	pending, batch, done := c.takeWaitersLocked()
 	c.mu.Unlock()
 
 	if old != nil {
 		old.Close()
 	}
-	for _, waiters := range pending {
-		for _, ch := range waiters {
-			close(ch) // receiver treats a closed channel as failure
-		}
+	failWaiters(pending, batch, done)
+}
+
+// Suspend takes the client offline warm: cached copies, windows, and
+// allocation state all survive, anticipating a ResumeResync when the
+// link comes back. Pending reads fail immediately; new reads fail with
+// ErrOffline (or serve flagged stale data under AllowStale) until the
+// resync completes. The old link is closed.
+func (c *Client) Suspend() {
+	c.mu.Lock()
+	c.offline = true
+	old := c.link
+	c.link = nil
+	pending, batch, done := c.takeWaitersLocked()
+	c.mu.Unlock()
+
+	if old != nil {
+		old.Close()
 	}
-	for _, ch := range batch {
-		close(ch)
-	}
+	failWaiters(pending, batch, done)
 }
 
 // Offline reports whether the client is currently disconnected.
@@ -88,22 +156,135 @@ func (c *Client) Reattach(link transport.Link) {
 	c.link = link
 	c.offline = false
 	c.items = make(map[string]*itemState)
-	pending := c.pending
-	c.pending = make(map[string][]chan wire.Message)
-	batch := c.pendingBatch
-	c.pendingBatch = nil
+	pending, batch, done := c.takeWaitersLocked()
 	c.mu.Unlock()
 
 	if old != nil && old != link {
 		old.Close()
 	}
-	for _, waiters := range pending {
-		for _, ch := range waiters {
-			close(ch)
+	failWaiters(pending, batch, done)
+	link.SetHandler(c.onFrame)
+}
+
+// ResumeResync brings a suspended client back over a new link with a
+// warm resync instead of a cold restart: the client declares every copy
+// it still holds — keys plus cached version stamps, sorted for
+// deterministic framing — in one control message, and stays offline
+// until the server's ResyncResp revalidates or refreshes them. The
+// returned channel is closed when the resync attempt ends (response
+// applied, or the attempt abandoned by a later Suspend, Disconnect,
+// Reattach, or ResumeResync); check Offline to see whether it succeeded.
+// A client holding no copies is online immediately with a closed channel
+// and no traffic.
+func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
+	c.mu.Lock()
+	old := c.link
+	c.link = link
+	var keys []string
+	for key, st := range c.items {
+		if st.hasCopy {
+			keys = append(keys, key)
 		}
 	}
-	for _, ch := range batch {
-		close(ch)
+	sort.Strings(keys)
+	hints := make([]uint64, len(keys))
+	for i, key := range keys {
+		if it, ok := c.cache.Peek(key); ok {
+			hints[i] = it.Version
+		}
 	}
+	done := make(chan struct{})
+	if len(keys) == 0 {
+		c.offline = false
+		close(done)
+	} else {
+		c.offline = true
+	}
+	pending, batch, prevDone := c.takeWaitersLocked()
+	if len(keys) > 0 {
+		c.resyncDone = done
+	}
+	c.mu.Unlock()
+
+	if old != nil && old != link {
+		old.Close()
+	}
+	failWaiters(pending, batch, prevDone)
 	link.SetHandler(c.onFrame)
+	if len(keys) == 0 {
+		return done, nil
+	}
+
+	// One reattachment connection, one control message for the whole
+	// held set.
+	c.meter.addConnection()
+	frame, err := wire.EncodeBatch(wire.Batch{Kind: wire.KindResyncReq, Keys: keys, Versions: hints})
+	if err != nil {
+		return done, fmt.Errorf("replica: encode resync: %w", err)
+	}
+	c.meter.addControl(len(frame))
+	if err := link.Send(frame); err != nil {
+		c.suspect(link, err)
+		return done, err
+	}
+	return done, nil
+}
+
+// onResyncResp applies the server's warm-resync answer and brings the
+// client back online. Entries apply only to keys still held and are
+// version-guarded, so a duplicated or reordered response (chaos) is
+// inert on the copies themselves.
+func (c *Client) onResyncResp(b wire.Batch) {
+	var dealloc []wire.Message
+	c.mu.Lock()
+	for _, e := range b.Entries {
+		st, ok := c.items[e.Key]
+		if !ok || !st.hasCopy {
+			continue
+		}
+		if e.NotModified {
+			// The cached copy is current; refresh its staleness clock.
+			c.cache.Refresh(e.Key)
+			continue
+		}
+		cur, _ := c.cache.Peek(e.Key)
+		if !c.cache.Update(db.Item{Key: e.Key, Value: e.Value, Version: e.Version}) {
+			continue
+		}
+		if st.mode.Kind != ModeSW {
+			continue
+		}
+		// Every write missed while away counts toward the window, just
+		// as if the propagations had arrived one by one — capped at K,
+		// beyond which older pushes would have slid out anyway.
+		missed := int(e.Version - cur.Version)
+		if missed > st.mode.K {
+			missed = st.mode.K
+		}
+		for i := 0; i < missed; i++ {
+			st.window.Push(sched.Write)
+		}
+		if !st.window.ReadMajority() {
+			// The outage turned the mix write-heavy: deallocate, handing
+			// the window back to the SC.
+			st.hasCopy = false
+			c.cache.Drop(e.Key)
+			dealloc = append(dealloc, wire.Message{
+				Kind: wire.KindDeleteReq, Key: e.Key, Window: st.window.Bits(),
+			})
+		}
+	}
+	c.offline = false
+	done := c.resyncDone
+	c.resyncDone = nil
+	c.mu.Unlock()
+
+	for _, msg := range dealloc {
+		// Deallocations ride the resync connection: control messages,
+		// no new connection.
+		_ = c.sendControl(msg)
+	}
+	if done != nil {
+		close(done)
+	}
 }

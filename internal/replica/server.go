@@ -3,6 +3,7 @@ package replica
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mobirep/internal/db"
 	"mobirep/internal/sched"
@@ -15,6 +16,7 @@ import (
 type Server struct {
 	store *db.Store
 	mode  Mode
+	now   func() time.Time
 
 	mu       sync.Mutex
 	sessions map[*Session]struct{}
@@ -33,6 +35,9 @@ type Session struct {
 	mu       sync.Mutex
 	items    map[string]*itemState
 	detached bool
+	// lastSeen is when the client last proved liveness: any received
+	// frame, including pings. The idle reaper compares against it.
+	lastSeen time.Time
 }
 
 // NewServer creates a server over the given store. mode applies to every
@@ -45,8 +50,23 @@ func NewServer(store *db.Store, mode Mode) (*Server, error) {
 	return &Server{
 		store:    store,
 		mode:     mode,
+		now:      time.Now,
 		sessions: make(map[*Session]struct{}),
 	}, nil
+}
+
+// SetClock overrides the server's time source, for tests that need
+// deterministic session ages.
+func (s *Server) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+func (s *Server) clock() func() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
 }
 
 // Store exposes the underlying database (the SC's local operations go
@@ -59,10 +79,11 @@ func (s *Server) Store() *db.Store { return s.store }
 // The link's handler is installed by Attach.
 func (s *Server) Attach(link transport.Link) *Session {
 	sess := &Session{
-		srv:   s,
-		link:  link,
-		meter: &Meter{},
-		items: make(map[string]*itemState),
+		srv:      s,
+		link:     link,
+		meter:    &Meter{},
+		items:    make(map[string]*itemState),
+		lastSeen: s.clock()(),
 	}
 	link.SetHandler(sess.onFrame)
 	s.mu.Lock()
@@ -92,6 +113,40 @@ func (s *Server) Sessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// LastSeen returns when the client last proved liveness.
+func (ss *Session) LastSeen() time.Time {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastSeen
+}
+
+// ExpireIdle is the session reaper: it detaches every session whose
+// client has been silent for at least ttl and closes its link, returning
+// the number reaped. Run it on a ticker to bound how long a silently dead
+// radio keeps consuming propagation traffic when the transport never
+// delivers a close event (a half-open TCP connection, a crashed NAT).
+// A healthy client's heartbeat interval must be well under ttl.
+func (s *Server) ExpireIdle(ttl time.Duration) int {
+	s.mu.Lock()
+	cutoff := s.now().Add(-ttl)
+	var stale []*Session
+	for sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.lastSeen.Before(cutoff) {
+			stale = append(stale, sess)
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, sess := range stale {
+		sess.Detach()
+		// Detach leaves links alone (tests and reconnects rely on that);
+		// the reaper closes explicitly so the client notices promptly.
+		sess.link.Close()
+	}
+	return len(stale)
 }
 
 // Write commits a new value for key at the stationary computer and runs
@@ -194,6 +249,12 @@ const (
 
 // onFrame handles one message from the client.
 func (ss *Session) onFrame(frame []byte) {
+	// Any received frame — even a malformed one — proves the link is
+	// alive; refresh the reaper's clock first.
+	now := ss.srv.clock()()
+	ss.mu.Lock()
+	ss.lastSeen = now
+	ss.mu.Unlock()
 	if wire.IsBatchFrame(frame) {
 		b, err := wire.DecodeBatch(frame)
 		if err != nil {
@@ -213,9 +274,28 @@ func (ss *Session) onFrame(frame []byte) {
 		ss.onReadReq(msg)
 	case wire.KindDeleteReq:
 		ss.onDeleteReq(msg)
+	case wire.KindPing:
+		ss.onPing(msg)
 	default:
 		// ReadResp/WriteProp are server-to-client only; ignore.
 	}
+}
+
+// onPing echoes a keepalive probe. Liveness traffic: the pong is not
+// metered as protocol cost. A detached session stays silent so the
+// client's heartbeat discovers the session is gone.
+func (ss *Session) onPing(msg wire.Message) {
+	ss.mu.Lock()
+	dead := ss.detached
+	ss.mu.Unlock()
+	if dead {
+		return
+	}
+	frame, err := wire.Encode(wire.Message{Kind: wire.KindPong, Version: msg.Version})
+	if err != nil {
+		panic(fmt.Sprintf("replica: encode pong: %v", err))
+	}
+	_ = ss.link.Send(frame)
 }
 
 // onReadReq runs the SC read path: serve the item and decide allocation.

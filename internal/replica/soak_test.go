@@ -1,0 +1,265 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/transport"
+)
+
+// TestChaosSoakRecovery hammers one supervised client through auto-mode
+// chaos links that drop, duplicate, reorder, and abruptly crash, while
+// the server keeps writing and reaping idle sessions. The soak asserts
+// the recovery layer's end-to-end invariants rather than any particular
+// schedule:
+//
+//   - no lost writes: once the dust settles every key reads back at the
+//     final committed version;
+//   - no unflagged staleness: a successful read never goes backwards in
+//     version and never reports a version the store has not committed;
+//     possibly-stale data appears only with ErrStale, and only while
+//     AllowStale is in force;
+//   - failures are bounded: a read fails only with the recovery layer's
+//     advertised errors, never anything else and never a wrong value;
+//   - the server does not leak sessions: crashed links' sessions are
+//     reaped, leaving a bounded population;
+//   - the meter stays sane: every connection carried at least one
+//     message (heartbeats and resyncs never bill idle connections).
+func TestChaosSoakRecovery(t *testing.T) {
+	srv, err := NewServer(db.NewStore(), SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c"}
+	committed := make(map[string]*atomic.Uint64, len(keys))
+	for _, key := range keys {
+		committed[key] = &atomic.Uint64{}
+		if _, err := srv.Write(key, []byte(key+"#1")); err != nil {
+			t.Fatal(err)
+		}
+		committed[key].Store(1)
+	}
+
+	// Every dial lands on a fresh chaos-wrapped in-memory pair; once the
+	// soak phase ends, calm turns the faults off so the system settles.
+	var calm atomic.Bool
+	var dialSeq atomic.Uint64
+	dial := func() (transport.Link, error) {
+		// Crash is high because a settled client sends little: local reads
+		// are silent, so heartbeats carry most of the fault exposure.
+		cfg := transport.Config{
+			Seed:    900 + dialSeq.Add(1),
+			Drop:    0.05,
+			Dup:     0.03,
+			Reorder: 0.05,
+			Crash:   0.08,
+		}
+		if calm.Load() {
+			cfg = transport.Config{}
+		}
+		a, b := transport.NewMemPair()
+		srv.Attach(a)
+		chaos, err := transport.NewChaos(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return chaos, nil
+	}
+
+	link, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(link, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Timeout = 50 * time.Millisecond
+
+	sup := NewSupervisor(cli, dial, SupervisorConfig{
+		BackoffMin:     time.Millisecond,
+		BackoffMax:     8 * time.Millisecond,
+		HeartbeatEvery: 2 * time.Millisecond,
+		HeartbeatMiss:  3,
+		ResyncTimeout:  40 * time.Millisecond,
+		Seed:           7,
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	// Reader goroutine: issue reads (some under AllowStale, some with a
+	// context deadline) and check every outcome against the invariants.
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerErr)
+		lastSeen := make(map[string]uint64)
+		staleAllowed := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%40 == 0 {
+				staleAllowed = !staleAllowed
+				if staleAllowed {
+					cli.AllowStale(time.Second)
+				} else {
+					cli.AllowStale(0)
+				}
+			}
+			key := keys[i%len(keys)]
+			var it db.Item
+			var err error
+			if i%7 == 0 {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				it, err = cli.ReadContext(ctx, key)
+				cancel()
+			} else {
+				it, err = cli.Read(key)
+			}
+			switch {
+			case err == nil:
+				if it.Version < lastSeen[key] {
+					readerErr <- fmt.Errorf("read %s went backwards: v%d after v%d", key, it.Version, lastSeen[key])
+					return
+				}
+				if max := committed[key].Load(); it.Version > max {
+					readerErr <- fmt.Errorf("read %s returned uncommitted v%d (committed %d)", key, it.Version, max)
+					return
+				}
+				lastSeen[key] = it.Version
+			case errors.Is(err, ErrStale):
+				if !staleAllowed {
+					readerErr <- fmt.Errorf("unflagged stale window: ErrStale for %s while AllowStale off", key)
+					return
+				}
+				if max := committed[key].Load(); it.Version > max {
+					readerErr <- fmt.Errorf("stale read %s returned uncommitted v%d", key, it.Version)
+					return
+				}
+			case errors.Is(err, ErrOffline), errors.Is(err, ErrTimeout),
+				errors.Is(err, context.DeadlineExceeded):
+				// The advertised failure modes of a flaky link.
+			default:
+				readerErr <- fmt.Errorf("read %s failed with unexpected error: %v", key, err)
+				return
+			}
+			// Yield so the heartbeat ticker and the writer get scheduled;
+			// an unthrottled spin starves the 2ms keepalive cadence.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Writer + reaper: commit writes while reaping sessions whose links
+	// crashed under them. The 150ms TTL is far above the 5ms heartbeat,
+	// so a healthy session is never reaped.
+	soakEnd := time.Now().Add(1500 * time.Millisecond)
+	for i := 2; time.Now().Before(soakEnd); i++ {
+		key := keys[i%len(keys)]
+		// Advance the committed ceiling before the write: propagation is
+		// synchronous over the in-memory link, so the reader may observe
+		// the new version before Write returns.
+		want := committed[key].Add(1)
+		it, err := srv.Write(key, []byte(fmt.Sprintf("%s#%d", key, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Version != want {
+			t.Fatalf("writer bookkeeping: %s committed v%d, expected v%d", key, it.Version, want)
+		}
+		if i%25 == 0 {
+			srv.ExpireIdle(150 * time.Millisecond)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Settle: stop injecting faults and wait for a recovered client.
+	calm.Store(true)
+	sup.Suspect()
+	waitFor(t, func() bool { return !cli.Offline() }, "client online after soak")
+
+	// No lost writes: every key reads back at its final committed version
+	// (retrying across any last in-flight recovery).
+	for _, key := range keys {
+		want := committed[key].Load()
+		waitFor(t, func() bool {
+			it, err := cli.Read(key)
+			return err == nil && it.Version == want
+		}, fmt.Sprintf("final read of %s at v%d", key, want))
+	}
+
+	st := sup.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("soak never exercised recovery: %+v", st)
+	}
+	// Crashed links leave sessions behind until the reaper collects them.
+	// Sessions dialed near the end of the soak need one TTL to age out;
+	// the live session's heartbeats keep renewing it, so the population
+	// must settle to the survivor (plus at most one straggler mid-reap).
+	waitFor(t, func() bool {
+		srv.ExpireIdle(150 * time.Millisecond)
+		return srv.Sessions() <= 2
+	}, fmt.Sprintf("session reap after soak (reconnects=%d)", st.Reconnects))
+	m := cli.Meter().Snapshot()
+	if m.Connections == 0 || m.ControlMsgs == 0 {
+		t.Fatalf("meter recorded no traffic: %+v", m)
+	}
+	if m.ControlMsgs+m.DataMsgs < m.Connections {
+		t.Fatalf("meter bills idle connections: %+v", m)
+	}
+}
+
+// TestServerCloseCallbackDetachesSession is the accept-loop contract: a
+// TCP server wires every link's close callback to Session.Detach, so a
+// client that dies abruptly leaves no session behind.
+func TestServerCloseCallbackDetachesSession(t *testing.T) {
+	srv, err := NewServer(db.NewStore(), SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			link, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sess := srv.Attach(link)
+			link.Start(func(error) { sess.Detach() })
+		}
+	}()
+
+	link, err := transport.Dial(ln.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(link, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Write("x", []byte("v1"))
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Sessions() == 1 }, "session attached")
+
+	// Kill the client end without any goodbye; the server's read loop hits
+	// EOF and the close callback must detach the session.
+	link.Close()
+	waitFor(t, func() bool { return srv.Sessions() == 0 }, "session detached after client death")
+}

@@ -1,0 +1,308 @@
+package replica
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobirep/internal/transport"
+)
+
+// Supervisor keeps a mobile client attached without operator help. Mobile
+// links die three ways — the transport reports a close, traffic on the
+// link errors, or the link goes silently half-open — and the supervisor
+// watches all three: the client's link-error hook and an explicit Suspect
+// call cover the first two, a keepalive heartbeat (Ping/Pong with a miss
+// budget) covers the third. Once a link is suspect the client is
+// suspended warm and the supervisor redials through its transport.Dialer
+// under jittered exponential backoff, then drives a warm resync
+// (ResumeResync) — or a cold Reattach when configured — until the client
+// is back online. Liveness machinery stays out of the protocol's cost
+// model: heartbeats are unmetered and the redial loop only pays the
+// resync traffic the reattachment itself requires.
+
+// SupervisorConfig tunes the recovery loop. The zero value is usable:
+// every field has a sensible default filled in by NewSupervisor.
+type SupervisorConfig struct {
+	// BackoffMin is the first redial delay; each failure doubles it up
+	// to BackoffMax. The actual sleep is jittered uniformly over
+	// [d/2, d) so a fleet of clients does not redial in lockstep.
+	// Defaults: 50ms and 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// HeartbeatEvery is the keepalive probe interval; 0 disables
+	// heartbeats (link failure is then detected only via close events
+	// and traffic errors). Must be well under the server's session TTL
+	// or the reaper will detach healthy clients.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many consecutive unanswered probes declare
+	// the link dead. Default 3.
+	HeartbeatMiss int
+	// ResyncTimeout bounds how long one reattachment attempt may wait
+	// for the server's resync answer before the attempt is abandoned
+	// and redialed. Default 5s.
+	ResyncTimeout time.Duration
+	// Cold disables the warm resync: every recovery is a full Reattach
+	// that drops cached copies and learned windows. The right choice
+	// when outages are long enough for the cache to be worthless.
+	Cold bool
+	// Seed fixes the jitter RNG for reproducible tests; 0 keeps the
+	// deterministic default.
+	Seed int64
+}
+
+func (cfg *SupervisorConfig) fillDefaults() {
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = 3
+	}
+	if cfg.ResyncTimeout <= 0 {
+		cfg.ResyncTimeout = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+// SupervisorStats counts recovery activity; read it with Stats.
+type SupervisorStats struct {
+	// Suspects counts link-death signals delivered to the loop.
+	Suspects int64
+	// DialAttempts counts redials, successful or not.
+	DialAttempts int64
+	// Reconnects counts recoveries that brought the client back online.
+	Reconnects int64
+	// HeartbeatMisses counts probe intervals that saw no pong.
+	HeartbeatMisses int64
+}
+
+// Supervisor is the self-healing loop for one client. Create with
+// NewSupervisor, start with Start, stop with Stop.
+type Supervisor struct {
+	cli  *Client
+	dial transport.Dialer
+	cfg  SupervisorConfig
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	pingSeq  atomic.Uint64
+	pongSeq  atomic.Uint64
+	suspects atomic.Int64
+	dials    atomic.Int64
+	reconns  atomic.Int64
+	hbMisses atomic.Int64
+}
+
+// NewSupervisor wires a supervisor to cli. dial must return a link ready
+// for traffic (for TCP: dialed, chaos-wrapped if desired, and started
+// with a close callback that calls Suspect). The supervisor installs
+// itself as the client's link-error and pong handler.
+func NewSupervisor(cli *Client, dial transport.Dialer, cfg SupervisorConfig) *Supervisor {
+	cfg.fillDefaults()
+	s := &Supervisor{
+		cli:  cli,
+		dial: dial,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return s
+}
+
+// Stats returns a snapshot of the recovery counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	return SupervisorStats{
+		Suspects:        s.suspects.Load(),
+		DialAttempts:    s.dials.Load(),
+		Reconnects:      s.reconns.Load(),
+		HeartbeatMisses: s.hbMisses.Load(),
+	}
+}
+
+// Start launches the recovery and heartbeat loops.
+func (s *Supervisor) Start() {
+	s.cli.SetLinkErrorHandler(func(error) { s.Suspect() })
+	s.cli.SetPongHandler(func(seq uint64) { s.pongSeq.Store(seq) })
+	s.wg.Add(1)
+	go s.run()
+	if s.cfg.HeartbeatEvery > 0 {
+		s.wg.Add(1)
+		go s.heartbeat()
+	}
+}
+
+// Stop shuts the loops down and detaches the supervisor's handlers. The
+// client is left in whatever state recovery had reached.
+func (s *Supervisor) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+	s.cli.SetLinkErrorHandler(nil)
+	s.cli.SetPongHandler(nil)
+}
+
+// Suspect tells the supervisor the current link looks dead: a transport
+// close callback, a failed send, or any external evidence. Safe from any
+// goroutine; duplicate suspicions coalesce.
+func (s *Supervisor) Suspect() {
+	s.suspects.Add(1)
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the recovery loop: sleep until a suspicion arrives, then cycle
+// dial -> resync under backoff until the client is online again.
+func (s *Supervisor) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		}
+		s.recover()
+	}
+}
+
+// recover drives one outage to completion (or Stop).
+func (s *Supervisor) recover() {
+	// Tear the dead link down. Warm: copies and windows stay for the
+	// resync; reads in the gap fail fast or serve flagged stale data.
+	// Cold: everything is dropped, matching the Reattach that follows.
+	if s.cfg.Cold {
+		s.cli.Disconnect()
+	} else {
+		s.cli.Suspend()
+	}
+	backoff := s.cfg.BackoffMin
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.dials.Add(1)
+		link, err := s.dial()
+		if err == nil && s.reattach(link) {
+			s.reconns.Add(1)
+			// A failure observed while we were already recovering is
+			// stale; coalesced kicks from the dead link die here. A
+			// genuinely dead new link re-announces itself on its next
+			// failed send or missed heartbeat.
+			select {
+			case <-s.kick:
+			default:
+			}
+			return
+		}
+		if !s.sleep(backoff) {
+			return
+		}
+		backoff *= 2
+		if backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// reattach runs one reattachment attempt over link and reports whether
+// the client came back online.
+func (s *Supervisor) reattach(link transport.Link) bool {
+	if s.cfg.Cold {
+		s.cli.Reattach(link)
+		return true
+	}
+	done, err := s.cli.ResumeResync(link)
+	if err != nil {
+		s.cli.Suspend()
+		return false
+	}
+	t := time.NewTimer(s.cfg.ResyncTimeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		// Closed by the applied resync answer — or by an abandonment;
+		// Offline distinguishes them.
+		if s.cli.Offline() {
+			return false
+		}
+		return true
+	case <-t.C:
+		// The resync answer never came (lossy link, dead server behind a
+		// live dial). Abandon the attempt and redial.
+		s.cli.Suspend()
+		return false
+	case <-s.stop:
+		return false
+	}
+}
+
+// sleep waits the jittered backoff, returning false if stopped.
+func (s *Supervisor) sleep(d time.Duration) bool {
+	// Jitter uniformly over [d/2, d): collisions between fleet members
+	// spread out while the cap still bounds the worst case.
+	s.mu.Lock()
+	wait := d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+	s.mu.Unlock()
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// heartbeat probes the link every HeartbeatEvery and declares it suspect
+// after HeartbeatMiss silent intervals — the only way to notice a
+// half-open link that errors on nothing but delivers nothing.
+func (s *Supervisor) heartbeat() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		if s.cli.Offline() {
+			// The recovery loop owns the outage; don't pile on.
+			misses = 0
+			continue
+		}
+		if s.pongSeq.Load() < s.pingSeq.Load() {
+			misses++
+			s.hbMisses.Add(1)
+			if misses >= s.cfg.HeartbeatMiss {
+				misses = 0
+				s.Suspect()
+				continue
+			}
+		} else {
+			misses = 0
+		}
+		seq := s.pingSeq.Add(1)
+		// A send failure reaches the recovery loop through the client's
+		// link-error hook; nothing more to do here.
+		_ = s.cli.Ping(seq)
+	}
+}

@@ -1,0 +1,201 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/transport"
+)
+
+// memDialer returns a Dialer that attaches a fresh in-memory pair to srv,
+// failing the first failures attempts.
+func memDialer(srv *Server, failures int) transport.Dialer {
+	return func() (transport.Link, error) {
+		if failures > 0 {
+			failures--
+			return nil, errors.New("no coverage")
+		}
+		a, b := transport.NewMemPair()
+		srv.Attach(a)
+		return b, nil
+	}
+}
+
+func fastSupervisor(cli *Client, dial transport.Dialer, mutate func(*SupervisorConfig)) *Supervisor {
+	cfg := SupervisorConfig{
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    10 * time.Millisecond,
+		ResyncTimeout: time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewSupervisor(cli, dial, cfg)
+}
+
+func TestSupervisorRecoversWarmAfterLinkDeath(t *testing.T) {
+	store := db.NewStore()
+	srv, err := NewServer(store, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.NewMemPair()
+	sess := srv.Attach(a)
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocate(t, cli, srv, "x")
+
+	sup := fastSupervisor(cli, memDialer(srv, 2), nil)
+	sup.Start()
+	defer sup.Stop()
+
+	// Kill the link out from under the client and let the server notice
+	// the way a close callback would.
+	b.Close()
+	sess.Detach()
+	// The next read's send failure feeds the supervisor's suspicion.
+	if _, err := cli.Read("y"); err == nil {
+		t.Fatal("read on dead link succeeded")
+	}
+
+	waitFor(t, func() bool { return sup.Stats().Reconnects >= 1 && !cli.Offline() }, "supervised recovery")
+	if !cli.HasCopy("x") {
+		t.Fatal("warm copy lost across supervised recovery")
+	}
+	it, err := cli.Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "x#1" {
+		t.Fatalf("post-recovery read = %q", it.Value)
+	}
+	st := sup.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("stats: %+v, want at least one reconnect", st)
+	}
+	// Two dial failures were injected, so at least three attempts ran and
+	// the backoff path was exercised.
+	if st.DialAttempts < 3 {
+		t.Fatalf("stats: %+v, want >= 3 dial attempts", st)
+	}
+	// Propagation works on the recovered session.
+	if _, err := srv.Write("x", []byte("x#2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		it, _ := cli.Cache().Peek("x")
+		return string(it.Value) == "x#2"
+	}, "propagation after recovery")
+}
+
+func TestSupervisorHeartbeatDetectsSilentLink(t *testing.T) {
+	srv, err := NewServer(db.NewStore(), SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A half-open link: sends succeed, nothing ever comes back.
+	blackhole, b := transport.NewMemPair()
+	blackhole.SetHandler(func([]byte) {})
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := fastSupervisor(cli, memDialer(srv, 0), func(cfg *SupervisorConfig) {
+		cfg.HeartbeatEvery = 2 * time.Millisecond
+		cfg.HeartbeatMiss = 2
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	// No traffic, no close event: only the heartbeat can notice.
+	waitFor(t, func() bool { return sup.Stats().Reconnects >= 1 }, "heartbeat-driven recovery")
+	if sup.Stats().HeartbeatMisses < 2 {
+		t.Fatalf("stats: %+v, want >= 2 heartbeat misses", sup.Stats())
+	}
+	waitFor(t, func() bool { return !cli.Offline() }, "client online")
+	if _, err := srv.Write("x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatalf("read after heartbeat recovery: %v", err)
+	}
+}
+
+func TestSupervisorColdModeRestartsFresh(t *testing.T) {
+	srv, err := NewServer(db.NewStore(), SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.NewMemPair()
+	sess := srv.Attach(a)
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocate(t, cli, srv, "x")
+
+	sup := fastSupervisor(cli, memDialer(srv, 0), func(cfg *SupervisorConfig) {
+		cfg.Cold = true
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	b.Close()
+	sess.Detach()
+	sup.Suspect()
+	waitFor(t, func() bool { return sup.Stats().Reconnects >= 1 && !cli.Offline() }, "cold recovery")
+	if cli.HasCopy("x") {
+		t.Fatal("cold recovery kept a copy; it must restart from the one-copy scheme")
+	}
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupervisorRetriesWhenResyncAnswerLost(t *testing.T) {
+	// The first redial lands on a link whose server half swallows
+	// everything, so the resync answer never arrives; the attempt must
+	// time out and the next dial must succeed.
+	srv, err := NewServer(db.NewStore(), SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.NewMemPair()
+	sess := srv.Attach(a)
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocate(t, cli, srv, "x")
+
+	first := true
+	dial := func() (transport.Link, error) {
+		if first {
+			first = false
+			dead, mc := transport.NewMemPair()
+			dead.SetHandler(func([]byte) {})
+			return mc, nil
+		}
+		return memDialer(srv, 0)()
+	}
+	sup := fastSupervisor(cli, dial, func(cfg *SupervisorConfig) {
+		cfg.ResyncTimeout = 10 * time.Millisecond
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	b.Close()
+	sess.Detach()
+	sup.Suspect()
+	waitFor(t, func() bool { return sup.Stats().Reconnects >= 1 && !cli.Offline() }, "recovery after lost resync answer")
+	if st := sup.Stats(); st.DialAttempts < 2 {
+		t.Fatalf("stats: %+v, want >= 2 dial attempts", st)
+	}
+	if !cli.HasCopy("x") {
+		t.Fatal("warm copy lost across retried resync")
+	}
+}

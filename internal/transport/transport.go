@@ -194,15 +194,29 @@ func (l *TCPLink) Close() error {
 	return nil
 }
 
+// Dialer opens a fresh link to a fixed peer. Reconnect logic (the
+// replica package's supervisor) redials through it after a link death;
+// implementations compose TCP dialing, chaos wrapping, and close-callback
+// wiring behind this one signature.
+type Dialer func() (Link, error)
+
 // Dial connects to a mobirep server and returns a started link.
 func Dial(addr string, h Handler) (Link, error) {
+	return DialLink(addr, h, nil)
+}
+
+// DialLink is Dial with a close callback: onClose, if non-nil, runs once
+// when the read loop exits (nil error on clean shutdown). Reconnect
+// supervisors wire it to their failure-detection hook so a dropped TCP
+// connection is noticed without waiting for a failed send.
+func DialLink(addr string, h Handler, onClose func(error)) (*TCPLink, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	l := NewTCPLink(conn)
 	l.SetHandler(h)
-	l.Start(nil)
+	l.Start(onClose)
 	return l, nil
 }
 

@@ -12,6 +12,13 @@ import (
 // control message naming every missing key and receives one data message
 // carrying every value (with per-entry allocation flags and piggybacked
 // windows), instead of a message pair per key.
+//
+// The resync pair reuses the same codec for warm reattachment: after a
+// link blip the mobile computer declares the copies it still holds (keys
+// plus cached version stamps) in one control message, and the stationary
+// computer re-asserts the subscriptions and answers with one data message
+// that revalidates current copies (NotModified, no payload) and re-ships
+// only the keys that changed while the client was away.
 
 const (
 	// KindMultiReadReq is a joint read request (control message) listing
@@ -20,7 +27,18 @@ const (
 	// KindMultiReadResp is the joint response (one data message) carrying
 	// every requested item.
 	KindMultiReadResp
+	// KindResyncReq declares, after a reattach, the copies the MC still
+	// holds: Keys plus their cached Versions (control message).
+	KindResyncReq
+	// KindResyncResp answers a resync: per held key either NotModified
+	// (the cached copy is current) or the fresh item (data message).
+	KindResyncResp
 )
+
+// isBatchKind reports whether k uses the batch codec.
+func isBatchKind(k Kind) bool {
+	return k >= KindMultiReadReq && k <= KindResyncResp
+}
 
 // Entry is one item inside a batch message.
 type Entry struct {
@@ -54,13 +72,15 @@ type Batch struct {
 }
 
 // Control reports whether the batch is a control message.
-func (b Batch) Control() bool { return b.Kind == KindMultiReadReq }
+func (b Batch) Control() bool {
+	return b.Kind == KindMultiReadReq || b.Kind == KindResyncReq
+}
 
 const maxBatch = 1 << 12
 
 // EncodeBatch serializes a batch message.
 func EncodeBatch(b Batch) ([]byte, error) {
-	if b.Kind != KindMultiReadReq && b.Kind != KindMultiReadResp {
+	if !isBatchKind(b.Kind) {
 		return nil, fmt.Errorf("wire: kind %v is not a batch kind", b.Kind)
 	}
 	if len(b.Keys) > maxBatch || len(b.Entries) > maxBatch {
@@ -116,7 +136,7 @@ func DecodeBatch(p []byte) (Batch, error) {
 		return b, err
 	}
 	b.Kind = Kind(kind)
-	if b.Kind != KindMultiReadReq && b.Kind != KindMultiReadResp {
+	if !isBatchKind(b.Kind) {
 		return b, fmt.Errorf("wire: kind %d is not a batch kind", kind)
 	}
 	nKeys, err := r.uint16()
@@ -179,7 +199,7 @@ func DecodeBatch(p []byte) (Batch, error) {
 // IsBatchFrame reports whether the frame starts with a batch kind, letting
 // receivers dispatch between Decode and DecodeBatch.
 func IsBatchFrame(p []byte) bool {
-	return len(p) > 0 && (Kind(p[0]) == KindMultiReadReq || Kind(p[0]) == KindMultiReadResp)
+	return len(p) > 0 && isBatchKind(Kind(p[0]))
 }
 
 // reader is a tiny bounds-checked cursor over a frame.

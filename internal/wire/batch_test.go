@@ -18,6 +18,11 @@ func TestBatchRoundTrip(t *testing.T) {
 			{Key: "", Value: bytes.Repeat([]byte{7}, 300), Version: 1 << 40},
 		}},
 		{Kind: KindMultiReadResp},
+		{Kind: KindResyncReq, Keys: []string{"a", "c"}, Versions: []uint64{4, 0}},
+		{Kind: KindResyncResp, Entries: []Entry{
+			{Key: "a", Version: 4, NotModified: true},
+			{Key: "c", Value: []byte("fresh"), Version: 9},
+		}},
 	}
 	for i, b := range batches {
 		frame, err := EncodeBatch(b)
@@ -38,10 +43,14 @@ func TestBatchRoundTrip(t *testing.T) {
 			if back.Keys[j] != b.Keys[j] {
 				t.Fatalf("batch %d key %d", i, j)
 			}
+			if len(b.Versions) > j && back.Versions[j] != b.Versions[j] {
+				t.Fatalf("batch %d version hint %d", i, j)
+			}
 		}
 		for j := range b.Entries {
 			w, g := b.Entries[j], back.Entries[j]
 			if w.Key != g.Key || w.Version != g.Version || w.Allocate != g.Allocate ||
+				w.NotModified != g.NotModified ||
 				!bytes.Equal(w.Value, g.Value) || w.Window.String() != g.Window.String() {
 				t.Fatalf("batch %d entry %d: %+v vs %+v", i, j, g, w)
 			}

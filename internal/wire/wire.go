@@ -1,7 +1,7 @@
 // Package wire defines the binary message format spoken between the
 // mobile computer and the stationary computer in the replica protocol of
-// section 4. Four message kinds exist, matching the paper's communication
-// events exactly:
+// section 4. Four message kinds match the paper's communication events
+// exactly:
 //
 //   - ReadReq (control): the MC forwards a read to the SC.
 //   - ReadResp (data): the SC returns the item; the Allocate flag plus the
@@ -12,6 +12,14 @@
 //     turns write-majority (carrying the window for the ownership
 //     handoff), or SC -> MC under the SW1 optimization, where a write is
 //     answered by dropping the copy instead of propagating data.
+//
+// Two further kinds carry liveness traffic, which exists only because
+// real mobile links die silently — they are not part of the paper's cost
+// model and are not metered as protocol traffic:
+//
+//   - Ping (MC -> SC): keepalive probe; Version carries a sequence
+//     number. The SC refreshes the session's last-seen time.
+//   - Pong (SC -> MC): echo of a Ping, same sequence number.
 //
 // The encoding is a fixed header plus length-prefixed fields; window bits
 // are packed eight per byte. Decode rejects malformed frames rather than
@@ -38,6 +46,11 @@ const (
 	KindWriteProp
 	// KindDeleteReq is the deallocation request (control message).
 	KindDeleteReq
+	// KindPing is the MC's keepalive probe; Version carries the sequence
+	// number. Liveness traffic, not metered as protocol cost.
+	KindPing
+	// KindPong is the SC's echo of a Ping, same sequence number.
+	KindPong
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +64,18 @@ func (k Kind) String() string {
 		return "write-prop"
 	case KindDeleteReq:
 		return "delete-req"
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	case KindMultiReadReq:
+		return "multi-read-req"
+	case KindMultiReadResp:
+		return "multi-read-resp"
+	case KindResyncReq:
+		return "resync-req"
+	case KindResyncResp:
+		return "resync-resp"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -114,7 +139,7 @@ func Decode(p []byte) (Message, error) {
 		return m, errTruncated
 	}
 	m.Kind = Kind(p[0])
-	if m.Kind < KindReadReq || m.Kind > KindDeleteReq {
+	if m.Kind < KindReadReq || m.Kind > KindPong {
 		return m, fmt.Errorf("wire: unknown message kind %d", p[0])
 	}
 	if p[1] > 1 {

@@ -12,6 +12,9 @@ func TestKindStrings(t *testing.T) {
 	cases := map[Kind]string{
 		KindReadReq: "read-req", KindReadResp: "read-resp",
 		KindWriteProp: "write-prop", KindDeleteReq: "delete-req",
+		KindPing: "ping", KindPong: "pong",
+		KindMultiReadReq: "multi-read-req", KindMultiReadResp: "multi-read-resp",
+		KindResyncReq: "resync-req", KindResyncResp: "resync-resp",
 		Kind(0): "kind(0)",
 	}
 	for k, want := range cases {
@@ -39,6 +42,8 @@ func TestEncodeDecodeAllKinds(t *testing.T) {
 		{Kind: KindWriteProp, Key: "a key with spaces", Value: nil, Version: 1},
 		{Kind: KindDeleteReq, Key: "x", Window: sched.MustParse("wwr")},
 		{Kind: KindDeleteReq, Key: ""},
+		{Kind: KindPing, Version: 17},
+		{Kind: KindPong, Version: 17},
 	}
 	for i, m := range msgs {
 		frame, err := Encode(m)
