@@ -26,6 +26,28 @@ fi
 # under the race detector and rerun to shake out schedule luck.
 go test -race -count=2 -run 'TestChaosSoakRecovery|TestSupervisor|TestServerCloseCallbackDetachesSession|Resync|Reattach|TestTCPLinkCloseDetaches' ./internal/replica/
 
+# Observability slice: the registry hammer under race, the zero-alloc
+# pins on the record path and the fused kernels, then a live server with
+# -debug-addr whose /metrics and /healthz must answer over real HTTP.
+go test -race -count=1 -run 'TestRegistryConcurrentUse|TestTracerConcurrentRecord' ./internal/obs/
+go test -count=1 -run 'TestObsRecordPathZeroAllocs' ./internal/obs/
+go test -count=1 -run 'TestFusedKernelZeroAllocs' .
+obs_log=$(mktemp)
+go build -o /tmp/mobirep-server-ci ./cmd/mobirep-server
+/tmp/mobirep-server-ci -listen 127.0.0.1:0 -debug-addr 127.0.0.1:0 > "$obs_log" &
+obs_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'debug endpoints on' "$obs_log" && break
+    sleep 0.1
+done
+obs_url=$(sed -n 's|.*debug endpoints on \(http://[^/]*\)/metrics.*|\1|p' "$obs_log")
+test -n "$obs_url"
+curl -fsS "$obs_url/metrics" | grep -q '^mobirep_replica_sessions '
+curl -fsS "$obs_url/metrics" | grep -q '^# TYPE mobirep_transport_frames_total counter'
+curl -fsS "$obs_url/healthz" | grep -q '"status":"ok"'
+kill "$obs_pid"
+rm -f "$obs_log" /tmp/mobirep-server-ci
+
 # End-to-end: regenerate every experiment table in quick mode and prove the
 # parallel engine reproduces the sequential tables byte-for-byte.
 out_seq=$(mktemp)

@@ -80,7 +80,7 @@ func TestParallelOutputMatchesSequential(t *testing.T) {
 // TestJSONOutput checks the -json document: valid JSON, one record per
 // experiment in ID order, with timings and table payloads.
 func TestJSONOutput(t *testing.T) {
-	code, out, errOut := runCapture(t, "-quick", "-json", "-seed", "4", "E10", "E02")
+	code, out, errOut := runCapture(t, "-quick", "-json", "-trajectory-dir", "", "-seed", "4", "E10", "E02")
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut)
 	}
@@ -113,6 +113,49 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if strings.Contains(out, "### ") {
 		t.Fatal("ASCII header leaked into JSON mode")
+	}
+}
+
+// TestTrajectoryFile checks the BENCH_<date>.json side channel of -json:
+// written into -trajectory-dir, schema-stamped, dated, and carrying the
+// same experiment records as stdout.
+func TestTrajectoryFile(t *testing.T) {
+	dir := t.TempDir()
+	code, _, errOut := runCapture(t, "-quick", "-json", "-trajectory-dir", dir, "-seed", "4", "E10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("trajectory files %v (err %v), want exactly one", matches, err)
+	}
+	if !strings.Contains(errOut, "trajectory written to") {
+		t.Fatalf("missing trajectory notice: %q", errOut)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var td trajectoryDoc
+	if err := json.Unmarshal(data, &td); err != nil {
+		t.Fatalf("invalid trajectory JSON: %v", err)
+	}
+	if td.Schema != trajectorySchema {
+		t.Fatalf("schema %q, want %q", td.Schema, trajectorySchema)
+	}
+	wantName := "BENCH_" + td.Date + ".json"
+	if filepath.Base(matches[0]) != wantName {
+		t.Fatalf("file %s does not match date stamp %s", matches[0], wantName)
+	}
+	if td.Seed != 4 || !td.Quick || td.GoVersion == "" || td.GeneratedAt == "" {
+		t.Fatalf("incomplete provenance: %+v", td)
+	}
+	if len(td.Experiments) != 1 || td.Experiments[0].ID != "E10" ||
+		td.Experiments[0].Seconds <= 0 || len(td.Experiments[0].Tables) == 0 {
+		t.Fatalf("unexpected experiment records: %+v", td.Experiments)
+	}
+	if td.TotalSeconds < td.Experiments[0].Seconds {
+		t.Fatalf("total %v < experiment %v", td.TotalSeconds, td.Experiments[0].Seconds)
 	}
 }
 

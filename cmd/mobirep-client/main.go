@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobirep/internal/obs"
 	"mobirep/internal/replica"
 	"mobirep/internal/stats"
 	"mobirep/internal/transport"
@@ -43,6 +44,8 @@ func main() {
 		"keepalive probe interval; 0 disables heartbeats (requires -reconnect)")
 	staleMax := flag.Duration("stale", 0,
 		"serve offline reads from the cache up to this age, flagged stale; 0 fails them fast")
+	debugAddr := flag.String("debug-addr", "",
+		"HTTP listen address for /metrics, /healthz, /events and /debug/pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -58,6 +61,15 @@ func main() {
 	if *reconnect != "warm" && *reconnect != "cold" && *reconnect != "off" {
 		fmt.Fprintf(os.Stderr, "-reconnect %q: want warm, cold or off\n", *reconnect)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		bound, stop, err := obs.Serve(*debugAddr, obs.Default(), obs.DefaultTracer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", bound)
 	}
 
 	// The dialer rebuilds the full link stack — TCP, optional chaos wrap,

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mobirep/internal/db"
+	"mobirep/internal/obs"
 	"mobirep/internal/replica"
 	"mobirep/internal/stats"
 	"mobirep/internal/transport"
@@ -32,6 +33,8 @@ func main() {
 		"fault injection on client links, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20")
 	sessionTTL := flag.Duration("session-ttl", 0,
 		"detach sessions silent for this long (half-open links); 0 disables the reaper; clients must heartbeat well under it")
+	debugAddr := flag.String("debug-addr", "",
+		"HTTP listen address for /metrics, /healthz, /events and /debug/pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -71,6 +74,15 @@ func main() {
 	fmt.Printf("mobirep-server: mode=%s listening on %s\n", mode, ln)
 	if chaosCfg.Enabled() {
 		fmt.Printf("chaos enabled on client links: %s\n", *chaosSpec)
+	}
+	if *debugAddr != "" {
+		bound, stop, err := obs.Serve(*debugAddr, obs.Default(), obs.DefaultTracer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", bound)
 	}
 
 	if *writeRate > 0 {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler mounts the debug surface:
+//
+//	GET /metrics        Prometheus text exposition of reg
+//	GET /healthz        JSON liveness: {"status":"ok","uptime_seconds":...}
+//	GET /events?n=N     JSON tail of the last N traced events (default 100)
+//	GET /debug/pprof/*  the standard net/http/pprof profiles
+//
+// The handler is read-only and safe to serve concurrently with any
+// amount of metric and trace recording.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = reg.WriteTo(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+			"events":         tr.Recorded(),
+		})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q: want a non-negative integer", q),
+					http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr.Tail(n))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves Handler(reg, tr) in a
+// background goroutine. It returns the bound address — so callers can
+// print it and scripts can scrape it when the port was 0 — and a
+// shutdown function that closes the listener.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

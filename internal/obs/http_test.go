@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestHandler() (http.Handler, *Registry, *Tracer) {
+	reg := New()
+	tr := NewTracer(32)
+	return Handler(reg, tr), reg, tr
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h, reg, _ := newTestHandler()
+	reg.Counter("ep_reads_total", "reads").Add(9)
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE ep_reads_total counter") ||
+		!strings.Contains(body, "ep_reads_total 9") {
+		t.Fatalf("exposition missing series:\n%s", body)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	h, _, tr := newTestHandler()
+	tr.Record(EvSessionOpen, "", "", 0, 0)
+	res, body := get(t, h, "/healthz")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var payload struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+		Events uint64  `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if payload.Status != "ok" || payload.Uptime < 0 || payload.Events != 1 {
+		t.Fatalf("healthz payload = %+v", payload)
+	}
+}
+
+// TestEventsEndpoint is the /events contract: the last N typed events,
+// oldest first, as JSON with stable type names.
+func TestEventsEndpoint(t *testing.T) {
+	h, _, tr := newTestHandler()
+	for i := int64(1); i <= 5; i++ {
+		tr.Record(EvReconnect, "", "ok", i, 0)
+	}
+	tr.Record(EvChaosFault, "x", "drop", 0, 0)
+
+	res, body := get(t, h, "/events?n=3")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var events []struct {
+		Seq    uint64 `json:"seq"`
+		Time   int64  `json:"time_unix_nano"`
+		Type   string `json:"type"`
+		Key    string `json:"key"`
+		Detail string `json:"detail"`
+		V1     int64  `json:"v1"`
+	}
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("events is not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Type != "reconnect" || events[0].V1 != 4 {
+		t.Fatalf("events[0] = %+v, want reconnect v1=4", events[0])
+	}
+	last := events[2]
+	if last.Type != "chaos-fault" || last.Key != "x" || last.Detail != "drop" {
+		t.Fatalf("events[2] = %+v, want the chaos fault", last)
+	}
+	if last.Seq != 6 || last.Time == 0 {
+		t.Fatalf("events[2] seq/time = %d/%d", last.Seq, last.Time)
+	}
+
+	// Default n and the whole retained window.
+	if _, body := get(t, h, "/events"); !strings.Contains(body, `"seq": 1`) {
+		t.Fatalf("default tail should include the oldest retained event:\n%s", body)
+	}
+	if res, _ := get(t, h, "/events?n=bogus"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: status = %d, want 400", res.StatusCode)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	h, _, _ := newTestHandler()
+	res, body := get(t, h, "/debug/pprof/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d", res.StatusCode)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	reg := New()
+	reg.Counter("serve_up", "").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg, NewTracer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "serve_up 1") {
+		t.Fatalf("served metrics missing series:\n%s", body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still serving after shutdown")
+	}
+}

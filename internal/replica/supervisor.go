@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobirep/internal/obs"
 	"mobirep/internal/transport"
 )
 
@@ -160,6 +161,8 @@ func (s *Supervisor) Stop() {
 // goroutine; duplicate suspicions coalesce.
 func (s *Supervisor) Suspect() {
 	s.suspects.Add(1)
+	mSuspects.Inc()
+	obsTr.Record(obs.EvSuspect, "", "", 0, 0)
 	select {
 	case s.kick <- struct{}{}:
 	default:
@@ -191,6 +194,7 @@ func (s *Supervisor) recover() {
 		s.cli.Suspend()
 	}
 	backoff := s.cfg.BackoffMin
+	attempts := int64(0)
 	for {
 		select {
 		case <-s.stop:
@@ -198,9 +202,15 @@ func (s *Supervisor) recover() {
 		default:
 		}
 		s.dials.Add(1)
+		attempts++
 		link, err := s.dial()
-		if err == nil && s.reattach(link) {
+		if err != nil {
+			mDialError.Inc()
+		} else if s.reattach(link) {
+			mDialOK.Inc()
 			s.reconns.Add(1)
+			mReconnects.Inc()
+			obsTr.Record(obs.EvReconnect, "", "ok", attempts, 0)
 			// A failure observed while we were already recovering is
 			// stale; coalesced kicks from the dead link die here. A
 			// genuinely dead new link re-announces itself on its next
@@ -210,6 +220,8 @@ func (s *Supervisor) recover() {
 			default:
 			}
 			return
+		} else {
+			mDialResyncFail.Inc()
 		}
 		if !s.sleep(backoff) {
 			return
@@ -292,6 +304,8 @@ func (s *Supervisor) heartbeat() {
 		if s.pongSeq.Load() < s.pingSeq.Load() {
 			misses++
 			s.hbMisses.Add(1)
+			mHeartbeatMisses.Inc()
+			obsTr.Record(obs.EvHeartbeatMiss, "", "", int64(misses), 0)
 			if misses >= s.cfg.HeartbeatMiss {
 				misses = 0
 				s.Suspect()

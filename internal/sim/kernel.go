@@ -15,6 +15,8 @@ package sim
 // bit-identical, not merely close).
 
 import (
+	"time"
+
 	"mobirep/internal/core"
 	"mobirep/internal/cost"
 	"mobirep/internal/stats"
@@ -129,14 +131,18 @@ func (kn *Kernel) Reset() {
 // bit. The kernel is Reset first.
 func (kn *Kernel) ReplayBernoulli(rng *stats.RNG, theta float64, n, warmup int) Result {
 	kn.Reset()
+	start := time.Now()
+	var res Result
 	switch kn.kind {
 	case kernelST1:
-		return kn.replayST1(rng, theta, 0, n, warmup)
+		res = kn.replayST1(rng, theta, 0, n, warmup)
 	case kernelST2:
-		return kn.replayST2(rng, theta, 0, n, warmup)
+		res = kn.replayST2(rng, theta, 0, n, warmup)
 	default:
-		return kn.replaySW(rng, theta, 0, n, warmup)
+		res = kn.replaySW(rng, theta, 0, n, warmup)
 	}
+	recordReplay(kn.kind, res.Ops, time.Since(start))
+	return res
 }
 
 // ReplayDrifting replays the section 3 period model — theta redrawn
@@ -145,14 +151,18 @@ func (kn *Kernel) ReplayBernoulli(rng *stats.RNG, theta float64, n, warmup int) 
 func (kn *Kernel) ReplayDrifting(rng *stats.RNG, periods, opsPerPeriod int) Result {
 	kn.Reset()
 	n := periods * opsPerPeriod
+	start := time.Now()
+	var res Result
 	switch kn.kind {
 	case kernelST1:
-		return kn.replayST1(rng, 0, opsPerPeriod, n, 0)
+		res = kn.replayST1(rng, 0, opsPerPeriod, n, 0)
 	case kernelST2:
-		return kn.replayST2(rng, 0, opsPerPeriod, n, 0)
+		res = kn.replayST2(rng, 0, opsPerPeriod, n, 0)
 	default:
-		return kn.replaySW(rng, 0, opsPerPeriod, n, 0)
+		res = kn.replaySW(rng, 0, opsPerPeriod, n, 0)
 	}
+	recordReplay(kn.kind, res.Ops, time.Since(start))
+	return res
 }
 
 // replaySW is the fused inner loop for the sliding-window family. A

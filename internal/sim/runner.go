@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mobirep/internal/obs"
 )
 
 // maxWorkersOverride caps Fan's parallelism when positive; zero means
@@ -123,21 +125,31 @@ func Fan(n int, fn func(i int)) {
 		}()
 		fn(i)
 	}
-	work := func() {
+	// Each participant counts the indices it claims locally and folds
+	// them into the registry once, on exit — one atomic add per
+	// participant, not per index.
+	work := func(claimed *obs.Counter) {
+		gFanActive.Add(1)
+		local := 0
 		for {
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
-				return
+				break
 			}
 			call(i)
+			local++
 		}
+		gFanActive.Add(-1)
+		claimed.Add(uint64(local))
 	}
 
+	mFanCalls.Inc()
 	p := sharedPool()
 	var wg sync.WaitGroup
 	task := func() {
 		defer wg.Done()
-		work()
+		mFanHelpers.Inc()
+		work(mFanIndicesHelper)
 	}
 	for h := 0; h < helpers; h++ {
 		wg.Add(1)
@@ -149,7 +161,7 @@ func Fan(n int, fn func(i int)) {
 			wg.Done()
 		}
 	}
-	work()
+	work(mFanIndicesCaller)
 	wg.Wait()
 
 	if panicked != nil {

@@ -218,6 +218,7 @@ func (c *Chaos) Send(frame []byte) error {
 func (c *Chaos) autoSend(frame []byte) error {
 	if c.cfg.Crash > 0 && c.rng.Bernoulli(c.cfg.Crash) {
 		c.mu.Unlock()
+		chaosFault("crash", len(frame))
 		c.Close()
 		return ErrClosed
 	}
@@ -226,16 +227,19 @@ func (c *Chaos) autoSend(frame []byte) error {
 		if c.cfg.PartLen > 1 {
 			c.partition += c.rng.Intn(c.cfg.PartLen)
 		}
+		chaosFault("partition", c.partition)
 	}
 	if c.partition > 0 {
 		c.partition--
 		c.stats.Dropped++
 		c.mu.Unlock()
+		chaosFault("drop", len(frame))
 		return nil
 	}
 	if c.rng.Bernoulli(c.cfg.Drop) {
 		c.stats.Dropped++
 		c.mu.Unlock()
+		chaosFault("drop", len(frame))
 		return nil
 	}
 	dup := c.rng.Bernoulli(c.cfg.Dup)
@@ -250,6 +254,7 @@ func (c *Chaos) autoSend(frame []byte) error {
 		c.held = frame
 		c.stats.Deferred++
 		c.mu.Unlock()
+		chaosFault("defer", len(frame))
 		return nil
 	}
 	n := 1
@@ -263,6 +268,13 @@ func (c *Chaos) autoSend(frame []byte) error {
 	}
 	inner := c.inner
 	c.mu.Unlock()
+	if dup {
+		chaosFault("dup", len(frame))
+	}
+	mChaosDelivered.Add(uint64(n))
+	if flush != nil {
+		mChaosDelivered.Inc()
+	}
 
 	send := func(f []byte) {
 		if delay > 0 {
@@ -302,7 +314,13 @@ func (c *Chaos) SetHandler(h Handler) {
 		}
 		c.mu.Unlock()
 		if drop {
+			chaosFault("drop", len(frame))
 			return
+		}
+		mChaosDelivered.Inc()
+		if dup {
+			chaosFault("dup", len(frame))
+			mChaosDelivered.Inc()
 		}
 		h(frame)
 		if dup {
@@ -407,6 +425,7 @@ func (c *Chaos) Step() (ChaosEvent, bool) {
 		c.queue = c.queue[1:]
 		c.stats.Dropped++
 		c.mu.Unlock()
+		chaosFault("drop", len(frame))
 		return ChaosEvent{Action: ChaosDropped, Frame: frame}, true
 	}
 	switch {
@@ -414,11 +433,13 @@ func (c *Chaos) Step() (ChaosEvent, bool) {
 		c.queue = c.queue[1:]
 		c.stats.Dropped++
 		c.mu.Unlock()
+		chaosFault("drop", len(frame))
 		return ChaosEvent{Action: ChaosDropped, Frame: frame}, true
 	case len(c.queue) >= 2 && c.rng.Bernoulli(c.cfg.Reorder):
 		c.queue[0], c.queue[1] = c.queue[1], c.queue[0]
 		c.stats.Deferred++
 		c.mu.Unlock()
+		chaosFault("defer", len(frame))
 		return ChaosEvent{Action: ChaosDeferred, Frame: frame}, true
 	case c.rng.Bernoulli(c.cfg.Dup):
 		c.queue = append(c.queue[1:], append([]byte(nil), frame...))
@@ -426,6 +447,8 @@ func (c *Chaos) Step() (ChaosEvent, bool) {
 		c.stats.Delivered++
 		inner := c.inner
 		c.mu.Unlock()
+		chaosFault("dup", len(frame))
+		mChaosDelivered.Inc()
 		_ = inner.Send(frame)
 		return ChaosEvent{Action: ChaosDuplicated, Frame: frame}, true
 	default:
@@ -433,6 +456,7 @@ func (c *Chaos) Step() (ChaosEvent, bool) {
 		c.stats.Delivered++
 		inner := c.inner
 		c.mu.Unlock()
+		mChaosDelivered.Inc()
 		_ = inner.Send(frame)
 		return ChaosEvent{Action: ChaosDelivered, Frame: frame}, true
 	}

@@ -82,6 +82,8 @@ func (l *memLink) Send(frame []byte) error {
 	// Copy so the receiver may retain the frame.
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
+	recordSend(frame)
+	recordRecv(cp)
 	h(cp)
 	return nil
 }
@@ -154,6 +156,7 @@ func (l *TCPLink) readLoop() {
 		h := l.handler
 		l.hmu.Unlock()
 		if h != nil {
+			recordRecv(frame)
 			h(frame)
 		}
 	}
@@ -172,8 +175,11 @@ func (l *TCPLink) Send(frame []byte) error {
 	if _, err := l.conn.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := l.conn.Write(frame)
-	return err
+	if _, err := l.conn.Write(frame); err != nil {
+		return err
+	}
+	recordSend(frame)
+	return nil
 }
 
 func (l *TCPLink) SetHandler(h Handler) {

@@ -132,6 +132,17 @@ func Encode(m Message) ([]byte, error) {
 
 var errTruncated = errors.New("wire: truncated message")
 
+// FrameKind peeks the message kind of an encoded frame — singleton or
+// batch, both put the kind in byte 0 — without decoding it. ok is false
+// for an empty frame. The transport's per-kind byte accounting uses this
+// to classify traffic without paying for a decode.
+func FrameKind(p []byte) (Kind, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	return Kind(p[0]), true
+}
+
 // Decode parses a frame produced by Encode.
 func Decode(p []byte) (Message, error) {
 	var m Message

@@ -24,6 +24,26 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestFrameKindPeek(t *testing.T) {
+	frame, err := Encode(Message{Kind: KindWriteProp, Key: "x", Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := FrameKind(frame); !ok || k != KindWriteProp {
+		t.Fatalf("FrameKind = %v, %v", k, ok)
+	}
+	batch, err := EncodeBatch(Batch{Kind: KindResyncReq, Keys: []string{"a"}, Versions: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := FrameKind(batch); !ok || k != KindResyncReq {
+		t.Fatalf("FrameKind(batch) = %v, %v", k, ok)
+	}
+	if _, ok := FrameKind(nil); ok {
+		t.Fatal("FrameKind(nil) reported ok")
+	}
+}
+
 func TestKindControl(t *testing.T) {
 	if !KindReadReq.Control() || !KindDeleteReq.Control() {
 		t.Fatal("requests should be control messages")
