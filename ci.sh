@@ -48,14 +48,31 @@ curl -fsS "$obs_url/healthz" | grep -q '"status":"ok"'
 kill "$obs_pid"
 rm -f "$obs_log" /tmp/mobirep-server-ci
 
+# Throughput slice: the zero-alloc pins on the pooled encode / borrowed
+# decode hot paths, codec equivalence (pooled and appending forms must be
+# bit-identical to the legacy calls), the coalescing transport edge cases,
+# the SC fan-out sharing proof, and the conformance explorer again with
+# every link coalescing — byte-stream batching must be invisible to the
+# protocol. E23 then runs end to end in quick mode.
+go test -count=1 -run 'TestAppendEncode|TestDecodeBorrowed|TestEncodePooledRoundTripAllocs' ./internal/wire/
+go test -race -count=1 -run 'TestTCPCoalesced|TestTCPMaxFrameBoundary|TestTCPFlushConcurrentClose|TestTCPWriteFailureShutsLinkDown|TestTCPReceiveAllocsSteadyState' ./internal/transport/
+go test -count=1 -run 'TestServerSendPathAllocs|TestWriteFanOut' ./internal/replica/
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.seed=3 -conformance.coalesce -count=1
+if [ "${1:-}" = "-long" ]; then
+    go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.schedules=100000 -conformance.coalesce -count=1
+fi
+go run ./cmd/mobirep-bench -quick -trajectory-dir '' E23 > /dev/null
+
 # End-to-end: regenerate every experiment table in quick mode and prove the
-# parallel engine reproduces the sequential tables byte-for-byte.
+# parallel engine reproduces the sequential tables byte-for-byte. E23 is
+# timing-based (throughput numbers change run to run), so it is excluded
+# from the determinism diff; it ran standalone above.
 out_seq=$(mktemp)
 out_par=$(mktemp)
 trap 'rm -f "$out_seq" "$out_par"' EXIT
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 -skip E23 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_seq"
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 -skip E23 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_par"
 diff "$out_seq" "$out_par"
 

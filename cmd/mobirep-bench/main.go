@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mobirep-bench [-quick] [-seed N] [-parallel N] [-csv|-json] [-list] [E01 E05 ...]
+//	mobirep-bench [-quick] [-seed N] [-parallel N] [-csv|-json] [-skip IDs] [-list] [E01 E05 ...]
 //
 // With no experiment IDs, every experiment runs in ID order. Independent
 // experiments run concurrently (-parallel, default GOMAXPROCS) on top of
@@ -71,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outDir := fs.String("out", "", "also write one file per experiment into this directory")
 	trajDir := fs.String("trajectory-dir", ".",
 		"with -json, also write a BENCH_<date>.json trajectory file into this directory (empty disables; see docs/BENCH_SCHEMA.md)")
+	skip := fs.String("skip", "",
+		"comma-separated experiment IDs to exclude (e.g. -skip E23 for timing-based experiments whose output is not byte-reproducible)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +97,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *skip != "" {
+		skipped := make(map[string]bool)
+		for _, id := range strings.Split(*skip, ",") {
+			skipped[strings.TrimSpace(id)] = true
+		}
+		kept := selected[:0]
+		for _, e := range selected {
+			if !skipped[e.ID] {
+				kept = append(kept, e)
+			}
+		}
+		selected = kept
 	}
 
 	if *outDir != "" {

@@ -46,6 +46,8 @@ func main() {
 		"serve offline reads from the cache up to this age, flagged stale; 0 fails them fast")
 	debugAddr := flag.String("debug-addr", "",
 		"HTTP listen address for /metrics, /healthz, /events and /debug/pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
+	coalesce := flag.Bool("coalesce", true,
+		"batch outbound frames into writev calls on the server link (off forces one write per frame)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -86,6 +88,9 @@ func main() {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if *coalesce {
+			tcp.SetCoalesce(true)
 		}
 		if !chaosCfg.Enabled() {
 			return tcp, nil

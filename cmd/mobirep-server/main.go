@@ -35,6 +35,8 @@ func main() {
 		"detach sessions silent for this long (half-open links); 0 disables the reaper; clients must heartbeat well under it")
 	debugAddr := flag.String("debug-addr", "",
 		"HTTP listen address for /metrics, /healthz, /events and /debug/pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
+	coalesce := flag.Bool("coalesce", true,
+		"batch outbound frames into writev calls on client links (lower syscall cost under fan-out; off forces one write per frame)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -66,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	ln, err := listenAndServe(srv, *listen, chaosCfg)
+	ln, err := listenAndServe(srv, *listen, chaosCfg, *coalesce)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -109,7 +111,7 @@ func main() {
 // listenAndServe accepts clients forever in the background and returns the
 // bound address. When chaos is enabled every client link is wrapped in the
 // fault injector, each connection on its own derived seed.
-func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config) (string, error) {
+func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config, coalesce bool) (string, error) {
 	ln, err := transport.Listen(addr)
 	if err != nil {
 		return "", err
@@ -119,6 +121,9 @@ func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config)
 			link, err := ln.Accept()
 			if err != nil {
 				return
+			}
+			if coalesce {
+				link.SetCoalesce(true)
 			}
 			var attached transport.Link = link
 			if chaosCfg.Enabled() {

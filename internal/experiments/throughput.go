@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/report"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E23",
+		Title:    "Transport throughput: pooled codec, coalesced writev, SC fan-out batching",
+		Artifact: "Hot-path engineering for the scales of sections 7-8 (extension)",
+		Run:      runE23,
+	})
+}
+
+// runE23 measures the wire/transport hot path three ways: the codec in
+// isolation (legacy allocating calls vs pooled/borrowed), the TCP frame
+// path (per-frame writes vs coalesced writev batches), and the SC write
+// fan-out (per-subscriber encode vs one shared encode). Numbers are
+// timing-based, so this experiment is excluded from byte-for-byte output
+// diffs (mobirep-bench -skip E23).
+func runE23(cfg Config) []*report.Table {
+	return []*report.Table{
+		e23Codec(cfg),
+		e23TCP(cfg),
+		e23FanOut(cfg),
+	}
+}
+
+// measure runs f n times and returns ns/op and allocs/op.
+func measure(n int, f func()) (nsPerOp, allocsPerOp float64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+func e23Codec(cfg Config) *report.Table {
+	ops := cfg.scale(2_000_000, 50_000)
+	msg := wire.Message{
+		Kind: wire.KindWriteProp, Key: "object-42",
+		Value: make([]byte, 256), Version: 7,
+	}
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		panic(err)
+	}
+
+	tbl := report.New("E23a: wire codec, legacy vs pooled/borrowed ("+report.I(ops)+" ops, 256B values)",
+		"path", "ns/op", "allocs/op", "Mops/s")
+	row := func(name string, f func()) (ns float64) {
+		ns, allocs := measure(ops, f)
+		tbl.AddRow(name, report.F(ns, 1), report.F(allocs, 2), report.F(1e3/ns, 2))
+		return ns
+	}
+	encLegacy := row("Encode (alloc per frame)", func() {
+		if _, err := wire.Encode(msg); err != nil {
+			panic(err)
+		}
+	})
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	encPooled := row("AppendEncode (pooled buffer)", func() {
+		b, err := wire.AppendEncode(buf.B[:0], msg)
+		if err != nil {
+			panic(err)
+		}
+		buf.B = b
+	})
+	decLegacy := row("Decode (copying)", func() {
+		if _, err := wire.Decode(frame); err != nil {
+			panic(err)
+		}
+	})
+	decBorrowed := row("DecodeBorrowed (zero-copy)", func() {
+		if _, err := wire.DecodeBorrowed(frame); err != nil {
+			panic(err)
+		}
+	})
+	tbl.AddNote("encode speedup %.1fx, decode speedup %.1fx",
+		encLegacy/encPooled, decLegacy/decBorrowed)
+	return tbl
+}
+
+func e23TCP(cfg Config) *report.Table {
+	frames := cfg.scale(65_536, 4_096)
+	const size = 512
+	tbl := report.New("E23b: TCP frame path, per-frame writes vs coalesced writev ("+
+		report.I(frames)+" frames, "+report.I(size)+"B each)",
+		"path", "frames/s", "MB/s", "writev batches", "syscalls saved")
+
+	run := func(name string, coalesce bool) float64 {
+		ln, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer ln.Close()
+		var got atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			link, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			link.SetHandler(func([]byte) {
+				if got.Add(1) == int64(frames) {
+					close(done)
+				}
+			})
+			link.Start(nil)
+		}()
+		cli, err := transport.DialLink(ln.Addr(), func([]byte) {}, nil)
+		if err != nil {
+			panic(err)
+		}
+		defer cli.Close()
+		cli.SetCoalesce(coalesce)
+		payload := make([]byte, size)
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			if err := cli.Send(payload); err != nil {
+				panic(err)
+			}
+		}
+		if err := cli.Flush(); err != nil {
+			panic(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Minute):
+			panic("E23b: frames never all arrived")
+		}
+		elapsed := time.Since(start).Seconds()
+		fps := float64(frames) / elapsed
+		st := cli.Stats()
+		batches, saved := "-", "-"
+		if coalesce {
+			batches = report.I(int(st.Flushes))
+			saved = report.I(int(2*st.Frames - st.Flushes))
+		}
+		tbl.AddRow(name, report.F(fps, 0), report.F(fps*size/1e6, 1), batches, saved)
+		return fps
+	}
+	plain := run("per-frame vectored write", false)
+	coalesced := run("coalesced writev", true)
+	tbl.AddNote("coalescing throughput: %.1fx the per-frame path", coalesced/plain)
+	return tbl
+}
+
+func e23FanOut(cfg Config) *report.Table {
+	const k = 32
+	writes := cfg.scale(20_000, 1_000)
+	value := make([]byte, 4096)
+
+	tbl := report.New(fmt.Sprintf("E23c: SC write fan-out to %d subscribers, per-subscriber encode vs shared (%d writes, 4KB values)", k, writes),
+		"path", "writes/s", "ns/write", "allocs/write")
+
+	// One server, k subscribed sessions over in-memory links. The peer
+	// ends swallow propagations; the measurement isolates the SC's send
+	// work, which is what the fan-out batching changed.
+	srv, err := replica.NewServer(db.NewStore(), replica.Static2())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := srv.Write("hot", value); err != nil {
+		panic(err)
+	}
+	readReq, err := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+	if err != nil {
+		panic(err)
+	}
+	// aLinks are the server-side ends: a.Send delivers to the peer's
+	// no-op handler, so the legacy emulation below exercises the same
+	// outbound direction the session uses.
+	aLinks := make([]transport.Link, k)
+	for i := 0; i < k; i++ {
+		a, b := transport.NewMemPair()
+		srv.Attach(a)
+		b.SetHandler(func([]byte) {})
+		// A read subscribes the session: static-2 allocates on first
+		// contact, so every later write propagates to this peer.
+		if err := b.Send(readReq); err != nil {
+			panic(err)
+		}
+		aLinks[i] = a
+	}
+
+	// Legacy baseline: what the pre-batching server did per write — an
+	// independent Encode and Send for each of the k subscribers. (The
+	// emulation even skips the real path's per-session locking and
+	// metering, so the measured speedup is a lower bound.)
+	msg := wire.Message{Kind: wire.KindWriteProp, Key: "hot", Value: value, Version: 1}
+	nsLegacy, allocsLegacy := measure(writes, func() {
+		for i := 0; i < k; i++ {
+			frame, err := wire.Encode(msg)
+			if err != nil {
+				panic(err)
+			}
+			if err := aLinks[i].Send(frame); err != nil {
+				panic(err)
+			}
+		}
+	})
+	tbl.AddRow("per-subscriber encode (legacy)",
+		report.F(1e9/nsLegacy, 0), report.F(nsLegacy, 0), report.F(allocsLegacy, 1))
+
+	// The real path: one pooled encode shared by every subscriber.
+	nsShared, allocsShared := measure(writes, func() {
+		if _, err := srv.Write("hot", value); err != nil {
+			panic(err)
+		}
+	})
+	tbl.AddRow("shared encode (srv.Write)",
+		report.F(1e9/nsShared, 0), report.F(nsShared, 0), report.F(allocsShared, 1))
+
+	tbl.AddNote("fan-out speedup: %.1fx (acceptance floor: 2.0x)", nsLegacy/nsShared)
+	return tbl
+}

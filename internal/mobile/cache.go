@@ -7,6 +7,8 @@
 package mobile
 
 import (
+	"bytes"
+	"strings"
 	"sync"
 	"time"
 
@@ -89,9 +91,14 @@ func (c *Cache) Peek(key string) (db.Item, bool) {
 }
 
 // Install stores a newly allocated copy, superseding any archived value.
+// The cache owns its bytes: Key and Value are copied in, so the caller may
+// pass fields that alias a borrowed transport frame (wire.DecodeBorrowed)
+// and reuse the buffer the moment Install returns.
 func (c *Cache) Install(it db.Item) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	it.Key = strings.Clone(it.Key)
+	it.Value = bytes.Clone(it.Value)
 	c.items[it.Key] = it
 	delete(c.archive, it.Key)
 	c.fresh[it.Key] = c.now()
@@ -100,7 +107,9 @@ func (c *Cache) Install(it db.Item) {
 
 // Update applies a propagated write. It returns false — recording a stale
 // update — if the item is not cached or the version does not advance,
-// keeping propagation idempotent under races.
+// keeping propagation idempotent under races. Like Install, the cache
+// copies the Value in; the resident entry's key is reused, so no borrowed
+// byte survives the call.
 func (c *Cache) Update(it db.Item) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -109,6 +118,8 @@ func (c *Cache) Update(it db.Item) bool {
 		c.stats.StaleUpdates++
 		return false
 	}
+	it.Key = cur.Key
+	it.Value = bytes.Clone(it.Value)
 	c.items[it.Key] = it
 	c.fresh[it.Key] = c.now()
 	c.stats.Updates++
@@ -124,7 +135,10 @@ func (c *Cache) Drop(key string) bool {
 	if !ok {
 		return false
 	}
-	c.archive[key] = it
+	// Archive under the resident entry's own (cache-owned) key: the key
+	// parameter may alias a borrowed transport frame, and a map insert
+	// would retain it.
+	c.archive[it.Key] = it
 	delete(c.items, key)
 	c.stats.Drops++
 	return true
@@ -150,7 +164,7 @@ func (c *Cache) Revalidated(key string) (db.Item, bool) {
 	if !ok {
 		return db.Item{}, false
 	}
-	c.fresh[key] = c.now()
+	c.fresh[it.Key] = c.now() // it.Key is cache-owned; key may be borrowed
 	c.stats.Revalidations++
 	return it, true
 }
@@ -161,10 +175,11 @@ func (c *Cache) Revalidated(key string) (db.Item, bool) {
 func (c *Cache) Refresh(key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.items[key]; !ok {
+	it, ok := c.items[key]
+	if !ok {
 		return false
 	}
-	c.fresh[key] = c.now()
+	c.fresh[it.Key] = c.now() // it.Key is cache-owned; key may be borrowed
 	c.stats.Revalidations++
 	return true
 }

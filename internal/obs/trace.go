@@ -129,7 +129,10 @@ func (t *Tracer) SetClock(now func() time.Time) {
 }
 
 // Record appends one event. key and detail must be pre-existing strings
-// (see Event); v1 and v2 are type-specific numbers.
+// (see Event); v1 and v2 are type-specific numbers. The ring buffer
+// retains both strings, so a caller holding a borrowed string (one that
+// aliases a transport frame, wire.DecodeBorrowed) must clone it first —
+// Record stays allocation-free for the common owned-string case.
 func (t *Tracer) Record(typ EventType, key, detail string, v1, v2 int64) {
 	t.mu.Lock()
 	ts := t.now().UnixNano()

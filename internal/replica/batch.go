@@ -244,13 +244,22 @@ func (ss *Session) onBatch(b wire.Batch) {
 		resp.Entries = append(resp.Entries, e)
 	}
 	ss.mu.Unlock()
+	ss.sendBatch(resp)
+}
 
-	frame, err := wire.EncodeBatch(resp)
+// sendBatch encodes a batch response into a pooled buffer and transmits
+// it, releasing the buffer as soon as Send returns (links never retain).
+func (ss *Session) sendBatch(resp wire.Batch) {
+	buf := wire.GetBuf()
+	b, err := wire.AppendEncodeBatch(buf.B[:0], resp)
 	if err != nil {
+		wire.PutBuf(buf)
 		panic(fmt.Sprintf("replica: encode batch response: %v", err))
 	}
-	ss.meter.addData(len(frame))
-	_ = ss.link.Send(frame)
+	buf.B = b
+	ss.meter.addData(len(b))
+	_ = ss.link.Send(b)
+	wire.PutBuf(buf)
 }
 
 // onResyncReq re-admits a warm client after a link blip: re-assert every
@@ -290,11 +299,5 @@ func (ss *Session) onResyncReq(b wire.Batch) {
 		resp.Entries = append(resp.Entries, e)
 	}
 	ss.mu.Unlock()
-
-	frame, err := wire.EncodeBatch(resp)
-	if err != nil {
-		panic(fmt.Sprintf("replica: encode resync response: %v", err))
-	}
-	ss.meter.addData(len(frame))
-	_ = ss.link.Send(frame)
+	ss.sendBatch(resp)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -179,7 +180,10 @@ func (c *Client) state(key string) *itemState {
 	st, ok := c.items[key]
 	if !ok {
 		st = newItemState(c.mode)
-		c.items[key] = st
+		// Inserting a map key retains its bytes, and key may alias a
+		// borrowed frame (wire.DecodeBorrowed); clone so the client never
+		// keeps transport memory alive.
+		c.items[strings.Clone(key)] = st
 	}
 	return st
 }
@@ -207,7 +211,11 @@ func (c *Client) onFrame(frame []byte) {
 		c.onBatch(b)
 		return
 	}
-	msg, err := wire.Decode(frame)
+	// Borrowed decode: msg aliases frame, valid only for this handler.
+	// Retention points clone — the cache copies bytes in, state() clones
+	// map keys, and onReadResp clones before handing a message to a
+	// waiting reader goroutine.
+	msg, err := wire.DecodeBorrowed(frame)
 	if err != nil {
 		return // malformed server frame; drop
 	}
@@ -241,11 +249,10 @@ func (c *Client) Ping(seq uint64) error {
 	if offline || link == nil {
 		return ErrOffline
 	}
-	frame, err := wire.Encode(wire.Message{Kind: wire.KindPing, Version: seq})
+	buf := encodePooled(wire.Message{Kind: wire.KindPing, Version: seq})
+	err := link.Send(buf.B)
+	wire.PutBuf(buf)
 	if err != nil {
-		return fmt.Errorf("replica: encode ping: %w", err)
-	}
-	if err := link.Send(frame); err != nil {
 		c.suspect(link, err)
 		return err
 	}
@@ -293,7 +300,8 @@ func (c *Client) onReadResp(msg wire.Message) {
 		st := c.state(msg.Key)
 		st.hasCopy = true
 		mAllocs.Inc()
-		obsTr.Record(obs.EvAllocate, msg.Key, "read-resp", int64(msg.Version), 0)
+		// The tracer's ring buffer retains the key; msg.Key is borrowed.
+		obsTr.Record(obs.EvAllocate, strings.Clone(msg.Key), "read-resp", int64(msg.Version), 0)
 		if st.mode.Kind == ModeSW {
 			if len(msg.Window) == st.mode.K {
 				if err := st.window.LoadBits(msg.Window); err != nil {
@@ -312,11 +320,25 @@ func (c *Client) onReadResp(msg wire.Message) {
 	var ch chan wire.Message
 	if waiters := c.pending[msg.Key]; len(waiters) > 0 {
 		ch = waiters[0]
-		c.pending[msg.Key] = waiters[1:]
+		if len(waiters) == 1 {
+			// delete never retains its argument, so the borrowed msg.Key
+			// is safe here — and popping the entry keeps the map from
+			// accumulating one empty slot per key ever read.
+			delete(c.pending, msg.Key)
+		} else {
+			// Assigning to an existing string map key REPLACES the stored
+			// key with the new one (the runtime updates string keys), so
+			// assigning under the borrowed msg.Key would plant transport
+			// bytes in the map; clone first.
+			c.pending[strings.Clone(msg.Key)] = waiters[1:]
+		}
 	}
 	c.mu.Unlock()
 	if ch != nil {
-		ch <- msg
+		// The waiter consumes the message on another goroutine, after this
+		// handler has returned and the frame buffer has been reused: hand
+		// it an owning copy.
+		ch <- msg.Clone()
 	}
 }
 
@@ -351,7 +373,7 @@ func (c *Client) onWriteProp(msg wire.Message) {
 			st.hasCopy = false
 			c.cache.Drop(msg.Key)
 			mDeallocs.Inc()
-			obsTr.Record(obs.EvDeallocate, msg.Key, "write-majority", int64(msg.Version), 0)
+			obsTr.Record(obs.EvDeallocate, strings.Clone(msg.Key), "write-majority", int64(msg.Version), 0)
 			out = &wire.Message{
 				Kind: wire.KindDeleteReq, Key: msg.Key, Window: st.window.Bits(),
 			}
@@ -379,7 +401,7 @@ func (c *Client) onDeleteReq(msg wire.Message) {
 	c.mu.Unlock()
 	if had {
 		mDeallocs.Inc()
-		obsTr.Record(obs.EvDeallocate, msg.Key, "delete-req", 0, 0)
+		obsTr.Record(obs.EvDeallocate, strings.Clone(msg.Key), "delete-req", 0, 0)
 	}
 }
 
@@ -391,17 +413,25 @@ func (c *Client) sendControl(msg wire.Message) error {
 }
 
 // sendControlOn sends over an explicit link snapshot, so a concurrent
-// Disconnect cannot race the nil check.
+// Disconnect cannot race the nil check. The frame is encoded into a
+// pooled buffer, released as soon as Send returns (links never retain).
 func (c *Client) sendControlOn(link transport.Link, msg wire.Message) error {
 	if link == nil {
 		return ErrOffline
 	}
-	frame, err := wire.Encode(msg)
+	buf := wire.GetBuf()
+	b, err := wire.AppendEncode(buf.B[:0], msg)
 	if err != nil {
+		wire.PutBuf(buf)
+		// Unlike the server's protocol-generated messages, this path can
+		// carry a caller-provided key (ReadReq); reject, don't panic.
 		return fmt.Errorf("replica: encode %v: %w", msg.Kind, err)
 	}
-	c.meter.addControl(len(frame))
-	if err := link.Send(frame); err != nil {
+	buf.B = b
+	c.meter.addControl(len(b))
+	err = link.Send(b)
+	wire.PutBuf(buf)
+	if err != nil {
 		c.suspect(link, err)
 		return err
 	}

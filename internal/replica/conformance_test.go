@@ -5,7 +5,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,7 +36,88 @@ var (
 		"replay a single conformance schedule verbosely (0 = explore)")
 	confGen = flag.Int("conformance.gen", 2,
 		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects")
+	confCoalesce = flag.Bool("conformance.coalesce", false,
+		"carry every frame over real coalescing TCPLinks (in-process pipe) instead of the raw in-memory pair; delivery stays lock-step via a per-frame ack, so schedules and verdicts are unchanged")
 )
+
+// syncCoalescingPair builds two coalescing TCPLinks over an in-process
+// net.Pipe and wraps them so Send blocks until the peer's handler has
+// returned. The harness steps frames one at a time through the manual
+// chaos queues (only the harness goroutine ever reaches the inner link),
+// and the ack keeps that lock-step while every frame still crosses the
+// real enqueue / writev-batch / zero-copy-receive machinery. On the wire
+// a data frame is prefixed 0x00 and the ack is a bare 0x01; neither is
+// visible outside the wrapper.
+type syncEnd struct {
+	tcp    *transport.TCPLink
+	mu     sync.Mutex
+	h      transport.Handler
+	ack    chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newSyncCoalescingPair() (transport.Link, transport.Link) {
+	ca, cb := net.Pipe()
+	a := &syncEnd{ack: make(chan struct{}, 1), closed: make(chan struct{})}
+	b := &syncEnd{ack: make(chan struct{}, 1), closed: make(chan struct{})}
+	a.tcp, b.tcp = transport.NewTCPLink(ca), transport.NewTCPLink(cb)
+	a.start()
+	b.start()
+	return a, b
+}
+
+func (e *syncEnd) start() {
+	e.tcp.SetHandler(func(f []byte) {
+		if len(f) > 0 && f[0] == 1 { // peer finished handling our frame
+			select {
+			case e.ack <- struct{}{}:
+			default:
+			}
+			return
+		}
+		e.mu.Lock()
+		h := e.h
+		e.mu.Unlock()
+		if h != nil && len(f) > 0 {
+			h(f[1:])
+		}
+		_ = e.tcp.Send([]byte{1})
+		_ = e.tcp.Flush()
+	})
+	e.tcp.SetCoalesce(true)
+	e.tcp.Start(func(error) { e.once.Do(func() { close(e.closed) }) })
+}
+
+func (e *syncEnd) Send(frame []byte) error {
+	buf := make([]byte, 1+len(frame))
+	copy(buf[1:], frame)
+	if err := e.tcp.Send(buf); err != nil {
+		return err
+	}
+	if err := e.tcp.Flush(); err != nil {
+		return err
+	}
+	select {
+	case <-e.ack:
+		return nil
+	case <-e.closed:
+		return transport.ErrClosed
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("sync coalescing pair: no ack within 10s")
+	}
+}
+
+func (e *syncEnd) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+}
+
+func (e *syncEnd) Close() error {
+	e.once.Do(func() { close(e.closed) })
+	return e.tcp.Close()
+}
 
 // valueFor is the deterministic payload for version v of key: the harness
 // always writes it, so any byte of divergence is a protocol bug, not test
@@ -186,10 +269,19 @@ func newConformance(t *testing.T, seed uint64, verbose bool) (*conformance, erro
 }
 
 // connect builds a fresh chaos pair and attaches both endpoints to it.
+// With -conformance.coalesce the pair's inner links are real coalescing
+// TCPLinks; the RNG derivation is shared, so seeds replay identically.
 func (h *conformance) connect() error {
 	cfg := h.chaosCfg
 	cfg.Seed = h.rng.Uint64()
-	sLink, cLink, err := transport.NewChaosPair(cfg)
+	var sLink, cLink *transport.Chaos
+	var err error
+	if *confCoalesce {
+		a, b := newSyncCoalescingPair()
+		sLink, cLink, err = transport.NewChaosPairOver(cfg, a, b)
+	} else {
+		sLink, cLink, err = transport.NewChaosPair(cfg)
+	}
 	if err != nil {
 		return err
 	}

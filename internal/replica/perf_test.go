@@ -1,0 +1,145 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+
+	"mobirep/internal/db"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// captureLink is a Link stub that records the identity (backing-array
+// pointer) and a copy of every frame it is handed, so tests can prove
+// frames are shared or not across sends without a real transport.
+type captureLink struct {
+	mu     sync.Mutex
+	ptrs   []*byte
+	frames [][]byte
+}
+
+func (l *captureLink) Send(frame []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(frame) > 0 {
+		l.ptrs = append(l.ptrs, &frame[0])
+	} else {
+		l.ptrs = append(l.ptrs, nil)
+	}
+	l.frames = append(l.frames, append([]byte(nil), frame...))
+	return nil
+}
+func (l *captureLink) SetHandler(transport.Handler) {}
+func (l *captureLink) Close() error                 { return nil }
+
+// nullLink discards frames; the cheapest possible transport, for isolating
+// the replica send path's own cost.
+type nullLink struct{}
+
+func (nullLink) Send([]byte) error              { return nil }
+func (nullLink) SetHandler(transport.Handler)   {}
+func (nullLink) Close() error                   { return nil }
+
+// TestServerSendPathAllocs pins the SC steady-state send machinery —
+// pooled encode, meter, link hand-off, buffer release — at zero
+// allocations per message.
+func TestServerSendPathAllocs(t *testing.T) {
+	srv, err := NewServer(db.NewStore(), Static2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.Attach(nullLink{})
+	msg := wire.Message{Kind: wire.KindWriteProp, Key: "hot", Value: []byte("payload-123456"), Version: 7}
+	sess.sendData(msg) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		sess.sendData(msg)
+	})
+	if allocs != 0 {
+		t.Fatalf("sendData allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWriteFanOutSharesOneEncode proves the SC propagation batching: one
+// Write to a key with k subscribed clients hands every link the SAME
+// bytes — one encode, k sends — instead of k independent encodes.
+func TestWriteFanOutSharesOneEncode(t *testing.T) {
+	const k = 16
+	srv, err := NewServer(db.NewStore(), Static2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]*captureLink, k)
+	sessions := make([]*Session, k)
+	req, err := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Write("hot", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range links {
+		links[i] = &captureLink{}
+		sessions[i] = srv.Attach(links[i])
+		// A read subscribes the session (static-2 allocates on first
+		// contact); the response frame lands in the capture link.
+		sessions[i].onFrame(req)
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		l.ptrs, l.frames = nil, nil
+		l.mu.Unlock()
+	}
+
+	if _, err := srv.Write("hot", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	var shared *byte
+	for i, l := range links {
+		l.mu.Lock()
+		if len(l.frames) != 1 {
+			t.Fatalf("session %d got %d frames, want 1", i, len(l.frames))
+		}
+		m, err := wire.Decode(l.frames[0])
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if m.Kind != wire.KindWriteProp || m.Key != "hot" || string(m.Value) != "v1" {
+			t.Fatalf("session %d got %+v", i, m)
+		}
+		if shared == nil {
+			shared = l.ptrs[0]
+		} else if l.ptrs[0] != shared {
+			t.Fatalf("session %d received a separately encoded frame — fan-out did not share bytes", i)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// TestWriteFanOutMetersPerSession checks that sharing the encoded frame
+// does not merge the accounting: each subscribed session still meters its
+// own connection and data message per propagated write.
+func TestWriteFanOutMetersPerSession(t *testing.T) {
+	const k = 4
+	srv, err := NewServer(db.NewStore(), Static2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "x"})
+	srv.Write("x", []byte("v0"))
+	sessions := make([]*Session, k)
+	for i := range sessions {
+		sessions[i] = srv.Attach(&captureLink{})
+		sessions[i].onFrame(req)
+	}
+	before := make([]MeterSnapshot, k)
+	for i, s := range sessions {
+		before[i] = s.Meter().Snapshot()
+	}
+	srv.Write("x", []byte("v1"))
+	for i, s := range sessions {
+		d := s.Meter().Snapshot()
+		if d.DataMsgs != before[i].DataMsgs+1 || d.Connections != before[i].Connections+1 {
+			t.Fatalf("session %d: %+v -> %+v, want one data message and one connection", i, before[i], d)
+		}
+	}
+}

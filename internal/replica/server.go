@@ -2,6 +2,7 @@ package replica
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -164,6 +165,13 @@ func (s *Server) ExpireIdle(ttl time.Duration) int {
 // the write side of the protocol toward every attached client: propagate
 // to subscribed clients (deallocating via delete-request under SW1), or
 // just slide the local window when the SC is in charge.
+//
+// The fan-out is batched: every subscribed session receives the identical
+// WriteProp (and every SW1 session the identical DeleteReq), so the frame
+// is encoded once — lazily, on the first session that needs it — and the
+// same bytes are handed to every link. Links never retain a frame after
+// Send returns, so sharing one pooled buffer across k sends is safe, and
+// a hot key with k subscribers costs one encode instead of k.
 func (s *Server) Write(key string, value []byte) (db.Item, error) {
 	it, err := s.store.Put(key, value)
 	if err != nil {
@@ -175,10 +183,48 @@ func (s *Server) Write(key string, value []byte) (db.Item, error) {
 		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()
+	var propBuf, delBuf *wire.Buf
 	for _, sess := range sessions {
-		sess.onLocalWrite(it)
+		// State changes happen under the session lock inside
+		// prepareLocalWrite, but the send happens here, outside it: the
+		// in-memory transport delivers synchronously, and the MC's
+		// deallocation delete-request re-enters the session on this
+		// goroutine.
+		switch sess.prepareLocalWrite(it) {
+		case data:
+			if propBuf == nil {
+				propBuf = encodePooled(wire.Message{
+					Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
+				})
+			}
+			sess.meter.addConnection()
+			sess.meter.addData(len(propBuf.B))
+			_ = sess.link.Send(propBuf.B)
+		case control:
+			if delBuf == nil {
+				delBuf = encodePooled(wire.Message{Kind: wire.KindDeleteReq, Key: it.Key})
+			}
+			sess.meter.addConnection()
+			sess.meter.addControl(len(delBuf.B))
+			_ = sess.link.Send(delBuf.B)
+		}
 	}
+	wire.PutBuf(propBuf)
+	wire.PutBuf(delBuf)
 	return it, nil
+}
+
+// encodePooled encodes msg into a pooled buffer. The caller releases it
+// with wire.PutBuf once every Send using it has returned.
+func encodePooled(msg wire.Message) *wire.Buf {
+	buf := wire.GetBuf()
+	b, err := wire.AppendEncode(buf.B[:0], msg)
+	if err != nil {
+		wire.PutBuf(buf)
+		panic(fmt.Sprintf("replica: encode %v: %v", msg.Kind, err))
+	}
+	buf.B = b
+	return buf
 }
 
 // state returns (creating if needed) the session's state for key.
@@ -186,34 +232,30 @@ func (ss *Session) state(key string) *itemState {
 	st, ok := ss.items[key]
 	if !ok {
 		st = newItemState(ss.srv.mode)
-		ss.items[key] = st
+		// Inserting a map key retains its bytes, and key may alias a
+		// borrowed frame (wire.DecodeBorrowed); clone so the session never
+		// keeps transport memory alive.
+		ss.items[strings.Clone(key)] = st
 	}
 	return st
 }
 
-// onLocalWrite runs the SC write path for one client. State changes
-// happen under the session lock, but the actual send happens after it is
-// released: the in-memory transport delivers synchronously, and the MC's
-// deallocation delete-request re-enters this session on the same
-// goroutine.
-func (ss *Session) onLocalWrite(it db.Item) {
+// prepareLocalWrite runs the SC write-path state machine for one client
+// under the session lock and reports what the server must transmit: the
+// shared WriteProp (data), the shared DeleteReq (control), or nothing.
+func (ss *Session) prepareLocalWrite(it db.Item) sendClass {
 	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	if ss.detached {
-		ss.mu.Unlock()
-		return
+		return none
 	}
 	st := ss.state(it.Key)
-	var out wire.Message
-	send := none
 	switch st.mode.Kind {
 	case ModeStatic1:
 		// Never a copy at the MC: the write is free.
 	case ModeStatic2:
 		if st.hasCopy {
-			out = wire.Message{
-				Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
-			}
-			send = data
+			return data
 		}
 	default:
 		switch {
@@ -226,27 +268,15 @@ func (ss *Session) onLocalWrite(it db.Item) {
 			// delete-request, never the data.
 			st.hasCopy = false
 			st.window.Fill(sched.Write)
-			out = wire.Message{Kind: wire.KindDeleteReq, Key: it.Key}
-			send = control
+			return control
 		default:
 			// k > 1: propagate; the MC is in charge and will deallocate
 			// if the window turns write-majority, sending back a
 			// DeleteReq that rides this write's connection.
-			out = wire.Message{
-				Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
-			}
-			send = data
+			return data
 		}
 	}
-	ss.mu.Unlock()
-	switch send {
-	case data:
-		ss.meter.addConnection()
-		ss.sendData(out)
-	case control:
-		ss.meter.addConnection()
-		ss.sendControl(out)
-	}
+	return none
 }
 
 // sendClass marks what, if anything, a protocol step must transmit.
@@ -274,7 +304,11 @@ func (ss *Session) onFrame(frame []byte) {
 		ss.onBatch(b)
 		return
 	}
-	msg, err := wire.Decode(frame)
+	// Borrowed decode: msg aliases frame, which is valid for the duration
+	// of this handler. Every dispatch below finishes with msg before
+	// returning; state that outlives the handler is cloned at the point of
+	// retention (session maps, the store).
+	msg, err := wire.DecodeBorrowed(frame)
 	if err != nil {
 		// A malformed frame is a client bug; drop it. Metering stays
 		// consistent because nothing was actioned.
@@ -302,11 +336,9 @@ func (ss *Session) onPing(msg wire.Message) {
 	if dead {
 		return
 	}
-	frame, err := wire.Encode(wire.Message{Kind: wire.KindPong, Version: msg.Version})
-	if err != nil {
-		panic(fmt.Sprintf("replica: encode pong: %v", err))
-	}
-	_ = ss.link.Send(frame)
+	buf := encodePooled(wire.Message{Kind: wire.KindPong, Version: msg.Version})
+	_ = ss.link.Send(buf.B)
+	wire.PutBuf(buf)
 }
 
 // onReadReq runs the SC read path: serve the item and decide allocation.
@@ -367,20 +399,19 @@ func (ss *Session) onDeleteReq(msg wire.Message) {
 	}
 }
 
+// sendData encodes and transmits a data message through a pooled buffer:
+// links never retain a frame after Send returns, so the buffer goes back
+// to the pool immediately and the steady-state path allocates nothing.
 func (ss *Session) sendData(msg wire.Message) {
-	frame, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("replica: encode %v: %v", msg.Kind, err))
-	}
-	ss.meter.addData(len(frame))
-	_ = ss.link.Send(frame) // a closed link only loses metering-visible traffic
+	buf := encodePooled(msg)
+	ss.meter.addData(len(buf.B))
+	_ = ss.link.Send(buf.B) // a closed link only loses metering-visible traffic
+	wire.PutBuf(buf)
 }
 
 func (ss *Session) sendControl(msg wire.Message) {
-	frame, err := wire.Encode(msg)
-	if err != nil {
-		panic(fmt.Sprintf("replica: encode %v: %v", msg.Kind, err))
-	}
-	ss.meter.addControl(len(frame))
-	_ = ss.link.Send(frame)
+	buf := encodePooled(msg)
+	ss.meter.addControl(len(buf.B))
+	_ = ss.link.Send(buf.B)
+	wire.PutBuf(buf)
 }

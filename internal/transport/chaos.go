@@ -179,10 +179,17 @@ func NewChaos(inner Link, cfg Config) (*Chaos, error) {
 // sharing one seed (each direction gets an independent derived RNG stream).
 // The first link is conventionally the server side, the second the client.
 func NewChaosPair(cfg Config) (*Chaos, *Chaos, error) {
+	a, b := NewMemPair()
+	return NewChaosPairOver(cfg, a, b)
+}
+
+// NewChaosPairOver is NewChaosPair over caller-provided link ends instead
+// of a fresh in-memory pair: the RNG derivation is identical, so a seed
+// reproduces the same fault schedule whatever transport carries the frames.
+func NewChaosPairOver(cfg Config, a, b Link) (*Chaos, *Chaos, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	a, b := NewMemPair()
 	base := stats.NewRNG(cfg.Seed)
 	ca, _ := NewChaos(a, cfg)
 	cb, _ := NewChaos(b, cfg)

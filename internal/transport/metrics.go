@@ -80,6 +80,12 @@ var (
 	}
 	mChaosDelivered = obsReg.Counter("mobirep_chaos_delivered_total",
 		"Frames a chaos link forwarded to the peer, duplicates included.")
+
+	mWritevFlushes = obsReg.Counter("mobirep_transport_writev_flushes_total",
+		"Coalesced writev batches issued by TCP links.")
+	mWritevFrames = obsReg.Counter("mobirep_transport_writev_frames_total",
+		"Frames carried by coalesced writev batches. The per-frame path "+
+			"costs two syscalls, so 2*frames - flushes syscalls were saved.")
 )
 
 func init() {
@@ -107,6 +113,12 @@ func recordRecv(frame []byte) {
 	mFramesRecv.Inc()
 	k, _ := wire.FrameKind(frame)
 	mBytesRecvByKind[kindSlot(k)].Add(uint64(len(frame)))
+}
+
+// recordFlush accounts one coalesced writev batch of n frames.
+func recordFlush(n int) {
+	mWritevFlushes.Inc()
+	mWritevFrames.Add(uint64(n))
 }
 
 // chaosFault accounts one fault decision and traces it. key is empty —

@@ -22,15 +22,24 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler consumes one received frame. Handlers must not block
 // indefinitely; for the in-memory pair they run on the sender's goroutine.
+//
+// The frame is borrowed: it is only valid until the handler returns, after
+// which the transport reuses its backing buffer for the next frame. A
+// handler that retains the frame — or anything aliasing it, such as a
+// wire.DecodeBorrowed message — past its return must copy first.
 type Handler func(frame []byte)
 
 // Link is one endpoint of a bidirectional frame pipe.
 type Link interface {
-	// Send transmits one frame to the peer.
+	// Send transmits one frame to the peer. Implementations never retain
+	// frame after Send returns (they copy if they must buffer), so callers
+	// may immediately reuse the backing buffer — the contract that lets
+	// the replica package encode every frame into a pooled buffer.
 	Send(frame []byte) error
 	// SetHandler installs the receive callback. It must be called before
 	// the first frame arrives; for TCP links, before Start.
@@ -79,12 +88,12 @@ func (l *memLink) Send(frame []byte) error {
 	if h == nil {
 		return errors.New("transport: peer has no handler")
 	}
-	// Copy so the receiver may retain the frame.
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
+	// The handler runs synchronously inside Send and borrows the sender's
+	// bytes directly — zero copies. The Handler contract (copy if you
+	// retain) is what makes this safe.
 	recordSend(frame)
-	recordRecv(cp)
-	h(cp)
+	recordRecv(frame)
+	h(frame)
 	return nil
 }
 
@@ -103,21 +112,104 @@ func (l *memLink) Close() error {
 
 // TCPLink frames messages over a TCP connection as a uint32 length prefix
 // followed by the payload.
+//
+// Sends are vectored: header and payload go to the kernel in one writev
+// instead of two Write syscalls. With coalescing enabled (SetCoalesce),
+// frames are instead copied into a small send queue that a background
+// flusher drains with a single writev per batch, so back-to-back frames —
+// heartbeats, propagation bursts, batch responses — share a syscall. The
+// flusher runs whenever the queue is non-empty, so the added latency is
+// bounded by one in-flight write; Flush forces a synchronous drain.
+//
+// Any failed or short write leaves the byte stream desynchronized for the
+// peer (a half-written frame shifts every later length prefix), so the
+// link shuts down on the first write error rather than returning an error
+// on a live link.
 type TCPLink struct {
 	conn    net.Conn
-	mu      sync.Mutex // guards writes
 	hmu     sync.Mutex
 	handler Handler
 	closed  chan struct{}
 	once    sync.Once
 	onClose func(error)
+
+	// wmu serializes writes to conn. Batch extraction from the coalescing
+	// queue happens under it too, so two concurrent flushes cannot write
+	// their batches out of order.
+	wmu    sync.Mutex
+	whdr   [4]byte  // immediate-mode header scratch
+	wpair  [][]byte // immediate-mode two-entry writev scratch
+	wstore [][]byte // coalesced-mode writev view backing
+	wview  net.Buffers
+	werr   error // first write error, reported via onClose
+
+	coalesce atomic.Bool
+	qmu      sync.Mutex // guards the coalescing queue
+	pending  []*chunk
+	spare    []*chunk // recycled backing array for the next pending batch
+	pendingB int      // queued bytes, headers included
+	wake     chan struct{}
+
+	flushes     atomic.Uint64
+	flushFrames atomic.Uint64
 }
 
-const maxFrame = 16 << 20
+// chunk is one queued frame (length prefix + payload) owned by the link.
+type chunk struct{ b []byte }
+
+var chunkPool = sync.Pool{New: func() any { return &chunk{b: make([]byte, 0, 256)} }}
+
+func putChunk(c *chunk) {
+	if cap(c.b) > maxPooledChunk {
+		return
+	}
+	c.b = c.b[:0]
+	chunkPool.Put(c)
+}
+
+const (
+	maxFrame = 16 << 20
+	// maxPooledChunk caps pooled chunk capacity so one giant frame does
+	// not pin its buffer behind every future heartbeat.
+	maxPooledChunk = 64 << 10
+	// coalesceFlushBytes bounds queued memory: once this much is pending
+	// the sender flushes inline instead of waking the flusher.
+	coalesceFlushBytes = 256 << 10
+)
 
 // NewTCPLink wraps an established connection. Call SetHandler, then Start.
 func NewTCPLink(conn net.Conn) *TCPLink {
-	return &TCPLink{conn: conn, closed: make(chan struct{})}
+	return &TCPLink{conn: conn, closed: make(chan struct{}), wake: make(chan struct{}, 1)}
+}
+
+// SetCoalesce turns on send coalescing: Send enqueues and a background
+// flusher drains the queue with one writev per batch. Call it before the
+// first Send; coalescing cannot be turned off again. Frames still queued
+// when the link closes are dropped, exactly like bytes sitting in a dying
+// socket's kernel buffer.
+func (l *TCPLink) SetCoalesce(on bool) {
+	if !on || l.coalesce.Swap(true) {
+		return
+	}
+	go l.flushLoop()
+}
+
+// Coalescing reports whether send coalescing is enabled.
+func (l *TCPLink) Coalescing() bool { return l.coalesce.Load() }
+
+// CoalesceStats counts the work the vectored flusher has done.
+type CoalesceStats struct {
+	// Flushes is the number of writev batches issued.
+	Flushes uint64
+	// Frames is the number of frames those batches carried. The legacy
+	// path cost two Write syscalls per frame, so 2*Frames - Flushes
+	// syscalls were saved.
+	Frames uint64
+}
+
+// Stats returns a snapshot of the flush counters.
+func (l *TCPLink) Stats() CoalesceStats {
+	return CoalesceStats{Flushes: l.flushes.Load(), Frames: l.flushFrames.Load()}
 }
 
 // Start launches the read loop. onClose, if non-nil, is invoked once when
@@ -135,10 +227,21 @@ func (l *TCPLink) readLoop() {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				err = nil
 			}
+			if err == nil {
+				// A write-path failure closed the connection under us;
+				// surface the root cause instead of a clean shutdown.
+				l.wmu.Lock()
+				err = l.werr
+				l.wmu.Unlock()
+			}
 			l.onClose(err)
 		}
 	}()
 	var hdr [4]byte
+	// One receive buffer per link, grown to the largest frame seen and
+	// reused for every subsequent frame: steady-state receive does not
+	// allocate. The handler borrows it (see Handler).
+	var buf []byte
 	for {
 		if _, err = io.ReadFull(l.conn, hdr[:]); err != nil {
 			return
@@ -148,7 +251,10 @@ func (l *TCPLink) readLoop() {
 			err = fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 			return
 		}
-		frame := make([]byte, n)
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		frame := buf[:n]
 		if _, err = io.ReadFull(l.conn, frame); err != nil {
 			return
 		}
@@ -163,23 +269,139 @@ func (l *TCPLink) readLoop() {
 }
 
 func (l *TCPLink) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		// Nothing was written, so the stream is still in sync: reject the
+		// frame but leave the link alive.
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
 	select {
 	case <-l.closed:
 		return ErrClosed
 	default:
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.conn.Write(hdr[:]); err != nil {
+	if l.coalesce.Load() {
+		return l.enqueue(frame)
+	}
+	l.wmu.Lock()
+	binary.BigEndian.PutUint32(l.whdr[:], uint32(len(frame)))
+	if l.wpair == nil {
+		l.wpair = make([][]byte, 2)
+	}
+	l.wpair[0], l.wpair[1] = l.whdr[:], frame
+	// One vectored write for header plus payload, where the old path paid
+	// two Write syscalls. net.Buffers.WriteTo mutates l.wview as it
+	// consumes; l.wpair keeps the stable backing.
+	l.wview = net.Buffers(l.wpair[:2])
+	_, err := l.wview.WriteTo(l.conn)
+	l.wpair[1] = nil
+	if err != nil {
+		l.failLocked(err)
+		l.wmu.Unlock()
+		l.shutdown()
 		return err
 	}
-	if _, err := l.conn.Write(frame); err != nil {
-		return err
-	}
+	l.wmu.Unlock()
 	recordSend(frame)
 	return nil
+}
+
+// enqueue copies frame (with its length prefix) into a pooled chunk on
+// the coalescing queue. The caller's buffer is free for reuse on return.
+func (l *TCPLink) enqueue(frame []byte) error {
+	c := chunkPool.Get().(*chunk)
+	b := binary.BigEndian.AppendUint32(c.b[:0], uint32(len(frame)))
+	c.b = append(b, frame...)
+
+	l.qmu.Lock()
+	l.pending = append(l.pending, c)
+	l.pendingB += len(c.b)
+	over := l.pendingB >= coalesceFlushBytes
+	l.qmu.Unlock()
+	recordSend(frame)
+	if over {
+		return l.Flush()
+	}
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Flush synchronously writes every queued frame with a single vectored
+// write. It is a no-op when nothing is pending or coalescing is off.
+func (l *TCPLink) Flush() error {
+	l.wmu.Lock()
+	err := l.flushLocked()
+	l.wmu.Unlock()
+	if err != nil {
+		l.shutdown()
+	}
+	return err
+}
+
+// flushLocked drains the queue under wmu. On error the link is failed but
+// not yet shut down (the caller does that outside the lock).
+func (l *TCPLink) flushLocked() error {
+	l.qmu.Lock()
+	batch := l.pending
+	l.pending = l.spare[:0]
+	l.spare = nil
+	l.pendingB = 0
+	l.qmu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if cap(l.wstore) < len(batch) {
+		l.wstore = make([][]byte, len(batch))
+	}
+	view := l.wstore[:len(batch)]
+	for i, c := range batch {
+		view[i] = c.b
+	}
+	// WriteTo consumes l.wview (and reslices view's entries); batch keeps
+	// the original chunk headers so they return to the pool intact.
+	l.wview = net.Buffers(view)
+	_, err := l.wview.WriteTo(l.conn)
+	for i, c := range batch {
+		putChunk(c)
+		batch[i] = nil
+	}
+	l.flushes.Add(1)
+	l.flushFrames.Add(uint64(len(batch)))
+	recordFlush(len(batch))
+	l.qmu.Lock()
+	if l.spare == nil {
+		l.spare = batch[:0]
+	}
+	l.qmu.Unlock()
+	if err != nil {
+		l.failLocked(err)
+		return err
+	}
+	return nil
+}
+
+// flushLoop drains the coalescing queue whenever it is non-empty. Frames
+// sent while a writev is in flight pile up and go out together on the
+// next pass — batching emerges from backpressure, with no timers and no
+// unbounded latency.
+func (l *TCPLink) flushLoop() {
+	for {
+		select {
+		case <-l.closed:
+			return
+		case <-l.wake:
+			_ = l.Flush()
+		}
+	}
+}
+
+// failLocked records the first write error. Caller holds wmu.
+func (l *TCPLink) failLocked(err error) {
+	if l.werr == nil {
+		l.werr = err
+	}
 }
 
 func (l *TCPLink) SetHandler(h Handler) {
@@ -196,6 +418,11 @@ func (l *TCPLink) shutdown() {
 }
 
 func (l *TCPLink) Close() error {
+	if l.coalesce.Load() {
+		// Best-effort drain so frames accepted before Close reach the
+		// peer; racing Sends may still be dropped, as documented.
+		_ = l.Flush()
+	}
 	l.shutdown()
 	return nil
 }

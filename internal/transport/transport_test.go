@@ -33,15 +33,18 @@ func TestMemPairBothDirections(t *testing.T) {
 	}
 }
 
-func TestMemPairCopiesFrame(t *testing.T) {
+func TestMemPairBorrowContract(t *testing.T) {
+	// Frames are borrowed: a handler that copies keeps a stable snapshot
+	// even if the sender reuses its buffer right after Send returns —
+	// which is exactly what the pooled encode paths do.
 	a, b := NewMemPair()
 	var got []byte
-	b.SetHandler(func(f []byte) { got = f })
+	b.SetHandler(func(f []byte) { got = append([]byte(nil), f...) })
 	buf := []byte("mutate-me")
 	a.Send(buf)
 	buf[0] = 'X'
 	if string(got) != "mutate-me" {
-		t.Fatalf("receiver saw sender's mutation: %q", got)
+		t.Fatalf("copied frame changed under handler: %q", got)
 	}
 }
 
@@ -99,14 +102,14 @@ func TestTCPRoundTrip(t *testing.T) {
 			return
 		}
 		link.SetHandler(func(f []byte) {
-			serverGot <- f
+			serverGot <- append([]byte(nil), f...) // frames are borrowed
 			link.Send(append([]byte("echo:"), f...))
 		})
 		link.Start(nil)
 	}()
 
 	clientGot := make(chan []byte, 10)
-	cli, err := Dial(ln.Addr(), func(f []byte) { clientGot <- f })
+	cli, err := Dial(ln.Addr(), func(f []byte) { clientGot <- append([]byte(nil), f...) })
 	if err != nil {
 		t.Fatal(err)
 	}

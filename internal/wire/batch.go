@@ -78,23 +78,46 @@ func (b Batch) Control() bool {
 
 const maxBatch = 1 << 12
 
-// EncodeBatch serializes a batch message.
+// EncodeBatch serializes a batch message into a fresh buffer. It is
+// AppendEncodeBatch into a new allocation; hot paths should prefer
+// AppendEncodeBatch with a pooled buffer (GetBuf/PutBuf).
 func EncodeBatch(b Batch) ([]byte, error) {
+	size := 3 + 2
+	for _, k := range b.Keys {
+		size += 2 + len(k) + 8
+	}
+	for _, e := range b.Entries {
+		size += 1 + 8 + 2 + len(e.Key) + 4 + len(e.Value) + 2 + (len(e.Window)+7)/8
+	}
+	return AppendEncodeBatch(make([]byte, 0, size), b)
+}
+
+// AppendEncodeBatch serializes b, appending the frame to dst and
+// returning the extended buffer. The bytes appended are bit-identical to
+// EncodeBatch's output. On error dst is returned unchanged.
+func AppendEncodeBatch(dst []byte, b Batch) ([]byte, error) {
 	if !isBatchKind(b.Kind) {
-		return nil, fmt.Errorf("wire: kind %v is not a batch kind", b.Kind)
+		return dst, fmt.Errorf("wire: kind %v is not a batch kind", b.Kind)
 	}
 	if len(b.Keys) > maxBatch || len(b.Entries) > maxBatch {
-		return nil, fmt.Errorf("wire: batch exceeds %d items", maxBatch)
+		return dst, fmt.Errorf("wire: batch exceeds %d items", maxBatch)
 	}
 	if len(b.Versions) != 0 && len(b.Versions) != len(b.Keys) {
-		return nil, fmt.Errorf("wire: %d version hints for %d keys", len(b.Versions), len(b.Keys))
+		return dst, fmt.Errorf("wire: %d version hints for %d keys", len(b.Versions), len(b.Keys))
 	}
-	out := []byte{byte(b.Kind)}
+	for _, k := range b.Keys {
+		if len(k) > maxKeyLen {
+			return dst, fmt.Errorf("wire: key length %d exceeds %d", len(k), maxKeyLen)
+		}
+	}
+	for _, e := range b.Entries {
+		if len(e.Key) > maxKeyLen || len(e.Window) > maxKeyLen {
+			return dst, fmt.Errorf("wire: entry field too long for key %q", e.Key)
+		}
+	}
+	out := append(dst, byte(b.Kind))
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Keys)))
 	for i, k := range b.Keys {
-		if len(k) > maxKeyLen {
-			return nil, fmt.Errorf("wire: key length %d exceeds %d", len(k), maxKeyLen)
-		}
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(k)))
 		out = append(out, k...)
 		hint := uint64(0)
@@ -105,9 +128,6 @@ func EncodeBatch(b Batch) ([]byte, error) {
 	}
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Entries)))
 	for _, e := range b.Entries {
-		if len(e.Key) > maxKeyLen || len(e.Window) > maxKeyLen {
-			return nil, fmt.Errorf("wire: entry field too long for key %q", e.Key)
-		}
 		flags := byte(0)
 		if e.Allocate {
 			flags |= 1
@@ -122,7 +142,7 @@ func EncodeBatch(b Batch) ([]byte, error) {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Value)))
 		out = append(out, e.Value...)
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Window)))
-		out = append(out, packWindow(e.Window)...)
+		out = appendPackedWindow(out, e.Window)
 	}
 	return out, nil
 }

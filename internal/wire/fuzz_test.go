@@ -30,12 +30,28 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		m, err := Decode(frame)
+		mb, errB := DecodeBorrowed(frame)
+		// The borrowed decoder must accept and reject exactly the frames
+		// the owning decoder does, with field-identical results.
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("decoders disagree: Decode err=%v, DecodeBorrowed err=%v", err, errB)
+		}
 		if err != nil {
 			return // rejected: fine
+		}
+		if mb.Kind != m.Kind || mb.Key != m.Key || mb.Version != m.Version ||
+			mb.Allocate != m.Allocate || !bytes.Equal(mb.Value, m.Value) ||
+			mb.Window.String() != m.Window.String() {
+			t.Fatalf("borrowed decode diverged: %+v vs %+v", m, mb)
 		}
 		re, err := Encode(m)
 		if err != nil {
 			t.Fatalf("accepted message failed to re-encode: %+v: %v", m, err)
+		}
+		// The appending encoder must produce bit-identical frames.
+		reA, err := AppendEncode(nil, m)
+		if err != nil || !bytes.Equal(reA, re) {
+			t.Fatalf("AppendEncode diverged from Encode: err=%v\n got %x\nwant %x", err, reA, re)
 		}
 		m2, err := Decode(re)
 		if err != nil {

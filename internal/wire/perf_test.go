@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mobirep/internal/sched"
+)
+
+// perfCorpus spans the codec's shapes: every kind, empty and dense
+// fields, byte-boundary windows, and binary payloads.
+func perfCorpus() []Message {
+	return []Message{
+		{Kind: KindReadReq, Key: "k"},
+		{Kind: KindReadResp, Key: "key-7", Value: []byte("value"), Version: 42},
+		{Kind: KindReadResp, Key: "key-7", Value: []byte("v"), Version: 3,
+			Allocate: true, Window: sched.MustParse("rrwrr")},
+		{Kind: KindWriteProp, Key: "hot", Value: bytes.Repeat([]byte{0xA5}, 300), Version: 9000},
+		{Kind: KindDeleteReq, Key: "gone", Window: sched.MustParse("wwwwwwww")},
+		{Kind: KindDeleteReq, Key: "nine-bits", Window: sched.MustParse("rwrwrwrwr")},
+		{Kind: KindPing, Version: 1<<63 - 1},
+		{Kind: KindPong},
+		{Kind: KindWriteProp, Key: "", Value: nil, Version: 0},
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for _, m := range perfCorpus() {
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if len(want) != EncodedSize(m) {
+			t.Errorf("%v: EncodedSize=%d, frame=%d", m.Kind, EncodedSize(m), len(want))
+		}
+		got, err := AppendEncode(nil, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: AppendEncode(nil) differs from Encode\n got %x\nwant %x", m.Kind, got, want)
+		}
+		// Appending after a prefix must leave the prefix intact and
+		// produce the same frame bytes.
+		prefix := []byte("prefix!")
+		ext, err := AppendEncode(append([]byte(nil), prefix...), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ext[:len(prefix)], prefix) || !bytes.Equal(ext[len(prefix):], want) {
+			t.Errorf("%v: AppendEncode with prefix diverged", m.Kind)
+		}
+	}
+}
+
+func TestAppendEncodeErrorLeavesDstUnchanged(t *testing.T) {
+	dst := []byte("stable")
+	out, err := AppendEncode(dst, Message{Kind: KindReadReq, Key: string(make([]byte, maxKeyLen+1))})
+	if err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if &out[0] != &dst[0] || string(out) != "stable" {
+		t.Fatalf("dst changed on error: %q", out)
+	}
+}
+
+func TestDecodeBorrowedMatchesDecode(t *testing.T) {
+	for _, m := range perfCorpus() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBorrowed(frame)
+		if err != nil {
+			t.Fatalf("%v: DecodeBorrowed rejected a frame Decode accepts: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: borrowed decode differs\n got %+v\nwant %+v", m.Kind, got, want)
+		}
+	}
+	// Both reject the same malformed frames.
+	bad := [][]byte{
+		nil,
+		{},
+		{1, 0},
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},       // unknown kind
+		{1, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},        // bad flags
+		{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 'k'},   // truncated key
+		append(make([]byte, 12), 0xFF),              // trailing garbage window
+	}
+	for i, p := range bad {
+		_, errOwn := Decode(p)
+		_, errBor := DecodeBorrowed(p)
+		if (errOwn == nil) != (errBor == nil) {
+			t.Errorf("bad frame %d: Decode err=%v, DecodeBorrowed err=%v", i, errOwn, errBor)
+		}
+	}
+}
+
+func TestDecodeBorrowedAliasesFrame(t *testing.T) {
+	frame, err := Encode(Message{Kind: KindWriteProp, Key: "k", Value: []byte("aaaa"), Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeBorrowed(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := m.Clone()
+	// Mutating the frame must show through the borrowed view (that is the
+	// point: no copy happened) but never through a Clone.
+	frame[len(frame)-3] ^= 0xFF // last value byte (the 2-byte window length trails it)
+	if m.Value[3] == 'a' {
+		t.Fatal("borrowed Value did not alias the frame — a copy happened")
+	}
+	if string(cl.Value) != "aaaa" || cl.Key != "k" {
+		t.Fatalf("Clone shares memory with the frame: %+v", cl)
+	}
+	// The 3-index slice must stop appends from growing into the frame.
+	if cap(m.Value) != len(m.Value) {
+		t.Fatalf("borrowed Value cap %d > len %d: appends could clobber the frame", cap(m.Value), len(m.Value))
+	}
+}
+
+func TestAppendEncodeBatchMatchesEncodeBatch(t *testing.T) {
+	batches := []Batch{
+		{Kind: KindMultiReadReq, Keys: []string{"a", "bb", "ccc"}, Versions: []uint64{0, 7, 9}},
+		{Kind: KindMultiReadResp, Entries: []Entry{
+			{Key: "a", Value: []byte("v1"), Version: 1},
+			{Key: "bb", Version: 2, NotModified: true},
+			{Key: "ccc", Value: []byte("v3"), Version: 3, Allocate: true, Window: sched.MustParse("rrrwr")},
+		}},
+		{Kind: KindResyncReq, Keys: []string{"x"}, Versions: []uint64{5}},
+		{Kind: KindResyncResp, Entries: []Entry{{Key: "x", Version: 5, NotModified: true}}},
+	}
+	for _, b := range batches {
+		want, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendEncodeBatch(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: AppendEncodeBatch differs from EncodeBatch", b.Kind)
+		}
+		rt, err := DecodeBatch(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rt.Entries) != len(b.Entries) || len(rt.Keys) != len(b.Keys) {
+			t.Errorf("%v: round trip lost items", b.Kind)
+		}
+	}
+	// Error path leaves dst unchanged.
+	dst := []byte("keep")
+	out, err := AppendEncodeBatch(dst, Batch{Kind: KindReadReq})
+	if err == nil || string(out) != "keep" {
+		t.Fatalf("non-batch kind: err=%v out=%q", err, out)
+	}
+}
+
+// TestAppendEncodeAllocs pins the pooled encode path at zero allocations,
+// mirroring the sim-kernel and obs pins: the replica send paths rely on
+// AppendEncode into a warm pooled buffer costing nothing.
+func TestAppendEncodeAllocs(t *testing.T) {
+	m := Message{Kind: KindWriteProp, Key: "hot-key", Value: bytes.Repeat([]byte{7}, 128), Version: 12345}
+	buf := GetBuf()
+	defer PutBuf(buf)
+	// Warm the buffer to capacity once.
+	b, err := AppendEncode(buf.B[:0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.B = b
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := AppendEncode(buf.B[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.B = out
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled AppendEncode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDecodeBorrowedAllocs pins the zero-copy decode at zero allocations
+// for windowless messages (the hot-path shape: reads, writes, liveness).
+func TestDecodeBorrowedAllocs(t *testing.T) {
+	frame, err := Encode(Message{Kind: KindWriteProp, Key: "hot-key", Value: bytes.Repeat([]byte{7}, 128), Version: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m, err := DecodeBorrowed(frame)
+		if err != nil || m.Kind != KindWriteProp {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeBorrowed allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEncodePooledRoundTripAllocs pins the full steady-state frame cycle —
+// get buffer, encode, borrow-decode, release — at zero allocations.
+func TestEncodePooledRoundTripAllocs(t *testing.T) {
+	m := Message{Kind: KindReadResp, Key: "k", Value: []byte("v"), Version: 2}
+	// Warm the pool.
+	warm := GetBuf()
+	b, _ := AppendEncode(warm.B[:0], m)
+	warm.B = b
+	PutBuf(warm)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetBuf()
+		out, err := AppendEncode(buf.B[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.B = out
+		if _, err := DecodeBorrowed(buf.B); err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled frame cycle allocated %.1f times per run, want 0", allocs)
+	}
+}

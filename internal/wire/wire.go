@@ -30,6 +30,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"unsafe"
 
 	"mobirep/internal/sched"
 )
@@ -106,28 +108,88 @@ type Message struct {
 
 const maxKeyLen = 1<<16 - 1
 
-// Encode serializes m.
+// Clone returns a deep copy of m that shares no memory with the original.
+// Handlers given a borrowed message (DecodeBorrowed) must clone it before
+// retaining any part of it past the handler's return.
+func (m Message) Clone() Message {
+	if len(m.Key) > 0 {
+		m.Key = string(append([]byte(nil), m.Key...))
+	}
+	if len(m.Value) > 0 {
+		m.Value = append([]byte(nil), m.Value...)
+	}
+	if len(m.Window) > 0 {
+		m.Window = append(sched.Schedule(nil), m.Window...)
+	}
+	return m
+}
+
+// EncodedSize returns the exact frame size Encode would produce for m.
+func EncodedSize(m Message) int {
+	return 2 + 8 + 2 + len(m.Key) + 4 + len(m.Value) + 2 + (len(m.Window)+7)/8
+}
+
+// Encode serializes m into a fresh buffer. It is AppendEncode into an
+// exactly-sized allocation; hot paths should prefer AppendEncode with a
+// pooled buffer (GetBuf/PutBuf) to avoid the per-frame allocation.
 func Encode(m Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// AppendEncode serializes m, appending the frame to dst and returning the
+// extended buffer (reallocated if dst lacks capacity, exactly like
+// append). The bytes appended are bit-identical to Encode's output. On
+// error dst is returned unchanged.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
 	if len(m.Key) > maxKeyLen {
-		return nil, fmt.Errorf("wire: key length %d exceeds %d", len(m.Key), maxKeyLen)
+		return dst, fmt.Errorf("wire: key length %d exceeds %d", len(m.Key), maxKeyLen)
 	}
 	if len(m.Window) > maxKeyLen {
-		return nil, fmt.Errorf("wire: window length %d exceeds %d", len(m.Window), maxKeyLen)
+		return dst, fmt.Errorf("wire: window length %d exceeds %d", len(m.Window), maxKeyLen)
 	}
 	flags := byte(0)
 	if m.Allocate {
 		flags = 1
 	}
-	out := make([]byte, 0, 16+len(m.Key)+len(m.Value)+len(m.Window)/8+1)
-	out = append(out, byte(m.Kind), flags)
-	out = binary.LittleEndian.AppendUint64(out, m.Version)
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Key)))
-	out = append(out, m.Key...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Value)))
-	out = append(out, m.Value...)
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Window)))
-	out = append(out, packWindow(m.Window)...)
-	return out, nil
+	dst = append(dst, byte(m.Kind), flags)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Version)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Key)))
+	dst = append(dst, m.Key...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Value)))
+	dst = append(dst, m.Value...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Window)))
+	dst = appendPackedWindow(dst, m.Window)
+	return dst, nil
+}
+
+// Buf is a reusable encode buffer; see GetBuf.
+type Buf struct {
+	// B holds the encoded frame. Callers re-slice it to B[:0], append
+	// with AppendEncode, and store the result back before PutBuf.
+	B []byte
+}
+
+// maxPooledBuf caps the capacity of buffers kept in the pool so one huge
+// value does not pin megabytes behind every future small frame.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 256)} }}
+
+// GetBuf returns a pooled encode buffer for use with AppendEncode. The
+// send paths of the replica package thread these through so steady-state
+// encodes cost zero allocations. Return it with PutBuf once the frame has
+// been handed to a transport (links never retain a frame after Send
+// returns, so releasing right after Send is safe).
+func GetBuf() *Buf { return bufPool.Get().(*Buf) }
+
+// PutBuf recycles a buffer obtained from GetBuf. Oversized buffers are
+// dropped rather than pooled.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
 }
 
 var errTruncated = errors.New("wire: truncated message")
@@ -143,8 +205,25 @@ func FrameKind(p []byte) (Kind, bool) {
 	return Kind(p[0]), true
 }
 
-// Decode parses a frame produced by Encode.
+// Decode parses a frame produced by Encode. The returned message owns all
+// of its memory: Key, Value, and Window are copies, safe to retain after
+// the frame buffer is reused.
 func Decode(p []byte) (Message, error) {
+	return decodeFrame(p, false)
+}
+
+// DecodeBorrowed parses a frame without copying: the returned message's
+// Key and Value alias p directly (the Window, rare on hot paths, is still
+// unpacked into fresh memory). The message is only valid while p is — for
+// transport handlers, until the handler returns. A handler that retains
+// any part of the message must Clone it (or copy the fields it keeps)
+// first. Accepts and rejects exactly the frames Decode does, with
+// field-identical results.
+func DecodeBorrowed(p []byte) (Message, error) {
+	return decodeFrame(p, true)
+}
+
+func decodeFrame(p []byte, borrow bool) (Message, error) {
 	var m Message
 	if len(p) < 2+8+2 {
 		return m, errTruncated
@@ -165,7 +244,11 @@ func Decode(p []byte) (Message, error) {
 	if len(p) < klen+4 {
 		return m, errTruncated
 	}
-	m.Key = string(p[:klen])
+	if borrow {
+		m.Key = borrowString(p[:klen])
+	} else {
+		m.Key = string(p[:klen])
+	}
 	p = p[klen:]
 	vlen := int(binary.LittleEndian.Uint32(p[:4]))
 	p = p[4:]
@@ -173,7 +256,13 @@ func Decode(p []byte) (Message, error) {
 		return m, errTruncated
 	}
 	if vlen > 0 {
-		m.Value = append([]byte(nil), p[:vlen]...)
+		if borrow {
+			// Full slice expression: an append through the alias must
+			// never grow into the rest of the frame.
+			m.Value = p[:vlen:vlen]
+		} else {
+			m.Value = append([]byte(nil), p[:vlen]...)
+		}
 	}
 	p = p[vlen:]
 	if len(p) < 2 {
@@ -189,18 +278,31 @@ func Decode(p []byte) (Message, error) {
 	return m, nil
 }
 
-// packWindow packs ops as bits, LSB-first within each byte, write = 1.
-func packWindow(w sched.Schedule) []byte {
-	if len(w) == 0 {
-		return nil
+// borrowString aliases b as a string without copying. The string is only
+// valid while b's backing memory is.
+func borrowString(b []byte) string {
+	if len(b) == 0 {
+		return ""
 	}
-	out := make([]byte, (len(w)+7)/8)
+	return unsafe.String(&b[0], len(b))
+}
+
+// appendPackedWindow appends w packed as bits — LSB-first within each
+// byte, write = 1 — to dst without an intermediate allocation.
+func appendPackedWindow(dst []byte, w sched.Schedule) []byte {
+	if len(w) == 0 {
+		return dst
+	}
+	base := len(dst)
+	for n := (len(w) + 7) / 8; n > 0; n-- {
+		dst = append(dst, 0)
+	}
 	for i, op := range w {
 		if op == sched.Write {
-			out[i/8] |= 1 << (i % 8)
+			dst[base+i/8] |= 1 << (i % 8)
 		}
 	}
-	return out
+	return dst
 }
 
 func unpackWindow(p []byte, n int) sched.Schedule {

@@ -178,7 +178,7 @@ func TestEncodeRejectsOversizedKey(t *testing.T) {
 func TestWindowPackingDense(t *testing.T) {
 	// 9 bits crosses a byte boundary; check exact packing.
 	w := sched.MustParse("rwrwrwrwr")
-	packed := packWindow(w)
+	packed := appendPackedWindow(nil, w)
 	if len(packed) != 2 {
 		t.Fatalf("packed length = %d", len(packed))
 	}
@@ -189,7 +189,7 @@ func TestWindowPackingDense(t *testing.T) {
 	if got := unpackWindow(packed, 9); got.String() != w.String() {
 		t.Fatalf("unpacked %q", got)
 	}
-	if packWindow(nil) != nil {
+	if appendPackedWindow(nil, nil) != nil {
 		t.Fatal("empty window should pack to nil")
 	}
 	if unpackWindow(nil, 0) != nil {
