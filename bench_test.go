@@ -64,6 +64,11 @@ func BenchmarkE20GameSolver(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21Lookahead(b *testing.B)       { benchExperiment(b, "E21") }
 func BenchmarkE22Revalidation(b *testing.B)    { benchExperiment(b, "E22") }
 
+// E23 and E24 are themselves timing harnesses (transport throughput and
+// fleet-scale load); wrapping them in a benchmark loop would only
+// re-measure the measurement, so like E23 before it, E24 gets no
+// BenchmarkE## entry. Run them via `mobirep-bench E23 E24`.
+
 // --- Micro-benchmarks of the hot paths -----------------------------------
 
 func BenchmarkPolicyApplySW9(b *testing.B) {

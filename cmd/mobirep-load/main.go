@@ -1,0 +1,121 @@
+// mobirep-load drives a large fleet of chaos-wrapped client sessions
+// against an in-process sharded replica server and reports attach
+// throughput (sessions/sec) and read-latency percentiles. It is the
+// load half of the scale story: conformance proves the sharded core
+// behaves identically, this proves it carries six-figure session counts.
+//
+//	mobirep-load -sessions 100000 -shards 0 -duration 5s
+//	mobirep-load -sessions 5000 -duration 30s -floor-sessions-per-sec 500
+//
+// With -floor-sessions-per-sec the exit status is 1 when the attach rate
+// lands under the floor — the ci.sh smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mobirep/internal/load"
+	"mobirep/internal/replica"
+	"mobirep/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mobirep-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sessions = fs.Int("sessions", 100000, "concurrent client sessions to attach and drive")
+		shards   = fs.Int("shards", 0, "server shard count (power of two, 0 = automatic)")
+		mode     = fs.String("mode", "SW3", "allocation mode: SWk, ST1 or ST2")
+		keys     = fs.Int("keys", 0, "shared key-pool size (0 = sessions/8)")
+		duration = fs.Duration("duration", 5*time.Second, "steady-state drive phase length")
+		workers  = fs.Int("workers", 0, "driver goroutines (0 = 16*GOMAXPROCS)")
+		chaos    = fs.String("chaos", "drop=0.01,dup=0.01",
+			"fault spec for every session's links (key=value pairs: drop, dup, reorder, delay, maxdelay, crash, part, partlen); empty disables faults")
+		seed    = fs.Uint64("seed", 1994, "base seed for chaos and drive RNGs")
+		timeout = fs.Duration("timeout", 25*time.Millisecond, "per-read timeout (only chaos-dropped frames wait)")
+		writers = fs.Int("writers", 2, "background server-write goroutines")
+		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
+		floor   = fs.Float64("floor-sessions-per-sec", 0,
+			"exit nonzero when the attach rate falls below this (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "mobirep-load:", err)
+		return 2
+	}
+	ccfg, err := transport.ParseChaosSpec(*chaos)
+	if err != nil {
+		fmt.Fprintln(stderr, "mobirep-load:", err)
+		return 2
+	}
+
+	res, err := load.Run(load.Config{
+		Sessions: *sessions,
+		Shards:   *shards,
+		Mode:     m,
+		Keys:     *keys,
+		Duration: *duration,
+		Workers:  *workers,
+		Chaos:    ccfg,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		Writers:  *writers,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mobirep-load:", err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(stderr, "mobirep-load:", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "mobirep-load: %d sessions over %d shards (mode %v, %d keys, %d workers)\n",
+			res.Sessions, res.Shards, m, res.Keys, res.Workers)
+		fmt.Fprintf(stdout, "  attach: %.2fs  %.0f sessions/sec\n", res.AttachSeconds, res.SessionsPerSec)
+		fmt.Fprintf(stdout, "  drive:  %.2fs  %d reads (%.0f ops/sec), %d errors, %d background writes\n",
+			res.DriveSeconds, res.Ops, res.OpsPerSec, res.Errors, res.Writes)
+		fmt.Fprintf(stdout, "  read latency: p50=%v p90=%v p99=%v max=%v\n", res.P50, res.P90, res.P99, res.Max)
+		fmt.Fprintf(stdout, "  shard occupancy: min=%d max=%d\n", res.ShardMin, res.ShardMax)
+	}
+	if *floor > 0 && res.SessionsPerSec < *floor {
+		fmt.Fprintf(stderr, "mobirep-load: attach rate %.0f sessions/sec is under the floor %.0f\n",
+			res.SessionsPerSec, *floor)
+		return 1
+	}
+	return 0
+}
+
+func parseMode(name string) (replica.Mode, error) {
+	switch name {
+	case "ST1":
+		return replica.Static1(), nil
+	case "ST2":
+		return replica.Static2(), nil
+	}
+	var k int
+	if n, err := fmt.Sscanf(name, "SW%d", &k); err == nil && n == 1 && fmt.Sprintf("SW%d", k) == name {
+		m := replica.SW(k)
+		if err := m.Validate(); err != nil {
+			return replica.Mode{}, err
+		}
+		return m, nil
+	}
+	return replica.Mode{}, fmt.Errorf("unknown mode %q (want ST1, ST2 or SWk)", name)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSmokeText(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-sessions", "300", "-shards", "2", "-duration", "150ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"300 sessions over 2 shards", "sessions/sec", "p99="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONAndFloor(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-sessions", "200", "-duration", "100ms", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var res map[string]any
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if res["Sessions"] != float64(200) {
+		t.Errorf("JSON Sessions = %v, want 200", res["Sessions"])
+	}
+	// An impossible floor must fail the run.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-sessions", "100", "-duration", "50ms", "-floor-sessions-per-sec", "1e12"}, &out, &errb)
+	if code == 0 {
+		t.Error("impossible sessions/sec floor did not fail the run")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("bad mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-chaos", "drop=oops"}, &out, &errb); code != 2 {
+		t.Errorf("bad chaos spec: exit %d, want 2", code)
+	}
+	if code := run([]string{"-sessions", "0", "-chaos", ""}, &out, &errb); code != 1 {
+		t.Errorf("zero sessions: exit %d, want 1", code)
+	}
+}

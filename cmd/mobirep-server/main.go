@@ -24,6 +24,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
 	modeName := flag.String("mode", "SW9", "allocation mode: ST1, ST2 or SWk")
+	shards := flag.Int("shards", 0, "session shard count (power of two, 0 = one per CPU)")
 	key := flag.String("key", "x", "key to auto-write")
 	writeRate := flag.Float64("write-rate", 0, "Poisson write rate per second (0 = no auto writes)")
 	logPath := flag.String("log", "", "append-only persistence log (empty = in-memory)")
@@ -62,7 +63,7 @@ func main() {
 		store = db.NewStore()
 	}
 
-	srv, err := replica.NewServer(store, mode)
+	srv, err := replica.NewServerShards(store, mode, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -73,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("mobirep-server: mode=%s listening on %s\n", mode, ln)
+	fmt.Printf("mobirep-server: mode=%s shards=%d listening on %s\n", mode, srv.Shards(), ln)
 	if chaosCfg.Enabled() {
 		fmt.Printf("chaos enabled on client links: %s\n", *chaosSpec)
 	}

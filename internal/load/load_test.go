@@ -1,0 +1,74 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"mobirep/internal/replica"
+	"mobirep/internal/transport"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Sessions: 0, Mode: replica.Static2()}); err == nil {
+		t.Error("Run accepted zero sessions")
+	}
+	if _, err := Run(Config{Sessions: 10, Mode: replica.Static2(), Chaos: transport.Config{Manual: true}}); err == nil {
+		t.Error("Run accepted manual chaos")
+	}
+	if _, err := Run(Config{Sessions: 10, Mode: replica.Static2(), Shards: 3}); err == nil {
+		t.Error("Run accepted a non-power-of-two shard count")
+	}
+}
+
+func TestRunSmallFleet(t *testing.T) {
+	res, err := Run(Config{
+		Sessions: 500,
+		Shards:   4,
+		Mode:     replica.SW(3),
+		Duration: 200 * time.Millisecond,
+		Chaos:    transport.Config{Drop: 0.01, Dup: 0.01},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 500 || res.Shards != 4 {
+		t.Fatalf("result identity wrong: %+v", res)
+	}
+	if res.SessionsPerSec <= 0 || res.AttachSeconds <= 0 {
+		t.Fatalf("attach metrics not measured: %+v", res)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("drive phase issued no reads: %+v", res)
+	}
+	if res.Ops < res.Errors {
+		t.Fatalf("more errors than ops: %+v", res)
+	}
+	if res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+	if res.ShardMin > res.ShardMax || res.ShardMax == 0 {
+		t.Fatalf("shard spread wrong: min=%d max=%d", res.ShardMin, res.ShardMax)
+	}
+	if res.Writes == 0 {
+		t.Fatalf("background writers committed nothing: %+v", res)
+	}
+}
+
+// TestRunFaultFree: with no chaos at all, every read over the in-memory
+// transport completes inline and error-free.
+func TestRunFaultFree(t *testing.T) {
+	res, err := Run(Config{
+		Sessions: 128,
+		Shards:   2,
+		Mode:     replica.Static2(),
+		Duration: 100 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("fault-free run reported %d errors", res.Errors)
+	}
+}

@@ -210,9 +210,10 @@ func (ss *Session) onBatch(b wire.Batch) {
 		return
 	}
 	resp := wire.Batch{Kind: wire.KindMultiReadResp}
-	ss.mu.Lock()
+	sh := ss.shard
+	sh.enter()
 	if ss.detached {
-		ss.mu.Unlock()
+		sh.exit()
 		return
 	}
 	for ki, key := range b.Keys {
@@ -243,7 +244,7 @@ func (ss *Session) onBatch(b wire.Batch) {
 		}
 		resp.Entries = append(resp.Entries, e)
 	}
-	ss.mu.Unlock()
+	sh.exit()
 	ss.sendBatch(resp)
 }
 
@@ -273,9 +274,10 @@ func (ss *Session) sendBatch(resp wire.Batch) {
 // idempotently; the duplicated answer is version-guarded at the client.
 func (ss *Session) onResyncReq(b wire.Batch) {
 	resp := wire.Batch{Kind: wire.KindResyncResp}
-	ss.mu.Lock()
+	sh := ss.shard
+	sh.enter()
 	if ss.detached {
-		ss.mu.Unlock()
+		sh.exit()
 		return
 	}
 	for ki, key := range b.Keys {
@@ -298,6 +300,6 @@ func (ss *Session) onResyncReq(b wire.Batch) {
 		}
 		resp.Entries = append(resp.Entries, e)
 	}
-	ss.mu.Unlock()
+	sh.exit()
 	ss.sendBatch(resp)
 }

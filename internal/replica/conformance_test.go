@@ -38,7 +38,21 @@ var (
 		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects")
 	confCoalesce = flag.Bool("conformance.coalesce", false,
 		"carry every frame over real coalescing TCPLinks (in-process pipe) instead of the raw in-memory pair; delivery stays lock-step via a per-frame ack, so schedules and verdicts are unchanged")
+	confShards = flag.Int("conformance.shards", 0,
+		"server shard count for conformance runs (power of two); 0 cycles 1/2/8 by seed so exploration covers all three, without perturbing the seeded op schedules")
 )
+
+// confShardsFor picks the server shard count for a schedule. The default
+// cycles 1, 2, and 8 by plain seed arithmetic — deliberately NOT a draw
+// from the harness RNG, so every op and fault die lands exactly as it
+// did before sharding existed and the frozen regression seeds replay
+// their original schedules byte for byte.
+func confShardsFor(seed uint64) int {
+	if *confShards > 0 {
+		return *confShards
+	}
+	return []int{1, 2, 8}[seed%3]
+}
 
 // syncCoalescingPair builds two coalescing TCPLinks over an in-process
 // net.Pipe and wraps them so Send blocks until the peer's handler has
@@ -222,6 +236,15 @@ type conformance struct {
 	trace     []string
 	completed *uint64 // version the last remote read resolved to
 	pingSeq   uint64  // keepalive sequence counter (harness state, not RNG)
+
+	// bystanderFrames counts frames the server sent to the silent
+	// bystander sessions attached across other shards. The protocol for
+	// one client must never touch another client that holds no state, so
+	// any frame here is a divergence (it also proves the fan-out's
+	// key-index skip matches the old visit-every-session semantics:
+	// under both, a stateless session receives nothing).
+	bystanderFrames int
+	bystanderLast   string
 }
 
 func (h *conformance) tracef(format string, args ...any) {
@@ -237,7 +260,7 @@ func (h *conformance) fail(format string, args ...any) error {
 		fmt.Sprintf(format, args...), h.model, strings.Join(h.trace, "\n    "))
 }
 
-func newConformance(t *testing.T, seed uint64, verbose bool) (*conformance, error) {
+func newConformance(t *testing.T, seed uint64, shards int, verbose bool) (*conformance, error) {
 	rng := stats.NewRNG(seed)
 	modes := []Mode{SW(1), SW(1), SW(3), SW(3), SW(5), SW(5), Static1(), Static2()}
 	mode := modes[rng.Intn(len(modes))]
@@ -250,7 +273,10 @@ func newConformance(t *testing.T, seed uint64, verbose bool) (*conformance, erro
 		Reorder: reorders[rng.Intn(len(reorders))],
 		Manual:  true,
 	}
-	srv, err := NewServer(db.NewStore(), mode)
+	if shards == 0 {
+		shards = confShardsFor(seed)
+	}
+	srv, err := NewServerShards(db.NewStore(), mode, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +287,22 @@ func newConformance(t *testing.T, seed uint64, verbose bool) (*conformance, erro
 		model: NewModel(mode),
 		srv:   srv,
 	}
-	h.tracef("mode=%v drop=%v dup=%v reorder=%v", mode, cfg.Drop, cfg.Dup, cfg.Reorder)
+	h.tracef("mode=%v drop=%v dup=%v reorder=%v shards=%d", mode, cfg.Drop, cfg.Dup, cfg.Reorder, shards)
+	// Silent bystander sessions, attached before the client so they also
+	// shift the client's session off shard 0: they must never receive a
+	// single frame, whatever the schedule does.
+	for i := 0; i < 3; i++ {
+		a, b := transport.NewMemPair()
+		b.SetHandler(func(f []byte) {
+			h.bystanderFrames++
+			if m, err := wire.Decode(f); err == nil {
+				h.bystanderLast = describeMsg(m)
+			} else {
+				h.bystanderLast = "<undecodable>"
+			}
+		})
+		h.srv.Attach(a)
+	}
 	if err := h.connect(); err != nil {
 		return nil, err
 	}
@@ -633,8 +674,8 @@ func implMCState(c *Client, mode Mode, key string) (bool, sched.Schedule) {
 }
 
 func implSCState(ss *Session, mode Mode, key string) (bool, sched.Schedule) {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
+	ss.shard.enter()
+	defer ss.shard.exit()
 	return implState(ss.items, mode, key)
 }
 
@@ -660,6 +701,10 @@ func implState(items map[string]*itemState, mode Mode, key string) (bool, sched.
 // checkFinalState compares every key's terminal state: store version, copy
 // bits on both sides, cache contents, and the in-charge windows.
 func (h *conformance) checkFinalState() error {
+	if h.bystanderFrames != 0 {
+		return h.fail("bystander sessions received %d frames (last: %s); stateless sessions must never see traffic",
+			h.bystanderFrames, h.bystanderLast)
+	}
 	for _, key := range h.keys {
 		it, _ := h.srv.Store().Get(key)
 		if it.Version != h.model.StoreVersion(key) {
@@ -699,7 +744,13 @@ func (h *conformance) checkFinalState() error {
 // frozen regression seeds replay the exact schedules that caught their
 // bugs), 2 widens the switch with keepalive pings and warm reconnects.
 func runConformance(t *testing.T, seed uint64, gen int, verbose bool) error {
-	h, err := newConformance(t, seed, verbose)
+	return runConformanceShards(t, seed, gen, 0, verbose)
+}
+
+// runConformanceShards is runConformance with an explicit server shard
+// count (0 derives it from the seed / -conformance.shards as usual).
+func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bool) error {
+	h, err := newConformance(t, seed, shards, verbose)
 	if err != nil {
 		return err
 	}
@@ -808,6 +859,29 @@ func TestConformanceRegressionSeeds(t *testing.T) {
 	for _, seed := range gen2RegressionSeeds {
 		if err := runConformance(t, seed, 2, false); err != nil {
 			t.Errorf("regression seed %d (gen 2) diverged:\n%v", seed, err)
+		}
+	}
+}
+
+// TestConformanceShardRegressionSeeds replays every frozen regression
+// seed — both generators — at shard counts 1, 2, and 8 explicitly, so
+// the schedules that once caught real protocol bugs re-verify the server
+// at every shard geometry the acceptance gate cares about, whatever the
+// seed-cycling default would have picked. The op schedules are identical
+// across shard counts (shard choice never consults the harness RNG), so
+// any difference in verdict between counts is a sharding bug by
+// construction.
+func TestConformanceShardRegressionSeeds(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, seed := range []uint64{35, 46, 61} {
+			if err := runConformanceShards(t, seed, 1, shards, false); err != nil {
+				t.Errorf("regression seed %d (gen 1) diverged at %d shards:\n%v", seed, shards, err)
+			}
+		}
+		for _, seed := range gen2RegressionSeeds {
+			if err := runConformanceShards(t, seed, 2, shards, false); err != nil {
+				t.Errorf("regression seed %d (gen 2) diverged at %d shards:\n%v", seed, shards, err)
+			}
 		}
 	}
 }

@@ -115,6 +115,117 @@ func TestWriteFanOutSharesOneEncode(t *testing.T) {
 	}
 }
 
+// TestServerReadPathAllocs pins the whole per-shard read hot path — frame
+// receive, lastSeen refresh under the shard token, borrowed decode, store
+// get, protocol state machine, pooled response encode — at zero
+// allocations per served read, at both one shard and many.
+func TestServerReadPathAllocs(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		srv, err := NewServerShards(db.NewStore(), Static2(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Write("hot", []byte("payload-123456")); err != nil {
+			t.Fatal(err)
+		}
+		sess := srv.Attach(nullLink{})
+		req, err := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.onFrame(req) // warm: allocates the item state and subscribes
+		allocs := testing.AllocsPerRun(200, func() {
+			sess.onFrame(req)
+		})
+		if allocs != 0 {
+			t.Fatalf("shards=%d: read path allocated %.1f times per run, want 0", shards, allocs)
+		}
+	}
+}
+
+// TestWriteFanOutAllocs pins the sharded write fan-out: with k subscribed
+// sessions spread over 8 shards, a steady-state Write costs exactly the
+// store's one defensive value copy — the shard walk, the per-shard
+// classification scratch, the shared pooled encode, and every send are
+// allocation-free.
+func TestWriteFanOutAllocs(t *testing.T) {
+	const k = 16
+	srv, err := NewServerShards(db.NewStore(), SW(3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Write("hot", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+	for i := 0; i < k; i++ {
+		sess := srv.Attach(nullLink{})
+		// Two reads reach the SW3 read majority: the session allocates a
+		// copy and stays subscribed (the null link never sends the
+		// deallocating DeleteReq back), so every later Write propagates.
+		sess.onFrame(req)
+		sess.onFrame(req)
+	}
+	payload := []byte("fan-out-payload")
+	if _, err := srv.Write("hot", payload); err != nil { // warm scratch + pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := srv.Write("hot", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("fan-out write allocated %.1f times per run, want <=1 (the store's value copy)", allocs)
+	}
+}
+
+// BenchmarkShardReadPath measures one served read end to end on the
+// sharded core (null transport): decode, token, state machine, encode.
+func BenchmarkShardReadPath(b *testing.B) {
+	srv, err := NewServerShards(db.NewStore(), Static2(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Write("hot", []byte("payload-123456")); err != nil {
+		b.Fatal(err)
+	}
+	sess := srv.Attach(nullLink{})
+	req, _ := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+	sess.onFrame(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.onFrame(req)
+	}
+}
+
+// BenchmarkShardWriteFanOut measures one Write propagating to 16
+// subscribers spread across 8 shards: one shared encode, 16 sends.
+func BenchmarkShardWriteFanOut(b *testing.B) {
+	srv, err := NewServerShards(db.NewStore(), SW(3), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Write("hot", []byte("v0")); err != nil {
+		b.Fatal(err)
+	}
+	req, _ := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: "hot"})
+	for i := 0; i < 16; i++ {
+		sess := srv.Attach(nullLink{})
+		sess.onFrame(req)
+		sess.onFrame(req)
+	}
+	payload := []byte("fan-out-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Write("hot", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestWriteFanOutMetersPerSession checks that sharing the encoded frame
 // does not merge the accounting: each subscribed session still meters its
 // own connection and data message per propagated write.

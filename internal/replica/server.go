@@ -3,7 +3,7 @@ package replica
 import (
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobirep/internal/db"
@@ -15,13 +15,15 @@ import (
 
 // Server is the stationary computer: it owns the online database and runs
 // the SC side of the allocation protocol for every attached mobile client.
+// Sessions are partitioned across power-of-two shards (shard.go); every
+// per-session operation touches only the owning shard, so the hot path
+// takes no server-wide lock.
 type Server struct {
-	store *db.Store
-	mode  Mode
-	now   func() time.Time
-
-	mu       sync.Mutex
-	sessions map[*Session]struct{}
+	store  *db.Store
+	mode   Mode
+	now    atomic.Pointer[func() time.Time]
+	shards []*shard
+	nextID atomic.Uint64
 }
 
 // Session is the SC-side state for one mobile client. It is created by
@@ -29,12 +31,18 @@ type Server struct {
 // callback), after which the server stops propagating to the client and
 // forgets its allocation state — the mobile computer has left the system,
 // exactly what happens when it disconnects or roams away for good.
+//
+// All mutable session state is guarded by the owning shard's
+// single-writer token (shard.enter/exit), not a per-session lock: the
+// shard IS the session's event loop.
 type Session struct {
 	srv   *Server
+	shard *shard
+	id    uint64
 	link  transport.Link
 	meter *Meter
 
-	mu       sync.Mutex
+	// Guarded by shard token:
 	items    map[string]*itemState
 	detached bool
 	// lastSeen is when the client last proved liveness: any received
@@ -42,33 +50,45 @@ type Session struct {
 	lastSeen time.Time
 }
 
-// NewServer creates a server over the given store. mode applies to every
-// key; per-key modes can be layered later without protocol changes because
-// all state is per-(session, key).
+// NewServer creates a server over the given store with an automatic
+// shard count (next power of two >= GOMAXPROCS). mode applies to every
+// key; per-key modes can be layered later without protocol changes
+// because all state is per-(session, key).
 func NewServer(store *db.Store, mode Mode) (*Server, error) {
+	return NewServerShards(store, mode, 0)
+}
+
+// NewServerShards is NewServer with an explicit shard count: a power of
+// two between 1 and 4096, or 0 for the automatic count. One shard
+// reproduces the old single-lock server's scheduling exactly; more
+// shards split sessions into independent single-writer domains.
+func NewServerShards(store *db.Store, mode Mode, shards int) (*Server, error) {
 	if err := mode.validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
-		store:    store,
-		mode:     mode,
-		now:      time.Now,
-		sessions: make(map[*Session]struct{}),
-	}, nil
+	if shards == 0 {
+		shards = defaultShardCount()
+	}
+	if !validShardCount(shards) {
+		return nil, fmt.Errorf("replica: shard count %d is not a power of two in [1, 4096]", shards)
+	}
+	s := &Server{store: store, mode: mode, shards: make([]*shard, shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard(i)
+	}
+	clock := time.Now
+	s.now.Store(&clock)
+	return s, nil
 }
 
 // SetClock overrides the server's time source, for tests that need
 // deterministic session ages.
 func (s *Server) SetClock(now func() time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.now = now
+	s.now.Store(&now)
 }
 
 func (s *Server) clock() func() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return *s.now.Load()
 }
 
 // Store exposes the underlying database (the SC's local operations go
@@ -76,21 +96,41 @@ func (s *Server) clock() func() time.Time {
 // happens).
 func (s *Server) Store() *db.Store { return s.store }
 
+// Shards returns the server's shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardSessions returns the per-shard session counts, index == shard id.
+func (s *Server) ShardSessions() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.enter()
+		out[i] = len(sh.sessions)
+		sh.exit()
+	}
+	return out
+}
+
 // Attach wires a client link into the server and returns the session
 // handle, which carries the SC-side traffic meter and the Detach method.
-// The link's handler is installed by Attach.
+// The link's handler is installed by Attach. The session is routed to a
+// shard by its attach ID and never migrates.
 func (s *Server) Attach(link transport.Link) *Session {
+	id := s.nextID.Add(1)
+	sh := s.shards[sessionShard(id, len(s.shards))]
 	sess := &Session{
 		srv:      s,
+		shard:    sh,
+		id:       id,
 		link:     link,
 		meter:    newMeter(scMirror),
 		items:    make(map[string]*itemState),
 		lastSeen: s.clock()(),
 	}
 	link.SetHandler(sess.onFrame)
-	s.mu.Lock()
-	s.sessions[sess] = struct{}{}
-	s.mu.Unlock()
+	sh.enter()
+	sh.sessions[sess] = struct{}{}
+	sh.exit()
+	sh.occupancy.Add(1)
 	gSessions.Add(1)
 	mSessionsOpened.Inc()
 	obsTr.Record(obs.EvSessionOpen, "", "", 0, 0)
@@ -100,35 +140,56 @@ func (s *Server) Attach(link transport.Link) *Session {
 // Meter returns the SC-side traffic meter for this client.
 func (ss *Session) Meter() *Meter { return ss.meter }
 
+// ID returns the session's attach ID (unique per server, never reused).
+func (ss *Session) ID() uint64 { return ss.id }
+
+// Shard returns the id of the shard that owns this session.
+func (ss *Session) Shard() int { return ss.shard.id }
+
 // Detach removes the session: the server stops propagating writes to the
 // client and drops its per-key allocation state. Safe to call more than
 // once and from a link's close callback.
-func (ss *Session) Detach() {
-	ss.srv.mu.Lock()
-	_, present := ss.srv.sessions[ss]
-	delete(ss.srv.sessions, ss)
-	ss.srv.mu.Unlock()
-	ss.mu.Lock()
+func (ss *Session) Detach() { ss.detach() }
+
+// detach does the work of Detach and reports whether this call was the
+// one that removed the session — concurrent Detach/ExpireIdle races are
+// decided under the shard token, so exactly one caller gets true and the
+// session gauges move exactly once.
+func (ss *Session) detach() bool {
+	sh := ss.shard
+	sh.enter()
+	_, present := sh.sessions[ss]
+	if present {
+		delete(sh.sessions, ss)
+	}
+	sh.unsubscribeAll(ss)
 	ss.detached = true
 	ss.items = make(map[string]*itemState)
-	ss.mu.Unlock()
+	sh.exit()
 	if present {
+		sh.occupancy.Add(-1)
 		gSessions.Add(-1)
 		obsTr.Record(obs.EvSessionClose, "", "", 0, 0)
 	}
+	return present
 }
 
-// Sessions returns the number of currently attached clients.
+// Sessions returns the number of currently attached clients, aggregated
+// across shards.
 func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	n := 0
+	for _, sh := range s.shards {
+		sh.enter()
+		n += len(sh.sessions)
+		sh.exit()
+	}
+	return n
 }
 
 // LastSeen returns when the client last proved liveness.
 func (ss *Session) LastSeen() time.Time {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
+	ss.shard.enter()
+	defer ss.shard.exit()
 	return ss.lastSeen
 }
 
@@ -138,27 +199,37 @@ func (ss *Session) LastSeen() time.Time {
 // radio keeps consuming propagation traffic when the transport never
 // delivers a close event (a half-open TCP connection, a crashed NAT).
 // A healthy client's heartbeat interval must be well under ttl.
+//
+// The scan is per-shard: each shard's stale set is collected under its
+// own token, then reaped outside it. A session that loses the race to a
+// concurrent Detach is not counted or double-closed — detach() decides
+// the winner under the shard token.
 func (s *Server) ExpireIdle(ttl time.Duration) int {
-	s.mu.Lock()
-	cutoff := s.now().Add(-ttl)
+	cutoff := s.clock()().Add(-ttl)
+	reaped := 0
 	var stale []*Session
-	for sess := range s.sessions {
-		sess.mu.Lock()
-		if sess.lastSeen.Before(cutoff) {
-			stale = append(stale, sess)
+	for _, sh := range s.shards {
+		stale = stale[:0]
+		sh.enter()
+		for sess := range sh.sessions {
+			if sess.lastSeen.Before(cutoff) {
+				stale = append(stale, sess)
+			}
 		}
-		sess.mu.Unlock()
+		sh.exit()
+		for _, sess := range stale {
+			if !sess.detach() {
+				continue // a concurrent Detach won; not ours to count
+			}
+			// Detach leaves links alone (tests and reconnects rely on that);
+			// the reaper closes explicitly so the client notices promptly.
+			sess.link.Close()
+			reaped++
+			mSessionsExpired.Inc()
+			obsTr.Record(obs.EvSessionExpire, "", "", int64(ttl/time.Millisecond), 0)
+		}
 	}
-	s.mu.Unlock()
-	for _, sess := range stale {
-		sess.Detach()
-		// Detach leaves links alone (tests and reconnects rely on that);
-		// the reaper closes explicitly so the client notices promptly.
-		sess.link.Close()
-		mSessionsExpired.Inc()
-		obsTr.Record(obs.EvSessionExpire, "", "", int64(ttl/time.Millisecond), 0)
-	}
-	return len(stale)
+	return reaped
 }
 
 // Write commits a new value for key at the stationary computer and runs
@@ -166,48 +237,66 @@ func (s *Server) ExpireIdle(ttl time.Duration) int {
 // to subscribed clients (deallocating via delete-request under SW1), or
 // just slide the local window when the SC is in charge.
 //
-// The fan-out is batched: every subscribed session receives the identical
-// WriteProp (and every SW1 session the identical DeleteReq), so the frame
-// is encoded once — lazily, on the first session that needs it — and the
-// same bytes are handed to every link. Links never retain a frame after
-// Send returns, so sharing one pooled buffer across k sends is safe, and
-// a hot key with k subscribers costs one encode instead of k.
+// The fan-out walks each shard's key index rather than every session: a
+// session with no state for the key needs nothing in any mode (ST1 never
+// sends; ST2 sends only with a copy placed; SW without a copy pushes a
+// Write into a window that is still all-writes — a no-op on the
+// all-writes default a fresh itemState starts from), so only sessions
+// that ever touched the key are visited. Shards are processed one at a
+// time, classification under the shard token and sends outside it (the
+// in-memory transport delivers synchronously and the MC's deallocation
+// delete-request re-enters the session on this goroutine); no two shard
+// tokens are ever held together.
+//
+// The fan-out is also batched: every subscribed session receives the
+// identical WriteProp (and every SW1 session the identical DeleteReq),
+// so the frame is encoded once — lazily, on the first session that needs
+// it — and the same bytes are handed to every link across all shards.
+// Links never retain a frame after Send returns, so sharing one pooled
+// buffer is safe, and a hot key with k subscribers costs one encode
+// instead of k.
 func (s *Server) Write(key string, value []byte) (db.Item, error) {
 	it, err := s.store.Put(key, value)
 	if err != nil {
 		return db.Item{}, err
 	}
-	s.mu.Lock()
-	sessions := make([]*Session, 0, len(s.sessions))
-	for sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
 	var propBuf, delBuf *wire.Buf
-	for _, sess := range sessions {
-		// State changes happen under the session lock inside
-		// prepareLocalWrite, but the send happens here, outside it: the
-		// in-memory transport delivers synchronously, and the MC's
-		// deallocation delete-request re-enters the session on this
-		// goroutine.
-		switch sess.prepareLocalWrite(it) {
-		case data:
-			if propBuf == nil {
-				propBuf = encodePooled(wire.Message{
-					Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
-				})
+	for _, sh := range s.shards {
+		// fanMu serializes fan-outs through this shard so the scratch
+		// slice is reusable; it is never taken from inside a shard token
+		// and protocol re-entry (onDeleteReq) takes only the token, so
+		// holding it across the sends cannot deadlock.
+		sh.fanMu.Lock()
+		fan := sh.fan[:0]
+		sh.enter()
+		for sess := range sh.index[it.Key] {
+			if cls := sess.prepareLocalWrite(it); cls != none {
+				fan = append(fan, fanEntry{sess, cls})
 			}
-			sess.meter.addConnection()
-			sess.meter.addData(len(propBuf.B))
-			_ = sess.link.Send(propBuf.B)
-		case control:
-			if delBuf == nil {
-				delBuf = encodePooled(wire.Message{Kind: wire.KindDeleteReq, Key: it.Key})
-			}
-			sess.meter.addConnection()
-			sess.meter.addControl(len(delBuf.B))
-			_ = sess.link.Send(delBuf.B)
 		}
+		sh.exit()
+		sh.fan = fan
+		for _, e := range fan {
+			switch e.class {
+			case data:
+				if propBuf == nil {
+					propBuf = encodePooled(wire.Message{
+						Kind: wire.KindWriteProp, Key: it.Key, Value: it.Value, Version: it.Version,
+					})
+				}
+				e.sess.meter.addConnection()
+				e.sess.meter.addData(len(propBuf.B))
+				_ = e.sess.link.Send(propBuf.B)
+			case control:
+				if delBuf == nil {
+					delBuf = encodePooled(wire.Message{Kind: wire.KindDeleteReq, Key: it.Key})
+				}
+				e.sess.meter.addConnection()
+				e.sess.meter.addControl(len(delBuf.B))
+				_ = e.sess.link.Send(delBuf.B)
+			}
+		}
+		sh.fanMu.Unlock()
 	}
 	wire.PutBuf(propBuf)
 	wire.PutBuf(delBuf)
@@ -227,7 +316,9 @@ func encodePooled(msg wire.Message) *wire.Buf {
 	return buf
 }
 
-// state returns (creating if needed) the session's state for key.
+// state returns (creating if needed) the session's state for key, and
+// registers the session in the shard's key index on first touch. Caller
+// holds the shard token.
 func (ss *Session) state(key string) *itemState {
 	st, ok := ss.items[key]
 	if !ok {
@@ -235,17 +326,18 @@ func (ss *Session) state(key string) *itemState {
 		// Inserting a map key retains its bytes, and key may alias a
 		// borrowed frame (wire.DecodeBorrowed); clone so the session never
 		// keeps transport memory alive.
-		ss.items[strings.Clone(key)] = st
+		k := strings.Clone(key)
+		ss.items[k] = st
+		ss.shard.subscribe(k, ss)
 	}
 	return st
 }
 
 // prepareLocalWrite runs the SC write-path state machine for one client
-// under the session lock and reports what the server must transmit: the
-// shared WriteProp (data), the shared DeleteReq (control), or nothing.
+// and reports what the server must transmit: the shared WriteProp
+// (data), the shared DeleteReq (control), or nothing. Caller holds the
+// shard token.
 func (ss *Session) prepareLocalWrite(it db.Item) sendClass {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.detached {
 		return none
 	}
@@ -288,14 +380,17 @@ const (
 	control
 )
 
-// onFrame handles one message from the client.
+// onFrame handles one message from the client. It runs as one event on
+// the owning shard: state mutations happen under the shard token, sends
+// after it is released.
 func (ss *Session) onFrame(frame []byte) {
 	// Any received frame — even a malformed one — proves the link is
 	// alive; refresh the reaper's clock first.
 	now := ss.srv.clock()()
-	ss.mu.Lock()
+	sh := ss.shard
+	sh.enter()
 	ss.lastSeen = now
-	ss.mu.Unlock()
+	sh.exit()
 	if wire.IsBatchFrame(frame) {
 		b, err := wire.DecodeBatch(frame)
 		if err != nil {
@@ -330,9 +425,9 @@ func (ss *Session) onFrame(frame []byte) {
 // metered as protocol cost. A detached session stays silent so the
 // client's heartbeat discovers the session is gone.
 func (ss *Session) onPing(msg wire.Message) {
-	ss.mu.Lock()
+	ss.shard.enter()
 	dead := ss.detached
-	ss.mu.Unlock()
+	ss.shard.exit()
 	if dead {
 		return
 	}
@@ -344,9 +439,10 @@ func (ss *Session) onPing(msg wire.Message) {
 // onReadReq runs the SC read path: serve the item and decide allocation.
 func (ss *Session) onReadReq(msg wire.Message) {
 	it, _ := ss.srv.store.Get(msg.Key)
-	ss.mu.Lock()
+	sh := ss.shard
+	sh.enter()
 	if ss.detached {
-		ss.mu.Unlock()
+		sh.exit()
 		return
 	}
 	st := ss.state(msg.Key)
@@ -376,15 +472,15 @@ func (ss *Session) onReadReq(msg wire.Message) {
 		// A ReadReq while the MC holds a copy would be a stale race;
 		// serve the value without changing allocation.
 	}
-	ss.mu.Unlock()
+	sh.exit()
 	ss.sendData(resp)
 }
 
 // onDeleteReq runs the SC side of an MC-initiated deallocation: take the
 // window back and stop propagating.
 func (ss *Session) onDeleteReq(msg wire.Message) {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
+	ss.shard.enter()
+	defer ss.shard.exit()
 	st := ss.state(msg.Key)
 	if !st.hasCopy {
 		return // stale duplicate

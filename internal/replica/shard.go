@@ -1,0 +1,180 @@
+package replica
+
+// The sharded server core. A Server owns N shards (N a power of two);
+// every session is routed to exactly one shard by its attach ID, and all
+// protocol state the session ever accumulates — its per-key windows and
+// copy bits — lives on that shard. Each shard serializes its events with
+// a single-writer token (see shard.enter), so the read/write/propagation
+// hot path never takes a cross-shard lock: a frame from a client touches
+// only the owning shard, and a write fans out shard by shard through each
+// shard's key index without ever holding two shards at once.
+//
+// DESIGN.md §12 documents the model; shard_test.go pins the routing
+// functions and the ownership invariant.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobirep/internal/obs"
+)
+
+// maxShards bounds the automatic shard count; explicit counts may go
+// higher but stay power-of-two.
+const maxShards = 1024
+
+// shard owns a disjoint subset of the server's sessions and, through
+// them, all per-(session,key) protocol state. Fields below mu are
+// guarded by the shard's single-writer token.
+type shard struct {
+	id int
+
+	// mu is the shard's single-writer token: exactly one event — a
+	// received frame, an attach/detach, a reaper scan, or a write
+	// fan-out classifying this shard's subscribers — runs against the
+	// shard's state at a time. Events are run to completion on the
+	// submitting goroutine (enter/exit) rather than shipped to a
+	// dedicated loop goroutine: same serialization guarantee, no
+	// channel hop or closure allocation on the hot path, and frame
+	// handling stays synchronous (which the conformance harness's
+	// lock-step delivery depends on).
+	mu       sync.Mutex
+	sessions map[*Session]struct{}
+	// index maps each key to the sessions on this shard holding
+	// protocol state for it. Write fan-out walks index[key] instead of
+	// every session: a session with no state for the key is a no-op in
+	// every mode (see Server.propagate), so skipping it is
+	// behavior-identical and turns a million-session write into a walk
+	// of just the key's subscribers.
+	index map[string]map[*Session]struct{}
+
+	// fanMu serializes write fan-out through this shard so the scratch
+	// slice below can be reused allocation-free. It is taken before the
+	// writer token and never from inside it, and only one shard's fanMu
+	// is ever held at a time.
+	fanMu sync.Mutex
+	fan   []fanEntry
+
+	// depth gauges events queued or running on this shard (the writer
+	// token's queue depth); occupancy gauges attached sessions.
+	depth     *obs.Gauge
+	occupancy *obs.Gauge
+}
+
+// fanEntry is one prepared send of a write fan-out: which session, and
+// whether it gets the shared WriteProp (data) or DeleteReq (control).
+type fanEntry struct {
+	sess  *Session
+	class sendClass
+}
+
+func newShard(id int) *shard {
+	return &shard{
+		id:       id,
+		sessions: make(map[*Session]struct{}),
+		index:    make(map[string]map[*Session]struct{}),
+		depth: obsReg.Gauge(fmt.Sprintf(`mobirep_replica_shard_queue_depth{shard="%d"}`, id),
+			"Events queued or running per shard (single-writer token contention)."),
+		occupancy: obsReg.Gauge(fmt.Sprintf(`mobirep_replica_shard_sessions{shard="%d"}`, id),
+			"Currently attached sessions per shard."),
+	}
+}
+
+// enter begins one event on the shard: the caller holds the single-writer
+// token until exit and may touch any state the shard owns. The depth
+// gauge brackets the wait, so a contended shard shows depth > 1.
+func (sh *shard) enter() {
+	sh.depth.Add(1)
+	sh.mu.Lock()
+}
+
+func (sh *shard) exit() {
+	sh.mu.Unlock()
+	sh.depth.Add(-1)
+}
+
+// subscribe records that sess holds state for key. Caller holds the
+// writer token; key must already be cloned off any borrowed frame.
+func (sh *shard) subscribe(key string, sess *Session) {
+	subs := sh.index[key]
+	if subs == nil {
+		subs = make(map[*Session]struct{})
+		sh.index[key] = subs
+	}
+	subs[sess] = struct{}{}
+}
+
+// unsubscribeAll removes sess from every key index entry it occupies.
+// Caller holds the writer token.
+func (sh *shard) unsubscribeAll(sess *Session) {
+	for key := range sess.items {
+		if subs := sh.index[key]; subs != nil {
+			delete(subs, sess)
+			if len(subs) == 0 {
+				delete(sh.index, key)
+			}
+		}
+	}
+}
+
+// sessionShard routes an attach ID to one of n shards (n a power of
+// two). The finalizer is splitmix64's: attach IDs are sequential, so the
+// low bits must be fully mixed before masking. Pure function of (id, n)
+// — routing is stable across restarts by construction.
+func sessionShard(id uint64, n int) int {
+	x := id
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & uint64(n-1))
+}
+
+// keyShard routes a key to one of n shards (n a power of two): FNV-1a
+// over the bytes, then the same splitmix64 finalizer so short keys with
+// shared prefixes still spread. Pure function of (key, n).
+//
+// Note the ownership model deliberately does NOT place per-(session,key)
+// state by keyShard: that state lives with its session (sessionShard), so
+// a session and every key it holds windows for are always on one shard —
+// the invariant shard_test.go exercises. keyShard exists for state keyed
+// by key alone (load spreading, future per-key placement work).
+func keyShard(key string, n int) int {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h & uint64(n-1))
+}
+
+// defaultShardCount is the automatic shard count: the next power of two
+// at or above GOMAXPROCS, capped at maxShards.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// validShardCount reports whether n is an acceptable explicit shard
+// count: a power of two between 1 and 4096.
+func validShardCount(n int) bool {
+	return n >= 1 && n <= 4096 && n&(n-1) == 0
+}

@@ -1,0 +1,322 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/transport"
+	"mobirep/internal/wire"
+)
+
+// The routing functions are pure functions of their inputs — no per-boot
+// seed — so a session or key routes to the same shard on every restart.
+// The golden tables below pin that: a change to either hash silently
+// re-homes every session in a fleet, which these tests turn into a loud
+// failure.
+
+func TestSessionShardGoldens(t *testing.T) {
+	cases := []struct {
+		id   uint64
+		n    int
+		want int
+	}{
+		{1, 2, 1}, {1, 8, 5}, {1, 1024, 485},
+		{2, 2, 0}, {2, 8, 2}, {2, 1024, 138},
+		{3, 2, 0}, {3, 8, 0}, {3, 1024, 240},
+		{7, 2, 0}, {7, 8, 4}, {7, 1024, 788},
+		{64, 2, 1}, {64, 8, 3}, {64, 1024, 467},
+		{1000, 2, 1}, {1000, 8, 7}, {1000, 1024, 727},
+		{123456789, 2, 0}, {123456789, 8, 0}, {123456789, 1024, 352},
+		{1 << 40, 2, 0}, {1 << 40, 8, 0}, {1 << 40, 1024, 1016},
+	}
+	for _, c := range cases {
+		if got := sessionShard(c.id, c.n); got != c.want {
+			t.Errorf("sessionShard(%d, %d) = %d, want %d", c.id, c.n, got, c.want)
+		}
+		// Stability: the same input re-routed later (a "restart") cannot
+		// move.
+		if again := sessionShard(c.id, c.n); again != c.want {
+			t.Errorf("sessionShard(%d, %d) unstable: %d then %d", c.id, c.n, c.want, again)
+		}
+	}
+}
+
+func TestKeyShardGoldens(t *testing.T) {
+	cases := []struct {
+		key  string
+		n    int
+		want int
+	}{
+		{"", 2, 1}, {"", 8, 3}, {"", 1024, 155},
+		{"a", 2, 0}, {"a", 8, 0}, {"a", 1024, 248},
+		{"b", 2, 1}, {"b", 8, 5}, {"b", 1024, 5},
+		{"c", 2, 0}, {"c", 8, 2}, {"c", 1024, 514},
+		{"hot", 2, 0}, {"hot", 8, 2}, {"hot", 1024, 42},
+		{"stock/AAPL", 2, 0}, {"stock/AAPL", 8, 4}, {"stock/AAPL", 1024, 476},
+		{"user:12345:inbox", 2, 0}, {"user:12345:inbox", 8, 2}, {"user:12345:inbox", 1024, 842},
+	}
+	for _, c := range cases {
+		if got := keyShard(c.key, c.n); got != c.want {
+			t.Errorf("keyShard(%q, %d) = %d, want %d", c.key, c.n, got, c.want)
+		}
+		if again := keyShard(c.key, c.n); again != c.want {
+			t.Errorf("keyShard(%q, %d) unstable: %d then %d", c.key, c.n, c.want, again)
+		}
+	}
+}
+
+// TestShardRoutingRange: every routing result is a valid shard index for
+// every power-of-two count, and one shard degenerates to always-0.
+func TestShardRoutingRange(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 1024, 4096} {
+		for id := uint64(0); id < 1000; id++ {
+			got := sessionShard(id, n)
+			if got < 0 || got >= n {
+				t.Fatalf("sessionShard(%d, %d) = %d out of range", id, n, got)
+			}
+			if n == 1 && got != 0 {
+				t.Fatalf("sessionShard(%d, 1) = %d, want 0", id, got)
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			got := keyShard(key, n)
+			if got < 0 || got >= n {
+				t.Fatalf("keyShard(%q, %d) = %d out of range", key, n, got)
+			}
+		}
+	}
+}
+
+// TestShardRoutingUniformity bounds the distribution skew: sequential
+// attach IDs and formatted keys — the realistic worst cases for a weak
+// hash, being nearly-identical bit patterns — must spread within ±8% of
+// the ideal per-shard share. The binomial standard deviation at this
+// scale is ~0.8% of the share, so 8% is ~10 sigma: a real hash defect
+// fails it, noise never does.
+func TestShardRoutingUniformity(t *testing.T) {
+	const (
+		n       = 8
+		total   = 100000
+		ideal   = total / n
+		slack   = ideal * 8 / 100
+		minSeen = ideal - slack
+		maxSeen = ideal + slack
+	)
+	var byID [n]int
+	for id := uint64(1); id <= total; id++ {
+		byID[sessionShard(id, n)]++
+	}
+	for sh, c := range byID {
+		if c < minSeen || c > maxSeen {
+			t.Errorf("sessionShard: shard %d got %d of %d ids, want %d±%d", sh, c, total, ideal, slack)
+		}
+	}
+	var byKey [n]int
+	for i := 0; i < total; i++ {
+		byKey[keyShard(fmt.Sprintf("key-%d", i), n)]++
+	}
+	for sh, c := range byKey {
+		if c < minSeen || c > maxSeen {
+			t.Errorf("keyShard: shard %d got %d of %d keys, want %d±%d", sh, c, total, ideal, slack)
+		}
+	}
+}
+
+func TestNewServerShardsValidation(t *testing.T) {
+	for _, bad := range []int{-1, 3, 6, 12, 1000, 8192} {
+		if _, err := NewServerShards(db.NewStore(), Static2(), bad); err == nil {
+			t.Errorf("NewServerShards accepted shard count %d", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 8, 256, 4096} {
+		srv, err := NewServerShards(db.NewStore(), Static2(), good)
+		if err != nil {
+			t.Errorf("NewServerShards rejected shard count %d: %v", good, err)
+		} else if srv.Shards() != good {
+			t.Errorf("Shards() = %d, want %d", srv.Shards(), good)
+		}
+	}
+	srv, err := NewServer(db.NewStore(), Static2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Shards(); !validShardCount(n) {
+		t.Errorf("automatic shard count %d is not a valid power of two", n)
+	}
+}
+
+// TestSessionKeysSameShardInvariant pins the ownership model: a session
+// and ALL per-key state it ever accumulates live on the session's shard.
+// After driving reads across many sessions and keys, every key a session
+// holds a window for must be registered in exactly its own shard's index
+// and no other's.
+func TestSessionKeysSameShardInvariant(t *testing.T) {
+	srv, err := NewServerShards(db.NewStore(), SW(3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if _, err := srv.Write(keys[i], []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions := make([]*Session, 32)
+	for i := range sessions {
+		sessions[i] = srv.Attach(nullLink{})
+		// Each session reads a sliding window of keys, so every shard's
+		// sessions collectively touch keys that route (by keyShard) to
+		// every other shard — ownership must still follow the session.
+		for k := 0; k < 5; k++ {
+			req, _ := wire.Encode(wire.Message{Kind: wire.KindReadReq, Key: keys[(i+k)%len(keys)]})
+			sessions[i].onFrame(req)
+		}
+	}
+	for i, sess := range sessions {
+		if want := sessionShard(sess.ID(), srv.Shards()); sess.Shard() != want {
+			t.Fatalf("session %d placed on shard %d, routing says %d", i, sess.Shard(), want)
+		}
+		own := srv.shards[sess.Shard()]
+		own.enter()
+		for key := range sess.items {
+			if _, ok := own.index[key][sess]; !ok {
+				t.Errorf("session %d holds state for %q but is not indexed on its shard %d", i, key, sess.Shard())
+			}
+		}
+		own.exit()
+		for _, other := range srv.shards {
+			if other == own {
+				continue
+			}
+			other.enter()
+			for key, subs := range other.index {
+				if _, ok := subs[sess]; ok {
+					t.Errorf("session %d (shard %d) indexed under %q on foreign shard %d", i, sess.Shard(), key, other.id)
+				}
+			}
+			other.exit()
+		}
+	}
+	// Detach must unwind the index completely.
+	for _, sess := range sessions {
+		sess.Detach()
+	}
+	for _, sh := range srv.shards {
+		sh.enter()
+		if len(sh.index) != 0 {
+			t.Errorf("shard %d index retains %d keys after all detaches", sh.id, len(sh.index))
+		}
+		sh.exit()
+	}
+}
+
+// closeCountLink records Close calls, for proving the reaper closes each
+// reaped link exactly once.
+type closeCountLink struct {
+	closes int
+}
+
+func (l *closeCountLink) Send([]byte) error            { return nil }
+func (l *closeCountLink) SetHandler(transport.Handler) {}
+func (l *closeCountLink) Close() error                 { l.closes++; return nil }
+
+// TestExpireIdleShardBoundaries pins the reaper's shard correctness: the
+// per-shard scans must together reap exactly the idle sessions — no
+// session missed because it lives on a later shard, none double-counted,
+// and a session detached concurrently is not counted at all. The session
+// gauges (global and per-shard occupancy) must agree with Sessions()
+// throughout.
+func TestExpireIdleShardBoundaries(t *testing.T) {
+	srv, err := NewServerShards(db.NewStore(), Static2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000000, 0)
+	now := base
+	srv.SetClock(func() time.Time { return now })
+
+	gBefore := gSessions.Load()
+	// The per-shard occupancy gauges are process-global series shared by
+	// every Server with that shard id, so compare deltas.
+	occBefore := make([]int64, srv.Shards())
+	for i, sh := range srv.shards {
+		occBefore[i] = sh.occupancy.Load()
+	}
+	const n = 32
+	links := make([]*closeCountLink, n)
+	sessions := make([]*Session, n)
+	perShard := make([]int, srv.Shards())
+	for i := range sessions {
+		links[i] = &closeCountLink{}
+		sessions[i] = srv.Attach(links[i])
+		perShard[sessions[i].Shard()]++
+	}
+	for sh := 0; sh < srv.Shards(); sh++ {
+		if perShard[sh] == 0 {
+			t.Fatalf("shard %d got no sessions out of %d — reaper boundaries untested", sh, n)
+		}
+	}
+	checkGauges := func(label string, want int) {
+		t.Helper()
+		if got := srv.Sessions(); got != want {
+			t.Fatalf("%s: Sessions() = %d, want %d", label, got, want)
+		}
+		if got := gSessions.Load() - gBefore; got != int64(want) {
+			t.Fatalf("%s: global sessions gauge moved by %d, want %d", label, got, want)
+		}
+		sum := 0
+		for sh, c := range srv.ShardSessions() {
+			if c != len(srv.shards[sh].sessions) {
+				t.Fatalf("%s: ShardSessions()[%d] = %d, shard map has %d", label, sh, c, len(srv.shards[sh].sessions))
+			}
+			if got := srv.shards[sh].occupancy.Load() - occBefore[sh]; got != int64(c) {
+				t.Fatalf("%s: shard %d occupancy gauge moved by %d, want %d", label, sh, got, c)
+			}
+			sum += c
+		}
+		if sum != want {
+			t.Fatalf("%s: per-shard counts sum to %d, want %d", label, sum, want)
+		}
+	}
+	checkGauges("after attach", n)
+
+	// Half the clients (even indices) stay live by pinging after the
+	// clock advances; the odd half go silent.
+	now = base.Add(10 * time.Minute)
+	ping, _ := wire.Encode(wire.Message{Kind: wire.KindPing, Version: 1})
+	for i := 0; i < n; i += 2 {
+		sessions[i].onFrame(ping)
+	}
+	// One silent session is detached explicitly before the reaper runs:
+	// the reaper must not count (or re-close) it.
+	sessions[1].Detach()
+
+	if got := srv.ExpireIdle(5 * time.Minute); got != n/2-1 {
+		t.Fatalf("ExpireIdle reaped %d, want %d (idle half minus the pre-detached one)", got, n/2-1)
+	}
+	checkGauges("after reap", n/2)
+	for i := range sessions {
+		wantCloses := 0
+		if i%2 == 1 && i != 1 {
+			wantCloses = 1
+		}
+		if links[i].closes != wantCloses {
+			t.Fatalf("session %d link closed %d times, want %d", i, links[i].closes, wantCloses)
+		}
+	}
+	// Idempotence: nothing left to reap at the same cutoff.
+	if got := srv.ExpireIdle(5 * time.Minute); got != 0 {
+		t.Fatalf("second ExpireIdle reaped %d, want 0", got)
+	}
+	// The surviving half ages out in turn — sessions on every shard, so
+	// a scan that stopped at the first shard would under-reap.
+	now = now.Add(10 * time.Minute)
+	if got := srv.ExpireIdle(5 * time.Minute); got != n/2 {
+		t.Fatalf("final ExpireIdle reaped %d, want %d", got, n/2)
+	}
+	checkGauges("after final reap", 0)
+}
