@@ -177,8 +177,8 @@ report:
 		mc.ConnectionCost(), *omega, mc.MessageCost(*omega))
 	if s := sup.Load(); s != nil {
 		st := s.Stats()
-		fmt.Printf("recovery:            suspects=%d dials=%d reconnects=%d heartbeat-misses=%d\n",
-			st.Suspects, st.DialAttempts, st.Reconnects, st.HeartbeatMisses)
+		fmt.Printf("recovery:            suspects=%d dials=%d reconnects=%d heartbeat-misses=%d busy-signals=%d\n",
+			st.Suspects, st.DialAttempts, st.Reconnects, st.HeartbeatMisses, st.BusySignals)
 	}
 	if chaos := lastChaos.Load(); chaos != nil {
 		st := chaos.Stats()

@@ -38,6 +38,19 @@ func main() {
 		"HTTP listen address for /metrics, /healthz, /events and /debug/pprof (empty = disabled; use 127.0.0.1:0 for an ephemeral port)")
 	coalesce := flag.Bool("coalesce", true,
 		"batch outbound frames into writev calls on client links (lower syscall cost under fan-out; off forces one write per frame)")
+	maxSessions := flag.Int("max-sessions", 0,
+		"admission cap on concurrently attached sessions; attaches past it are refused with a Busy frame (0 = unlimited)")
+	attachRate := flag.Float64("attach-rate", 0,
+		"admission cap on attaches per second, smoothed by a per-shard token bucket (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second,
+		"retry-after hint carried in Busy refusals and shed evictions")
+	outboxBytes := flag.Int("outbox-bytes", 1<<20,
+		"per-client outbox byte bound; a slow consumer whose queue would exceed it is disconnected (0 = unbounded)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second,
+		"per-client write deadline; a peer that stops reading is disconnected when a write stalls this long (0 = none)")
+	memSoftLimit := flag.Int64("mem-soft-limit", 0,
+		"soft watermark on accounted session+outbox bytes; while over it, idle-longest sessions are shed with Busy frames (0 = disabled)")
+	shedEvery := flag.Duration("shed-every", time.Second, "mem-soft-limit enforcement interval")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -68,8 +81,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *maxSessions > 0 || *attachRate > 0 {
+		if err := srv.SetAdmission(replica.AdmissionConfig{
+			MaxSessions: *maxSessions,
+			AttachRate:  *attachRate,
+			RetryAfter:  *retryAfter,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *memSoftLimit > 0 {
+		srv.SetMemSoftLimit(*memSoftLimit)
+		go func(every time.Duration) {
+			for range time.Tick(every) {
+				if n := srv.ShedToBudget(); n > 0 {
+					fmt.Printf("shed %d session(s) to the memory budget\n", n)
+				}
+			}
+		}(*shedEvery)
+	}
 
-	ln, err := listenAndServe(srv, *listen, chaosCfg, *coalesce)
+	ln, err := listenAndServe(srv, *listen, chaosCfg, *coalesce, *outboxBytes, *writeTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -111,8 +144,12 @@ func main() {
 
 // listenAndServe accepts clients forever in the background and returns the
 // bound address. When chaos is enabled every client link is wrapped in the
-// fault injector, each connection on its own derived seed.
-func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config, coalesce bool) (string, error) {
+// fault injector, each connection on its own derived seed. Every accepted
+// link gets the outbox bound and write deadline before the session sees
+// it, and attaches go through admission control — a refused client is
+// answered with Busy and its connection closed without a session ever
+// existing.
+func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config, coalesce bool, outboxBytes int, writeTimeout time.Duration) (string, error) {
 	ln, err := transport.Listen(addr)
 	if err != nil {
 		return "", err
@@ -126,6 +163,12 @@ func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config,
 			if coalesce {
 				link.SetCoalesce(true)
 			}
+			if outboxBytes > 0 {
+				link.SetQueueLimit(outboxBytes)
+			}
+			if writeTimeout > 0 {
+				link.SetWriteTimeout(writeTimeout)
+			}
 			var attached transport.Link = link
 			if chaosCfg.Enabled() {
 				cfg := chaosCfg
@@ -138,7 +181,11 @@ func listenAndServe(srv *replica.Server, addr string, chaosCfg transport.Config,
 				}
 				attached = chaos
 			}
-			sess := srv.Attach(attached)
+			sess, err := srv.TryAttach(attached)
+			if err != nil {
+				fmt.Println("client refused: server busy")
+				continue
+			}
 			link.Start(func(err error) {
 				sess.Detach()
 				if err != nil {

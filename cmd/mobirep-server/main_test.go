@@ -46,7 +46,7 @@ func TestChaosSpecAccepted(t *testing.T) {
 	if _, err := srv.Write("x", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	addr, err := listenAndServe(srv, "127.0.0.1:0", cfg, true)
+	addr, err := listenAndServe(srv, "127.0.0.1:0", cfg, true, 1<<20, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

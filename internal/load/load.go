@@ -9,6 +9,7 @@ package load
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -85,8 +86,12 @@ type Result struct {
 	Errors       int // reads that timed out or found the session offline
 	Writes       int // background server writes committed
 
-	// Read latency over successful reads, exact (sorted samples, not a
-	// sketch).
+	// Read latency over successful reads, exact nearest-rank percentiles
+	// over the full sorted sample set (not a sketch). Samples is how many
+	// reads the percentiles summarize — a tail percentile of a tiny run
+	// says little (p99 of fewer than 100 samples is just the maximum), so
+	// gates on these numbers should check Samples first.
+	Samples            int
 	P50, P90, P99, Max time.Duration
 
 	// Session spread across shards at the end of the drive phase.
@@ -309,11 +314,33 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.OpsPerSec = float64(res.Ops) / driveSecs
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.Samples = len(all)
 	if n := len(all); n > 0 {
-		res.P50 = all[n/2]
-		res.P90 = all[n*9/10]
-		res.P99 = all[n*99/100]
+		res.P50 = percentile(all, 0.50)
+		res.P90 = percentile(all, 0.90)
+		res.P99 = percentile(all, 0.99)
 		res.Max = all[n-1]
 	}
 	return res, nil
+}
+
+// percentile returns the exact nearest-rank percentile of the sorted
+// samples: the smallest sample with at least q·n samples at or below it,
+// index ceil(q·n)-1. The floor arithmetic it replaces overshot by one
+// rank whenever q·n landed on an integer — p99 of exactly 100 samples
+// reported the absolute maximum — which made short runs look worse than
+// their distribution.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
 }

@@ -43,6 +43,10 @@ const (
 	// AllowStale, flagged ErrStale; V1 is the value's age in
 	// milliseconds.
 	EvStaleRead
+	// EvOverload: admission control refused an attach or the shedder
+	// evicted a session; Detail carries the reason ("full", "rate",
+	// "shed"), V1 the retry-after hint in milliseconds.
+	EvOverload
 )
 
 // String implements fmt.Stringer with stable names for the JSON tail.
@@ -70,6 +74,8 @@ func (t EventType) String() string {
 		return "suspect"
 	case EvStaleRead:
 		return "stale-read"
+	case EvOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

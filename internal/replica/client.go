@@ -41,6 +41,9 @@ type Client struct {
 	onLinkError func(error)
 	// onPong, if set, receives each Pong's sequence number.
 	onPong func(seq uint64)
+	// onBusy, if set, receives the server's overload signals: the reason
+	// and the retry-after hint from each Busy frame.
+	onBusy func(retryAfter time.Duration, reason string)
 
 	// Timeout bounds how long a remote read waits for its response;
 	// zero means wait forever (the in-memory transport responds inline).
@@ -233,8 +236,28 @@ func (c *Client) onFrame(frame []byte) {
 		if f != nil {
 			f(msg.Version)
 		}
+	case wire.KindBusy:
+		c.onBusyFrame(msg)
 	default:
 		// ReadReq and Ping are client-to-server only; ignore.
+	}
+}
+
+// onBusyFrame handles the server's overload signal: the session was
+// refused at attach or shed. The handler (the reconnect supervisor) gets
+// the retry-after hint so its backoff waits out the server's congestion
+// instead of probing a known-busy server at dead-server cadence.
+func (c *Client) onBusyFrame(msg wire.Message) {
+	mBusyReceived.Inc()
+	// msg.Key is borrowed transport memory; clone before it escapes.
+	reason := strings.Clone(msg.Key)
+	retry := time.Duration(msg.Version) * time.Millisecond
+	obsTr.Record(obs.EvOverload, "", reason, int64(msg.Version), 0)
+	c.mu.Lock()
+	f := c.onBusy
+	c.mu.Unlock()
+	if f != nil {
+		f(retry, reason)
 	}
 }
 
@@ -265,6 +288,15 @@ func (c *Client) Ping(seq uint64) error {
 func (c *Client) SetPongHandler(f func(seq uint64)) {
 	c.mu.Lock()
 	c.onPong = f
+	c.mu.Unlock()
+}
+
+// SetBusyHandler registers f to receive the server's Busy signals (attach
+// refused, session shed) with their retry-after hint and reason. f runs
+// on the transport's delivery goroutine and must not block it.
+func (c *Client) SetBusyHandler(f func(retryAfter time.Duration, reason string)) {
+	c.mu.Lock()
+	c.onBusy = f
 	c.mu.Unlock()
 }
 

@@ -34,8 +34,8 @@ var (
 		"number of seeded fault schedules the conformance explorer runs")
 	confSeed = flag.Uint64("conformance.seed", 0,
 		"replay a single conformance schedule verbosely (0 = explore)")
-	confGen = flag.Int("conformance.gen", 2,
-		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects")
+	confGen = flag.Int("conformance.gen", 3,
+		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects, 3 adds overload evictions")
 	confCoalesce = flag.Bool("conformance.coalesce", false,
 		"carry every frame over real coalescing TCPLinks (in-process pipe) instead of the raw in-memory pair; delivery stays lock-step via a per-frame ack, so schedules and verdicts are unchanged")
 	confShards = flag.Int("conformance.shards", 0,
@@ -562,6 +562,32 @@ func (h *conformance) reconnectWarm() error {
 	return h.fail("warm reconnect never completed")
 }
 
+// doEvict models the overload shedder hitting the live session
+// (Session.Evict): the server must send exactly the Busy notice the model
+// predicts and then kill the link — the manual chaos queue dies with it,
+// so the notice is "lost in the socket" the way a real eviction races the
+// close. From here the client is talking to a detached session: its sends
+// vanish, remote reads sever and force a cold reconnect, and a warm
+// reconnect re-pairs via resync — all of which the model predicts through
+// its scDetached state. A second eviction finds no session and must be a
+// frame-free no-op.
+func (h *conformance) doEvict() error {
+	want := h.model.EvictSC("shed", 250)
+	sentBefore := h.s2c.Stats().Sent
+	ok := h.sess.Evict("shed", 250*time.Millisecond)
+	h.tracef("evict session (shed, evicted=%v)", ok)
+	if ok != (want != nil) {
+		return h.fail("evict: impl evicted=%v, model predicts %v", ok, want != nil)
+	}
+	// The Busy frame must have been handed to the link before Close wiped
+	// it (content is pinned by the admission unit tests; the closed manual
+	// queue only lets us observe the count and the ordering here).
+	if got := h.s2c.Stats().Sent - sentBefore; got != len(want) {
+		return h.fail("evict sent %d frames before closing the link, model predicts %d", got, len(want))
+	}
+	return nil
+}
+
 func (h *conformance) doWrite(key string) error {
 	version, want := h.model.Write(key)
 	before := h.s2c.Pending()
@@ -742,7 +768,9 @@ func (h *conformance) checkFinalState() error {
 // replayable divergence report on the first mismatch. gen selects the
 // schedule generator: 1 is the original op mix (kept verbatim so the
 // frozen regression seeds replay the exact schedules that caught their
-// bugs), 2 widens the switch with keepalive pings and warm reconnects.
+// bugs), 2 widens the switch with keepalive pings and warm reconnects,
+// 3 adds overload evictions. Each generation only appends die faces, so
+// every older generation's seeds replay byte for byte.
 func runConformance(t *testing.T, seed uint64, gen int, verbose bool) error {
 	return runConformanceShards(t, seed, gen, 0, verbose)
 }
@@ -760,6 +788,9 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 	die := 10
 	if gen >= 2 {
 		die = 12
+	}
+	if gen >= 3 {
+		die = 13
 	}
 	nOps := 30 + h.rng.Intn(31)
 	for op := 0; op < nOps; op++ {
@@ -788,6 +819,8 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 			err = h.doPing()
 		case 11:
 			err = h.reconnectWarm()
+		case 12:
+			err = h.doEvict()
 		}
 		if err != nil {
 			return err
@@ -830,6 +863,7 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 //     delete-request was swallowed silently, leaving the SC paying a data
 //     message per write to an MC without a copy — onWriteProp now
 //     re-asserts the deallocation.
+//
 // gen2RegressionSeeds pins generator-2 schedules chosen (by trace
 // inspection after a 100000-schedule hunt) to cover every recovery
 // corner the explorer can reach, so the warm path cannot quietly
@@ -846,6 +880,21 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 //     window back over the resync connection.
 var gen2RegressionSeeds = []uint64{3, 18, 33, 36}
 
+// gen3RegressionSeeds pins generator-3 schedules chosen by trace
+// inspection to cover every overload-eviction transition the explorer
+// can reach:
+//
+//   - seed 2 (SW5, drop+dup+reorder, 8 shards): an eviction is repaired
+//     by a warm resync, and a later back-to-back double eviction proves
+//     the second is a frame-free no-op on an already-detached session.
+//   - seed 5 (SW3, drop, 8 shards): writes commit against an evicted
+//     session (propagating nowhere), then remote reads sever and force
+//     cold reconnects, over and over.
+//   - seed 17 (SW5, light drop, 8 shards): eviction under near-clean
+//     delivery — the Busy ordering and the detached-session silence are
+//     exercised without chaos masking a stray frame.
+var gen3RegressionSeeds = []uint64{2, 5, 17}
+
 func TestConformanceRegressionSeeds(t *testing.T) {
 	// Generator-1 seeds: the original op mix.
 	for _, seed := range []uint64{35, 46, 61} {
@@ -859,6 +908,13 @@ func TestConformanceRegressionSeeds(t *testing.T) {
 	for _, seed := range gen2RegressionSeeds {
 		if err := runConformance(t, seed, 2, false); err != nil {
 			t.Errorf("regression seed %d (gen 2) diverged:\n%v", seed, err)
+		}
+	}
+	// Generator-3 seeds: schedules that interleave overload evictions with
+	// every recovery path.
+	for _, seed := range gen3RegressionSeeds {
+		if err := runConformance(t, seed, 3, false); err != nil {
+			t.Errorf("regression seed %d (gen 3) diverged:\n%v", seed, err)
 		}
 	}
 }
@@ -883,6 +939,11 @@ func TestConformanceShardRegressionSeeds(t *testing.T) {
 				t.Errorf("regression seed %d (gen 2) diverged at %d shards:\n%v", seed, shards, err)
 			}
 		}
+		for _, seed := range gen3RegressionSeeds {
+			if err := runConformanceShards(t, seed, 3, shards, false); err != nil {
+				t.Errorf("regression seed %d (gen 3) diverged at %d shards:\n%v", seed, shards, err)
+			}
+		}
 	}
 }
 
@@ -903,7 +964,7 @@ func TestConformanceExplorer(t *testing.T) {
 	}
 	failed := 0
 	for seed := uint64(1); seed <= uint64(n); seed++ {
-		if err := runConformance(t, seed, 2, false); err != nil {
+		if err := runConformance(t, seed, 3, false); err != nil {
 			t.Errorf("schedule seed=%d diverged:\n%v\nreplay: go test ./internal/replica -run 'TestConformanceExplorer$' -conformance.seed=%d -v",
 				seed, err, seed)
 			failed++

@@ -49,6 +49,15 @@ var (
 	mSessionsExpired = obsReg.Counter("mobirep_replica_sessions_expired_total",
 		"Sessions reaped by the idle expirer.")
 
+	// Overload protection (admission.go).
+	mAttachRejectedFull = obsReg.Counter(`mobirep_replica_attach_rejected_total{reason="full"}`,
+		"Attaches refused by admission control, by reason.")
+	mAttachRejectedRate = obsReg.Counter(`mobirep_replica_attach_rejected_total{reason="rate"}`, "")
+	mSessionsShed       = obsReg.Counter("mobirep_replica_sessions_shed_total",
+		"Sessions evicted by the memory-watermark shedder or an explicit Evict.")
+	mBusyReceived = obsReg.Counter("mobirep_replica_busy_received_total",
+		"Busy frames received by clients (server refused an attach or shed the session).")
+
 	// Warm resync outcomes. "immediate" is a resync with nothing held (the
 	// client is online at once, no traffic); "sent" is a ResyncReq that
 	// went out; "applied" is a ResyncResp folded into the cache.

@@ -41,6 +41,14 @@ import (
 //     deallocating keys the outage turned write-majority. All of it is
 //     duplicate-tolerant: re-delivered resync traffic must be inert.
 //
+// The overload layer (admission.go) adds eviction: EvictSC models the
+// server shedding the session — a Busy frame goes out first, then the
+// SC-side state resets and the server goes silent toward this client
+// (straggler frames hit a detached session and are ignored; writes still
+// commit but propagate nowhere). The client's MC state survives untouched
+// until a cold Reconnect or a warm DetachSC resync repairs the pairing,
+// both of which clear the detached flag.
+//
 // Everything else is the paper's protocol verbatim, mirrored from
 // client.go and server.go.
 type Model struct {
@@ -52,8 +60,12 @@ type Model struct {
 	// pendingRead is the key of the one outstanding remote read, "" when
 	// none. The harness resolves each read fully before starting the next,
 	// so a single slot suffices.
-	pendingRead   string
+	pendingRead    string
 	hasPendingRead bool
+	// scDetached is set by EvictSC: the server shed the session, so the SC
+	// ignores everything from this client and propagates nothing to it
+	// until Reconnect or DetachSC re-pairs them.
+	scDetached bool
 }
 
 // modelSide is one side's view of a key: the copy bit and, for SW modes,
@@ -157,6 +169,11 @@ func (m *Model) PendingRead() bool { return m.hasPendingRead }
 func (m *Model) Write(key string) (uint64, []wire.Message) {
 	m.store[key]++
 	v := m.store[key]
+	if m.scDetached {
+		// The session was shed: the write commits, but there is no
+		// per-session state to slide and nobody to propagate to.
+		return v, nil
+	}
 	st := m.side(m.sc, key)
 	switch m.mode.Kind {
 	case ModeStatic1:
@@ -215,6 +232,11 @@ func (m *Model) FailPendingRead() {
 // DeliverToServer feeds one client->server frame to the SC state machine
 // and returns the frames the server must emit in response, in order.
 func (m *Model) DeliverToServer(msg wire.Message) []wire.Message {
+	if m.scDetached {
+		// Straggler frames from an evicted client hit a detached session:
+		// the implementation ignores them all, keepalives included.
+		return nil
+	}
 	switch msg.Kind {
 	case wire.KindReadReq:
 		return m.scReadReq(msg.Key)
@@ -276,6 +298,11 @@ func (m *Model) DeliverToClient(msg wire.Message) (emits []wire.Message, complet
 		return m.mcWriteProp(msg), nil
 	case wire.KindDeleteReq:
 		m.mcDeleteReq(msg.Key)
+		return nil, nil
+	case wire.KindBusy:
+		// The overload notice is consumed by the recovery layer (counted,
+		// handed to the supervisor); the protocol state machine emits
+		// nothing and changes nothing.
 		return nil, nil
 	default:
 		return nil, nil // client ignores client-to-server kinds
@@ -350,6 +377,7 @@ func (m *Model) Reconnect() {
 	m.sc = make(map[string]*modelSide)
 	m.cache = make(map[string]uint64)
 	m.pendingRead, m.hasPendingRead = "", false
+	m.scDetached = false
 }
 
 // DetachSC models the server replacing the client's session (the old one
@@ -357,6 +385,21 @@ func (m *Model) Reconnect() {
 // keeps its warm copies, anticipating a resync.
 func (m *Model) DetachSC() {
 	m.sc = make(map[string]*modelSide)
+	m.scDetached = false
+}
+
+// EvictSC models the server shedding this client's session under overload
+// (Session.Evict): the Busy frame returned here must be sent before the
+// link dies, then the SC-side state is gone and the server falls silent
+// toward the client until a reconnect or warm resync re-pairs them. A
+// second eviction finds no session and emits nothing (nil).
+func (m *Model) EvictSC(reason string, retryMillis uint64) []wire.Message {
+	if m.scDetached {
+		return nil
+	}
+	m.scDetached = true
+	m.sc = make(map[string]*modelSide)
+	return []wire.Message{{Kind: wire.KindBusy, Key: reason, Version: retryMillis}}
 }
 
 // ResyncRequest returns the warm-resync declaration the client must emit
@@ -387,7 +430,7 @@ func (m *Model) ResyncRequest() *wire.Batch {
 // idempotently; entries answer NotModified when the version stamp still
 // matches the store.
 func (m *Model) DeliverResyncToServer(b wire.Batch) *wire.Batch {
-	if b.Kind != wire.KindResyncReq {
+	if b.Kind != wire.KindResyncReq || m.scDetached {
 		return nil
 	}
 	resp := &wire.Batch{Kind: wire.KindResyncResp}

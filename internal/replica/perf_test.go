@@ -36,9 +36,9 @@ func (l *captureLink) Close() error                 { return nil }
 // the replica send path's own cost.
 type nullLink struct{}
 
-func (nullLink) Send([]byte) error              { return nil }
-func (nullLink) SetHandler(transport.Handler)   {}
-func (nullLink) Close() error                   { return nil }
+func (nullLink) Send([]byte) error            { return nil }
+func (nullLink) SetHandler(transport.Handler) {}
+func (nullLink) Close() error                 { return nil }
 
 // TestServerSendPathAllocs pins the SC steady-state send machinery —
 // pooled encode, meter, link hand-off, buffer release — at zero

@@ -24,6 +24,15 @@ type Server struct {
 	now    atomic.Pointer[func() time.Time]
 	shards []*shard
 	nextID atomic.Uint64
+
+	// Overload protection (admission.go). nSessions counts attached
+	// sessions for the MaxSessions reservation check — an atomic rather
+	// than a shard walk so TryAttach admits or refuses without touching
+	// any shard token. memSoft is the soft memory watermark ShedToBudget
+	// enforces; admission holds the attach-time policy.
+	nSessions atomic.Int64
+	admission atomic.Pointer[AdmissionConfig]
+	memSoft   atomic.Int64
 }
 
 // Session is the SC-side state for one mobile client. It is created by
@@ -48,6 +57,9 @@ type Session struct {
 	// lastSeen is when the client last proved liveness: any received
 	// frame, including pings. The idle reaper compares against it.
 	lastSeen time.Time
+	// memBytes is this session's share of the shard's memory account:
+	// the base cost plus one itemMemCost per key with protocol state.
+	memBytes int64
 }
 
 // NewServer creates a server over the given store with an automatic
@@ -114,8 +126,18 @@ func (s *Server) ShardSessions() []int {
 // handle, which carries the SC-side traffic meter and the Detach method.
 // The link's handler is installed by Attach. The session is routed to a
 // shard by its attach ID and never migrates.
+//
+// Attach is unconditional; servers running admission control accept
+// clients through TryAttach instead (admission.go).
 func (s *Server) Attach(link transport.Link) *Session {
-	id := s.nextID.Add(1)
+	s.nSessions.Add(1)
+	return s.attachSession(s.nextID.Add(1), link)
+}
+
+// attachSession does the work of Attach for an already-reserved slot with
+// an already-assigned id (TryAttach needs the id first to pick the shard
+// whose token bucket to charge).
+func (s *Server) attachSession(id uint64, link transport.Link) *Session {
 	sh := s.shards[sessionShard(id, len(s.shards))]
 	sess := &Session{
 		srv:      s,
@@ -125,11 +147,13 @@ func (s *Server) Attach(link transport.Link) *Session {
 		meter:    newMeter(scMirror),
 		items:    make(map[string]*itemState),
 		lastSeen: s.clock()(),
+		memBytes: sessionMemBase,
 	}
 	link.SetHandler(sess.onFrame)
 	sh.enter()
 	sh.sessions[sess] = struct{}{}
 	sh.exit()
+	sh.addMem(sessionMemBase)
 	sh.occupancy.Add(1)
 	gSessions.Add(1)
 	mSessionsOpened.Inc()
@@ -165,10 +189,14 @@ func (ss *Session) detach() bool {
 	sh.unsubscribeAll(ss)
 	ss.detached = true
 	ss.items = make(map[string]*itemState)
+	mem := ss.memBytes
+	ss.memBytes = 0
 	sh.exit()
 	if present {
+		sh.addMem(-mem)
 		sh.occupancy.Add(-1)
 		gSessions.Add(-1)
+		ss.srv.nSessions.Add(-1)
 		obsTr.Record(obs.EvSessionClose, "", "", 0, 0)
 	}
 	return present
@@ -328,7 +356,16 @@ func (ss *Session) state(key string) *itemState {
 		// keeps transport memory alive.
 		k := strings.Clone(key)
 		ss.items[k] = st
-		ss.shard.subscribe(k, ss)
+		// A detached session's index entries and memory account were
+		// settled by unsubscribeAll; a straggler frame that slips past a
+		// handler guard must not re-open either (the index entry would
+		// outlive every session).
+		if !ss.detached {
+			ss.shard.subscribe(k, ss)
+			cost := itemMemCost(k, ss.srv.mode)
+			ss.memBytes += cost
+			ss.shard.addMem(cost)
+		}
 	}
 	return st
 }
@@ -481,6 +518,11 @@ func (ss *Session) onReadReq(msg wire.Message) {
 func (ss *Session) onDeleteReq(msg wire.Message) {
 	ss.shard.enter()
 	defer ss.shard.exit()
+	if ss.detached {
+		// A straggler delete-request racing Detach must not re-create
+		// state (and a key-index entry) for a session already torn down.
+		return
+	}
 	st := ss.state(msg.Key)
 	if !st.hasCopy {
 		return // stale duplicate

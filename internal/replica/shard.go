@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mobirep/internal/obs"
 )
@@ -60,6 +62,19 @@ type shard struct {
 	// token's queue depth); occupancy gauges attached sessions.
 	depth     *obs.Gauge
 	occupancy *obs.Gauge
+
+	// mem tracks the shard's accounted session-state bytes (session base
+	// cost plus per-(session,key) window state; a link's queued outbox
+	// bytes are sampled on top at budget checks — see Server.MemBytes).
+	// memGauge mirrors it for /metrics.
+	mem      atomic.Int64
+	memGauge *obs.Gauge
+
+	// Token bucket for attach-rate admission (admission.go). Guarded by
+	// tbMu, never taken together with the writer token.
+	tbMu     sync.Mutex
+	tbTokens float64
+	tbLast   time.Time
 }
 
 // fanEntry is one prepared send of a write fan-out: which session, and
@@ -78,7 +93,37 @@ func newShard(id int) *shard {
 			"Events queued or running per shard (single-writer token contention)."),
 		occupancy: obsReg.Gauge(fmt.Sprintf(`mobirep_replica_shard_sessions{shard="%d"}`, id),
 			"Currently attached sessions per shard."),
+		memGauge: obsReg.Gauge(fmt.Sprintf(`mobirep_replica_shard_mem_bytes{shard="%d"}`, id),
+			"Accounted session-state bytes per shard (base cost plus window state)."),
 	}
+}
+
+// addMem moves the shard's memory account by delta bytes, mirroring into
+// the per-shard gauge. Safe under or outside the writer token.
+func (sh *shard) addMem(delta int64) {
+	sh.mem.Add(delta)
+	sh.memGauge.Add(delta)
+}
+
+// allowAttach takes one token from the shard's attach bucket, refilled at
+// rate tokens/sec up to burst. The first call finds a full bucket.
+func (sh *shard) allowAttach(rate, burst float64, now time.Time) bool {
+	sh.tbMu.Lock()
+	defer sh.tbMu.Unlock()
+	if sh.tbLast.IsZero() {
+		sh.tbTokens = burst
+	} else {
+		sh.tbTokens += now.Sub(sh.tbLast).Seconds() * rate
+		if sh.tbTokens > burst {
+			sh.tbTokens = burst
+		}
+	}
+	sh.tbLast = now
+	if sh.tbTokens < 1 {
+		return false
+	}
+	sh.tbTokens--
+	return true
 }
 
 // enter begins one event on the shard: the caller holds the single-writer

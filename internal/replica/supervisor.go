@@ -84,6 +84,9 @@ type SupervisorStats struct {
 	Reconnects int64
 	// HeartbeatMisses counts probe intervals that saw no pong.
 	HeartbeatMisses int64
+	// BusySignals counts Busy frames the server answered with (attach
+	// refused or session shed) — overload, not death.
+	BusySignals int64
 }
 
 // Supervisor is the self-healing loop for one client. Create with
@@ -100,12 +103,18 @@ type Supervisor struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
+	// busyCh wakes a reattach attempt early when the server answers Busy;
+	// busyHint carries the frame's retry-after for the next sleep.
+	busyCh   chan struct{}
+	busyHint atomic.Int64
+
 	pingSeq  atomic.Uint64
 	pongSeq  atomic.Uint64
 	suspects atomic.Int64
 	dials    atomic.Int64
 	reconns  atomic.Int64
 	hbMisses atomic.Int64
+	busies   atomic.Int64
 }
 
 // NewSupervisor wires a supervisor to cli. dial must return a link ready
@@ -115,12 +124,13 @@ type Supervisor struct {
 func NewSupervisor(cli *Client, dial transport.Dialer, cfg SupervisorConfig) *Supervisor {
 	cfg.fillDefaults()
 	s := &Supervisor{
-		cli:  cli,
-		dial: dial,
-		cfg:  cfg,
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		cli:    cli,
+		dial:   dial,
+		cfg:    cfg,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		busyCh: make(chan struct{}, 1),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	return s
 }
@@ -132,6 +142,7 @@ func (s *Supervisor) Stats() SupervisorStats {
 		DialAttempts:    s.dials.Load(),
 		Reconnects:      s.reconns.Load(),
 		HeartbeatMisses: s.hbMisses.Load(),
+		BusySignals:     s.busies.Load(),
 	}
 }
 
@@ -139,6 +150,20 @@ func (s *Supervisor) Stats() SupervisorStats {
 func (s *Supervisor) Start() {
 	s.cli.SetLinkErrorHandler(func(error) { s.Suspect() })
 	s.cli.SetPongHandler(func(seq uint64) { s.pongSeq.Store(seq) })
+	s.cli.SetBusyHandler(func(retryAfter time.Duration, reason string) {
+		// The server is alive but refusing us: remember when it said to
+		// come back, wake any reattach attempt waiting on a resync answer
+		// that will never arrive, and make sure the recovery loop runs.
+		s.busies.Add(1)
+		if retryAfter > 0 {
+			s.busyHint.Store(int64(retryAfter))
+		}
+		select {
+		case s.busyCh <- struct{}{}:
+		default:
+		}
+		s.Suspect()
+	})
 	s.wg.Add(1)
 	go s.run()
 	if s.cfg.HeartbeatEvery > 0 {
@@ -154,6 +179,7 @@ func (s *Supervisor) Stop() {
 	s.wg.Wait()
 	s.cli.SetLinkErrorHandler(nil)
 	s.cli.SetPongHandler(nil)
+	s.cli.SetBusyHandler(nil)
 }
 
 // Suspect tells the supervisor the current link looks dead: a transport
@@ -193,6 +219,16 @@ func (s *Supervisor) recover() {
 	} else {
 		s.cli.Suspend()
 	}
+	// A Busy refusal can end the previous recovery "successfully" — an
+	// empty-cache warm resync has nothing to wait for and completes
+	// before the refusal lands — leaving the hint latched but never
+	// consumed. Honor it before the first dial so a refused client probes
+	// at the server's retry-after cadence instead of a tight dial loop.
+	if hint := time.Duration(s.busyHint.Swap(0)); hint > 0 {
+		if !s.sleep(hint) {
+			return
+		}
+	}
 	backoff := s.cfg.BackoffMin
 	attempts := int64(0)
 	for {
@@ -219,9 +255,24 @@ func (s *Supervisor) recover() {
 			case <-s.kick:
 			default:
 			}
+			select {
+			case <-s.busyCh:
+			default:
+			}
 			return
 		} else {
 			mDialResyncFail.Inc()
+		}
+		if hint := time.Duration(s.busyHint.Swap(0)); hint > 0 {
+			// The server answered Busy with a retry-after: it is alive and
+			// said when to come back. Honor the hint (still jittered so a
+			// refused fleet trickles back) and keep the backoff where it
+			// is — overload is not evidence of death, so the next refusal
+			// should not probe at dead-server cadence.
+			if !s.sleep(hint) {
+				return
+			}
+			continue
 		}
 		if !s.sleep(backoff) {
 			return
@@ -240,6 +291,12 @@ func (s *Supervisor) reattach(link transport.Link) bool {
 		s.cli.Reattach(link)
 		return true
 	}
+	// A Busy signal latched by an earlier attempt is stale; only a refusal
+	// of this attempt should cut it short.
+	select {
+	case <-s.busyCh:
+	default:
+	}
 	done, err := s.cli.ResumeResync(link)
 	if err != nil {
 		s.cli.Suspend()
@@ -255,6 +312,13 @@ func (s *Supervisor) reattach(link transport.Link) bool {
 			return false
 		}
 		return true
+	case <-s.busyCh:
+		// The server answered Busy instead of a resync: admission refused
+		// the attach. No point waiting out ResyncTimeout for an answer
+		// that will never come; fail the attempt now and let the hint
+		// govern the sleep.
+		s.cli.Suspend()
+		return false
 	case <-t.C:
 		// The resync answer never came (lossy link, dead server behind a
 		// live dial). Abandon the attempt and redial.

@@ -41,6 +41,9 @@ type Chaos struct {
 	queue     [][]byte // manual mode: frames sent but not yet stepped
 	held      []byte   // auto mode: frame held back for reordering
 	partition int      // frames still to swallow in the current partition
+	stalled   bool     // auto mode: a stall is in progress
+	stallBuf  [][]byte // frames buffered, in order, while stalled
+	stallB    int      // bytes buffered while stalled
 	closed    bool
 	notify    chan struct{}
 	stats     ChaosStats
@@ -75,6 +78,21 @@ type Config struct {
 	Part float64
 	// PartLen bounds the length of a partition in frames.
 	PartLen int
+	// Stall is the probability, checked at each Send while no stall is in
+	// progress, that the link stalls: frames stop flowing and buffer in
+	// order for StallFor, modeling a peer that accepted the handshake but
+	// stopped reading (auto mode only). Unlike a partition nothing is
+	// lost — unless StallCap overflows first.
+	Stall float64
+	// StallFor is how long each stall lasts before the buffered frames
+	// flush in order. A duration far beyond the test's horizon models a
+	// permanently wedged consumer.
+	StallFor time.Duration
+	// StallCap bounds the bytes buffered during a stall; exceeding it
+	// closes the link (Send returns ErrSlowConsumer), the way a bounded
+	// outbox kills a consumer that never drains. Zero buffers without
+	// limit for the duration of the stall.
+	StallCap int
 	// Manual selects manual (stepped) mode.
 	Manual bool
 }
@@ -87,6 +105,7 @@ func (cfg Config) Validate() error {
 	}{
 		{"drop", cfg.Drop}, {"dup", cfg.Dup}, {"reorder", cfg.Reorder},
 		{"delay", cfg.Delay}, {"crash", cfg.Crash}, {"part", cfg.Part},
+		{"stall", cfg.Stall},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("transport: chaos %s probability %v outside [0,1]", p.name, p.v)
@@ -98,13 +117,19 @@ func (cfg Config) Validate() error {
 	if cfg.MaxDelay < 0 {
 		return fmt.Errorf("transport: chaos maxdelay %v must be non-negative", cfg.MaxDelay)
 	}
+	if cfg.StallFor < 0 {
+		return fmt.Errorf("transport: chaos stallfor %v must be non-negative", cfg.StallFor)
+	}
+	if cfg.StallCap < 0 {
+		return fmt.Errorf("transport: chaos stallcap %d must be non-negative", cfg.StallCap)
+	}
 	return nil
 }
 
 // Enabled reports whether any fault can ever fire under the configuration.
 func (cfg Config) Enabled() bool {
 	return cfg.Drop > 0 || cfg.Dup > 0 || cfg.Reorder > 0 || cfg.Delay > 0 ||
-		cfg.Crash > 0 || cfg.Part > 0
+		cfg.Crash > 0 || cfg.Part > 0 || cfg.Stall > 0
 }
 
 // ChaosStats counts fault decisions, for reporting.
@@ -119,6 +144,9 @@ type ChaosStats struct {
 	Duplicated int
 	// Deferred counts manual-mode reorderings and auto-mode holds.
 	Deferred int
+	// Stalled counts frames buffered by stall faults (auto mode). They are
+	// also counted in Delivered once the stall flushes them.
+	Stalled int
 }
 
 // ChaosAction describes what one manual Step did with the oldest frame.
@@ -229,6 +257,14 @@ func (c *Chaos) autoSend(frame []byte) error {
 		c.Close()
 		return ErrClosed
 	}
+	if c.stalled {
+		return c.stallBuffer(frame)
+	}
+	if c.cfg.Stall > 0 && c.rng.Bernoulli(c.cfg.Stall) {
+		c.stalled = true
+		time.AfterFunc(c.cfg.StallFor, c.unstall)
+		return c.stallBuffer(frame)
+	}
 	if c.partition == 0 && c.cfg.Part > 0 && c.rng.Bernoulli(c.cfg.Part) {
 		c.partition = 1
 		if c.cfg.PartLen > 1 {
@@ -299,6 +335,45 @@ func (c *Chaos) autoSend(frame []byte) error {
 	return nil
 }
 
+// stallBuffer holds frame, in order, until the stall timer flushes it.
+// Called with c.mu held; releases it. When StallCap overflows the link
+// dies — the stalled peer's buffers are full and a bounded sender gives
+// up on it — and Send reports ErrSlowConsumer.
+func (c *Chaos) stallBuffer(frame []byte) error {
+	c.stallBuf = append(c.stallBuf, frame)
+	c.stallB += len(frame)
+	c.stats.Stalled++
+	over := c.cfg.StallCap > 0 && c.stallB > c.cfg.StallCap
+	c.mu.Unlock()
+	chaosFault("stall", len(frame))
+	if over {
+		c.Close()
+		return ErrSlowConsumer
+	}
+	return nil
+}
+
+// unstall ends a stall: buffered frames flush to the peer in send order,
+// exactly as a socket drains once its reader wakes up.
+func (c *Chaos) unstall() {
+	c.mu.Lock()
+	buf := c.stallBuf
+	c.stallBuf = nil
+	c.stallB = 0
+	c.stalled = false
+	closed := c.closed
+	c.stats.Delivered += len(buf)
+	inner := c.inner
+	c.mu.Unlock()
+	if closed || len(buf) == 0 {
+		return
+	}
+	mChaosDelivered.Add(uint64(len(buf)))
+	for _, f := range buf {
+		_ = inner.Send(f)
+	}
+}
+
 // SetHandler installs the receive callback. In auto mode incoming frames
 // are subject to drop and duplicate faults before reaching h.
 func (c *Chaos) SetHandler(h Handler) {
@@ -346,6 +421,8 @@ func (c *Chaos) Close() error {
 	c.closed = true
 	c.queue = nil
 	c.held = nil
+	c.stallBuf = nil
+	c.stallB = 0
 	c.mu.Unlock()
 	return c.inner.Close()
 }
@@ -479,7 +556,7 @@ func (c *Chaos) Stats() ChaosStats {
 // ParseChaosSpec parses the -chaos flag syntax: a comma-separated list of
 // key=value pairs, e.g.
 //
-//	seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20
+//	seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.2,maxdelay=50ms,crash=0.001,part=0.01,partlen=20,stall=0.01,stallfor=200ms,stallcap=65536
 //
 // Unset keys default to zero (fault disabled). The empty string yields a
 // zero Config, which Enabled reports as off.
@@ -515,6 +592,12 @@ func ParseChaosSpec(s string) (Config, error) {
 			cfg.Part, err = strconv.ParseFloat(val, 64)
 		case "partlen":
 			cfg.PartLen, err = strconv.Atoi(val)
+		case "stall":
+			cfg.Stall, err = strconv.ParseFloat(val, 64)
+		case "stallfor":
+			cfg.StallFor, err = time.ParseDuration(val)
+		case "stallcap":
+			cfg.StallCap, err = strconv.Atoi(val)
 		default:
 			return cfg, fmt.Errorf("transport: chaos spec: unknown key %q", key)
 		}
@@ -527,6 +610,9 @@ func ParseChaosSpec(s string) (Config, error) {
 	}
 	if cfg.Part > 0 && cfg.PartLen == 0 {
 		cfg.PartLen = 10
+	}
+	if cfg.Stall > 0 && cfg.StallFor == 0 {
+		cfg.StallFor = 100 * time.Millisecond
 	}
 	return cfg, cfg.Validate()
 }

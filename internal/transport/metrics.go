@@ -20,6 +20,7 @@ const (
 	slotDeleteReq
 	slotPing
 	slotPong
+	slotBusy
 	slotMultiReadReq
 	slotMultiReadResp
 	slotResyncReq
@@ -29,7 +30,7 @@ const (
 )
 
 var kindSlotNames = [slotCount]string{
-	"read-req", "read-resp", "write-prop", "delete-req", "ping", "pong",
+	"read-req", "read-resp", "write-prop", "delete-req", "ping", "pong", "busy",
 	"multi-read-req", "multi-read-resp", "resync-req", "resync-resp", "other",
 }
 
@@ -47,6 +48,8 @@ func kindSlot(k wire.Kind) int {
 		return slotPing
 	case wire.KindPong:
 		return slotPong
+	case wire.KindBusy:
+		return slotBusy
 	case wire.KindMultiReadReq:
 		return slotMultiReadReq
 	case wire.KindMultiReadResp:
@@ -77,7 +80,11 @@ var (
 		"defer":     obsReg.Counter(`mobirep_chaos_faults_total{fault="defer"}`, ""),
 		"crash":     obsReg.Counter(`mobirep_chaos_faults_total{fault="crash"}`, ""),
 		"partition": obsReg.Counter(`mobirep_chaos_faults_total{fault="partition"}`, ""),
+		"stall":     obsReg.Counter(`mobirep_chaos_faults_total{fault="stall"}`, ""),
 	}
+
+	mSlowConsumerKills = obsReg.Counter("mobirep_transport_slow_consumer_kills_total",
+		"Links killed because their bounded outbox (SetQueueLimit) overflowed.")
 	mChaosDelivered = obsReg.Counter("mobirep_chaos_delivered_total",
 		"Frames a chaos link forwarded to the peer, duplicates included.")
 

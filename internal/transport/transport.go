@@ -23,6 +23,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler consumes one received frame. Handlers must not block
@@ -50,6 +51,12 @@ type Link interface {
 
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("transport: link closed")
+
+// ErrSlowConsumer is returned by Send when a link's bounded outbox
+// (SetQueueLimit) overflows: the peer is not draining and the server will
+// not buffer for it indefinitely. The link is already dead when Send
+// returns this — the caller's onClose fires with it as the root cause.
+var ErrSlowConsumer = errors.New("transport: slow consumer: outbox bound exceeded")
 
 // memLink is one end of an in-memory pair.
 type memLink struct {
@@ -125,6 +132,13 @@ func (l *memLink) Close() error {
 // peer (a half-written frame shifts every later length prefix), so the
 // link shuts down on the first write error rather than returning an error
 // on a live link.
+//
+// Two overload bounds protect the sender from a peer that stops reading:
+// SetWriteTimeout arms a deadline before every writev, so a stalled socket
+// fails the write instead of wedging the flusher forever; SetQueueLimit
+// caps the coalescing outbox, killing the link (ErrSlowConsumer) the
+// moment queued bytes would exceed the bound. Both funnel into the same
+// fail-closed shutdown path as any other write error.
 type TCPLink struct {
 	conn    net.Conn
 	hmu     sync.Mutex
@@ -141,7 +155,15 @@ type TCPLink struct {
 	wpair  [][]byte // immediate-mode two-entry writev scratch
 	wstore [][]byte // coalesced-mode writev view backing
 	wview  net.Buffers
-	werr   error // first write error, reported via onClose
+
+	// errmu guards werr on its own mutex, not under wmu: the slow-consumer
+	// kill path and the readLoop's root-cause report must never block
+	// behind a writev stalled on a dead peer.
+	errmu sync.Mutex
+	werr  error // first write error, reported via onClose
+
+	writeTimeout atomic.Int64 // ns per writev; 0 = no deadline
+	queueLimit   atomic.Int64 // outbox bound in bytes; 0 = unbounded
 
 	coalesce atomic.Bool
 	qmu      sync.Mutex // guards the coalescing queue
@@ -197,6 +219,32 @@ func (l *TCPLink) SetCoalesce(on bool) {
 // Coalescing reports whether send coalescing is enabled.
 func (l *TCPLink) Coalescing() bool { return l.coalesce.Load() }
 
+// SetWriteTimeout bounds every writev: a peer that accepts the TCP
+// handshake but never reads fills its receive window, the kernel buffer,
+// and then blocks the write forever — with a timeout the write fails
+// instead and the link shuts down through the usual fail-closed path
+// (onClose reports the timeout). Zero disables the deadline. Safe to call
+// concurrently with sends.
+func (l *TCPLink) SetWriteTimeout(d time.Duration) { l.writeTimeout.Store(int64(d)) }
+
+// SetQueueLimit caps the coalescing outbox at bytes (length prefixes
+// included). Once the bound would be exceeded, Send kills the link and
+// returns ErrSlowConsumer rather than buffering without limit for a peer
+// that is not draining. While a limit is set, senders never flush inline —
+// the bound, not coalesceFlushBytes, is the backpressure — so Send never
+// blocks on a stalled socket. Zero (the default) restores unbounded
+// queueing with inline flushes.
+func (l *TCPLink) SetQueueLimit(bytes int) { l.queueLimit.Store(int64(bytes)) }
+
+// QueuedBytes reports the bytes sitting in the coalescing outbox right
+// now, length prefixes included. The memory-budget accounting in the
+// replica server folds this into each session's footprint.
+func (l *TCPLink) QueuedBytes() int {
+	l.qmu.Lock()
+	defer l.qmu.Unlock()
+	return l.pendingB
+}
+
 // CoalesceStats counts the work the vectored flusher has done.
 type CoalesceStats struct {
 	// Flushes is the number of writev batches issued.
@@ -230,9 +278,9 @@ func (l *TCPLink) readLoop() {
 			if err == nil {
 				// A write-path failure closed the connection under us;
 				// surface the root cause instead of a clean shutdown.
-				l.wmu.Lock()
+				l.errmu.Lock()
 				err = l.werr
-				l.wmu.Unlock()
+				l.errmu.Unlock()
 			}
 			l.onClose(err)
 		}
@@ -292,10 +340,11 @@ func (l *TCPLink) Send(frame []byte) error {
 	// two Write syscalls. net.Buffers.WriteTo mutates l.wview as it
 	// consumes; l.wpair keeps the stable backing.
 	l.wview = net.Buffers(l.wpair[:2])
+	l.armWriteDeadline()
 	_, err := l.wview.WriteTo(l.conn)
 	l.wpair[1] = nil
 	if err != nil {
-		l.failLocked(err)
+		l.fail(err)
 		l.wmu.Unlock()
 		l.shutdown()
 		return err
@@ -312,10 +361,33 @@ func (l *TCPLink) enqueue(frame []byte) error {
 	b := binary.BigEndian.AppendUint32(c.b[:0], uint32(len(frame)))
 	c.b = append(b, frame...)
 
+	limit := int(l.queueLimit.Load())
 	l.qmu.Lock()
+	if limit > 0 && l.pendingB+len(c.b) > limit {
+		// Slow consumer: the flusher is not draining and the outbox is at
+		// its bound. Kill the link without touching wmu — a stalled writev
+		// may hold that lock indefinitely — and recycle the queue.
+		// shutdown closes the conn, which unblocks the in-flight write.
+		batch := l.pending
+		l.pending = nil
+		l.pendingB = 0
+		l.qmu.Unlock()
+		putChunk(c)
+		for i, qc := range batch {
+			putChunk(qc)
+			batch[i] = nil
+		}
+		mSlowConsumerKills.Inc()
+		l.fail(ErrSlowConsumer)
+		l.shutdown()
+		return ErrSlowConsumer
+	}
 	l.pending = append(l.pending, c)
 	l.pendingB += len(c.b)
-	over := l.pendingB >= coalesceFlushBytes
+	// With a queue limit in force the sender never flushes inline: an
+	// inline flush would block Send behind the stalled socket the limit
+	// exists to protect against.
+	over := limit == 0 && l.pendingB >= coalesceFlushBytes
 	l.qmu.Unlock()
 	recordSend(frame)
 	if over {
@@ -362,6 +434,7 @@ func (l *TCPLink) flushLocked() error {
 	// WriteTo consumes l.wview (and reslices view's entries); batch keeps
 	// the original chunk headers so they return to the pool intact.
 	l.wview = net.Buffers(view)
+	l.armWriteDeadline()
 	_, err := l.wview.WriteTo(l.conn)
 	for i, c := range batch {
 		putChunk(c)
@@ -376,7 +449,7 @@ func (l *TCPLink) flushLocked() error {
 	}
 	l.qmu.Unlock()
 	if err != nil {
-		l.failLocked(err)
+		l.fail(err)
 		return err
 	}
 	return nil
@@ -397,10 +470,20 @@ func (l *TCPLink) flushLoop() {
 	}
 }
 
-// failLocked records the first write error. Caller holds wmu.
-func (l *TCPLink) failLocked(err error) {
+// fail records the first write error as the link's root cause.
+func (l *TCPLink) fail(err error) {
+	l.errmu.Lock()
 	if l.werr == nil {
 		l.werr = err
+	}
+	l.errmu.Unlock()
+}
+
+// armWriteDeadline applies the configured write timeout, if any, to the
+// next write on conn. Called immediately before each writev.
+func (l *TCPLink) armWriteDeadline() {
+	if wt := l.writeTimeout.Load(); wt > 0 {
+		_ = l.conn.SetWriteDeadline(time.Now().Add(time.Duration(wt)))
 	}
 }
 

@@ -88,10 +88,10 @@ func TestDecodeBorrowedMatchesDecode(t *testing.T) {
 		nil,
 		{},
 		{1, 0},
-		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},       // unknown kind
-		{1, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},        // bad flags
-		{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 'k'},   // truncated key
-		append(make([]byte, 12), 0xFF),              // trailing garbage window
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown kind
+		{1, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},  // bad flags
+		{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 'k'}, // truncated key
+		append(make([]byte, 12), 0xFF),            // trailing garbage window
 	}
 	for i, p := range bad {
 		_, errOwn := Decode(p)

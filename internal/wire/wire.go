@@ -13,13 +13,16 @@
 //     handoff), or SC -> MC under the SW1 optimization, where a write is
 //     answered by dropping the copy instead of propagating data.
 //
-// Two further kinds carry liveness traffic, which exists only because
-// real mobile links die silently — they are not part of the paper's cost
-// model and are not metered as protocol traffic:
+// Three further kinds carry liveness and admission traffic, which exists
+// only because real mobile links die silently and real servers have
+// finite capacity — they are not part of the paper's cost model and are
+// not metered as protocol traffic:
 //
 //   - Ping (MC -> SC): keepalive probe; Version carries a sequence
 //     number. The SC refreshes the session's last-seen time.
 //   - Pong (SC -> MC): echo of a Ping, same sequence number.
+//   - Busy (SC -> MC): overload signal; Key carries the reason and
+//     Version a retry-after hint in milliseconds (see KindBusy).
 //
 // The encoding is a fixed header plus length-prefixed fields; window bits
 // are packed eight per byte. Decode rejects malformed frames rather than
@@ -53,6 +56,14 @@ const (
 	KindPing
 	// KindPong is the SC's echo of a Ping, same sequence number.
 	KindPong
+	// KindBusy is the SC's overload signal (SC -> MC): the server refused
+	// an attach (admission control) or is shedding this session (memory
+	// watermark). Key carries the reason ("full", "rate", "shed",
+	// "slow-consumer"), Version a retry-after hint in milliseconds that
+	// the client's reconnect supervisor honors in its backoff —
+	// distinguishing "server full, come back later" from "server dead".
+	// Like Ping/Pong it is liveness traffic, not metered as protocol cost.
+	KindBusy
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +81,8 @@ func (k Kind) String() string {
 		return "ping"
 	case KindPong:
 		return "pong"
+	case KindBusy:
+		return "busy"
 	case KindMultiReadReq:
 		return "multi-read-req"
 	case KindMultiReadResp:
@@ -229,7 +242,7 @@ func decodeFrame(p []byte, borrow bool) (Message, error) {
 		return m, errTruncated
 	}
 	m.Kind = Kind(p[0])
-	if m.Kind < KindReadReq || m.Kind > KindPong {
+	if m.Kind < KindReadReq || m.Kind > KindBusy {
 		return m, fmt.Errorf("wire: unknown message kind %d", p[0])
 	}
 	if p[1] > 1 {

@@ -12,7 +12,7 @@ func TestKindStrings(t *testing.T) {
 	cases := map[Kind]string{
 		KindReadReq: "read-req", KindReadResp: "read-resp",
 		KindWriteProp: "write-prop", KindDeleteReq: "delete-req",
-		KindPing: "ping", KindPong: "pong",
+		KindPing: "ping", KindPong: "pong", KindBusy: "busy",
 		KindMultiReadReq: "multi-read-req", KindMultiReadResp: "multi-read-resp",
 		KindResyncReq: "resync-req", KindResyncResp: "resync-resp",
 		Kind(0): "kind(0)",
@@ -64,6 +64,7 @@ func TestEncodeDecodeAllKinds(t *testing.T) {
 		{Kind: KindDeleteReq, Key: ""},
 		{Kind: KindPing, Version: 17},
 		{Kind: KindPong, Version: 17},
+		{Kind: KindBusy, Key: "full", Version: 1500},
 	}
 	for i, m := range msgs {
 		frame, err := Encode(m)
@@ -84,6 +85,29 @@ func TestEncodeDecodeAllKinds(t *testing.T) {
 		if back.Window.String() != m.Window.String() {
 			t.Fatalf("msg %d: window %q != %q", i, back.Window, m.Window)
 		}
+	}
+}
+
+func TestBusyFrame(t *testing.T) {
+	// Busy carries the reason in Key and the retry-after hint (ms) in
+	// Version, and like Ping/Pong it is liveness traffic, not protocol cost.
+	m := Message{Kind: KindBusy, Key: "shed", Version: 250}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := FrameKind(frame); !ok || k != KindBusy {
+		t.Fatalf("FrameKind = %v, %v", k, ok)
+	}
+	back, err := DecodeBorrowed(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != KindBusy || back.Key != "shed" || back.Version != 250 {
+		t.Fatalf("decoded %+v", back)
+	}
+	if KindBusy.Control() {
+		t.Fatal("Busy must not be metered as a control message")
 	}
 }
 
