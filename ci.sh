@@ -100,6 +100,22 @@ go build -o /tmp/mobirep-load-ci ./cmd/mobirep-load
     -mem-soft-limit $((64 << 20)) -ceil-p99 100ms -max-goroutine-growth 8
 rm -f /tmp/mobirep-load-ci
 
+# Durability slice: the db layer (log format, epochs, group commit,
+# CrashFS, errfs fault injection, Compact kill-points) under the race
+# detector; the end-to-end restart kill-point sweeps (no acknowledged
+# write lost, no client-visible rollback, epoch fences mandatory — the
+# fencing contract is asserted inside them); a 30s kill-and-restart soak
+# under live traffic; and
+# the gen-4 (crash+restart) conformance explorer pinned to one shard and
+# to eight. "ci.sh -long" already explores 100k schedules above — gen 4
+# is the default generator, so those runs cover crash schedules too.
+go test -race -count=1 ./internal/db/
+go test -race -count=1 -run 'TestRestartKillPointSweep' ./internal/replica/
+go test -race -count=1 -run 'TestRestartSoak' ./internal/load/
+go test ./internal/load/ -count=1 -run 'TestRestartSoakDurable' -restart.soak=30s -timeout 10m
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.gen=4 -conformance.shards=1 -count=1
+go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.gen=4 -conformance.shards=8 -count=1
+
 # End-to-end: regenerate every experiment table in quick mode and prove the
 # parallel engine reproduces the sequential tables byte-for-byte. E23, E24
 # and E25 are timing-based (throughput and latency numbers change run to
@@ -109,9 +125,9 @@ rm -f /tmp/mobirep-load-ci
 out_seq=$(mktemp)
 out_par=$(mktemp)
 trap 'rm -f "$out_seq" "$out_par"' EXIT
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 -skip E23,E24,E25 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 -skip E23,E24,E25,E26 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_seq"
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 -skip E23,E24,E25 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 -skip E23,E24,E25,E26 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_par"
 diff "$out_seq" "$out_par"
 

@@ -28,6 +28,10 @@ func main() {
 	key := flag.String("key", "x", "key to auto-write")
 	writeRate := flag.Float64("write-rate", 0, "Poisson write rate per second (0 = no auto writes)")
 	logPath := flag.String("log", "", "append-only persistence log (empty = in-memory)")
+	syncPolicy := flag.String("sync", "group",
+		"durability policy for -log: always (fsync per write), group (group commit, default) or never (fsync only at shutdown)")
+	groupInterval := flag.Duration("group-commit-interval", 0,
+		"upper bound on how long a group-commit leader waits to grow a batch (0 = natural batching); only meaningful with -sync=group")
 	seed := flag.Uint64("seed", 1, "random seed for the write process")
 	statsEvery := flag.Duration("stats-every", 10*time.Second, "meter print interval")
 	chaosSpec := flag.String("chaos", "",
@@ -64,14 +68,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	pol, err := db.ParseSyncPolicy(*syncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var store *db.Store
 	if *logPath != "" {
-		store, err = db.Open(*logPath)
+		store, err = db.OpenWith(db.Options{Path: *logPath, Sync: pol, GroupInterval: *groupInterval})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer store.Close()
+		fmt.Printf("store: log=%s sync=%s epoch=%d\n", *logPath, store.SyncPolicyInUse(), store.Epoch())
 	} else {
 		store = db.NewStore()
 	}

@@ -2,7 +2,6 @@ package db
 
 import (
 	"fmt"
-	"os"
 )
 
 // Compact rewrites the persistence log so it holds exactly one record per
@@ -11,24 +10,43 @@ import (
 // every write appended; compaction keeps recovery time proportional to the
 // key count rather than the write count.
 //
-// The rewrite goes through a temporary file followed by an atomic rename,
-// so a crash during compaction leaves either the old or the new log, never
-// a mix. Compact is a no-op (and returns 0) on an in-memory store.
+// The rewrite goes through a temporary file followed by an atomic rename
+// and a directory sync, so a crash during compaction leaves either the
+// old or the new log, never a mix — and the rename itself cannot be lost
+// to an un-synced directory. The compacted log carries the same store
+// epoch: compaction is not a restart and must not fence clients.
 //
-// Compact blocks writers for its duration; it is intended for quiet
-// moments (the mobile-computing workload has plenty: overnight).
+// Compact is a no-op (and returns 0) on an in-memory store. It blocks
+// writers for its duration; it is intended for quiet moments (the
+// mobile-computing workload has plenty: overnight).
 func (s *Store) Compact() (reclaimed int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
 		return 0, nil
 	}
+	if s.failed != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFailed, s.failed)
+	}
+	// Make every appended record visible first: the rewrite below copies
+	// s.items, which must include any group-commit entries in flight.
+	s.drainLocked()
+	if s.failed != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFailed, s.failed)
+	}
+
 	oldSize := s.log.healthy
-	path := s.log.f.Name()
+	path := s.log.path
+	epoch := s.log.Epoch()
 	tmpPath := path + ".compact"
 
-	tmp, err := OpenLog(tmpPath)
+	tmp, err := OpenLogFS(s.log.fs, tmpPath)
 	if err != nil {
+		return 0, fmt.Errorf("db: compact: %w", err)
+	}
+	if err := tmp.SetEpoch(epoch); err != nil {
+		tmp.Close()
+		s.log.fs.Remove(tmpPath)
 		return 0, fmt.Errorf("db: compact: %w", err)
 	}
 	// Write the latest version of every key. Iteration order does not
@@ -36,50 +54,62 @@ func (s *Store) Compact() (reclaimed int64, err error) {
 	for _, it := range s.items {
 		if err := tmp.Append(Record{Key: it.Key, Value: it.Value, Version: it.Version}); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			s.log.fs.Remove(tmpPath)
 			return 0, fmt.Errorf("db: compact append: %w", err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.log.fs.Remove(tmpPath)
 		return 0, fmt.Errorf("db: compact sync: %w", err)
 	}
 	newSize := tmp.healthy
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		s.log.fs.Remove(tmpPath)
 		return 0, err
 	}
 
-	// Swap: close the old log, rename over it, reopen positioned at the
-	// end of the compacted contents.
+	// Swap: close the old log, rename over it, sync the directory so the
+	// rename survives a crash, and reopen positioned at the end of the
+	// compacted contents.
+	fs := s.log.fs
 	if err := s.log.Close(); err != nil {
-		os.Remove(tmpPath)
+		fs.Remove(tmpPath)
 		return 0, err
 	}
-	if err := os.Rename(tmpPath, path); err != nil {
+	if err := fs.Rename(tmpPath, path); err != nil {
 		// The old log file was closed but still intact on disk; reopen it
 		// so the store keeps working.
-		if reopened, rerr := reopenAtEnd(path); rerr == nil {
+		if reopened, rerr := reopenAtEndFS(fs, path); rerr == nil {
 			s.log = reopened
 		} else {
 			s.log = nil
 		}
 		return 0, fmt.Errorf("db: compact rename: %w", err)
 	}
-	reopened, err := reopenAtEnd(path)
+	if err := fs.SyncDir(path); err != nil {
+		return 0, fmt.Errorf("db: compact dir sync: %w", err)
+	}
+	reopened, err := reopenAtEndFS(fs, path)
 	if err != nil {
 		s.log = nil
 		return 0, err
 	}
 	s.log = reopened
+	s.gc.mu.Lock()
+	s.gc.synced = reopened.healthy
+	s.gc.applied = reopened.healthy
+	s.gc.tail = reopened.healthy
+	s.gc.mu.Unlock()
 	return oldSize - newSize, nil
 }
 
-// reopenAtEnd opens the log and replays it purely to position the write
-// offset after the last valid record (contents are already in memory).
-func reopenAtEnd(path string) (*Log, error) {
-	log, err := OpenLog(path)
+// reopenAtEndFS opens the log and replays it purely to position the
+// write offset after the last valid record (contents are already in
+// memory). The epoch in the header is read back, not bumped: only
+// db.Open bumps.
+func reopenAtEndFS(fs FS, path string) (*Log, error) {
+	log, err := OpenLogFS(fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -90,13 +120,14 @@ func reopenAtEnd(path string) (*Log, error) {
 	return log, nil
 }
 
-// LogSize returns the current byte size of the healthy log prefix, or 0
-// for an in-memory store. Callers use it to decide when to Compact.
+// LogSize returns the current byte size of the healthy log prefix
+// (records only, excluding the file header), or 0 for an in-memory
+// store. Callers use it to decide when to Compact.
 func (s *Store) LogSize() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.log == nil {
 		return 0
 	}
-	return s.log.healthy
+	return s.log.healthy - s.log.hdrLen
 }

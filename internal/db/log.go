@@ -8,25 +8,40 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
-// Log is an append-only record log with per-record CRC32C checksums.
-// Format of each record:
+// Log is an append-only record log with per-record CRC32C checksums,
+// preceded by a fixed checksummed file header that carries the store
+// epoch (see Store.Epoch). Format:
 //
-//	uint32  payload length (little endian)
-//	uint32  CRC32C of the payload
-//	payload:
-//	    uint64 version
-//	    uint16 key length, key bytes
-//	    uint32 value length, value bytes
+//	header (16 bytes):
+//	    magic   "MRL1"
+//	    uint64  store epoch (little endian)
+//	    uint32  CRC32C of magic+epoch
+//	records, each:
+//	    uint32  payload length (little endian)
+//	    uint32  CRC32C of the payload
+//	    payload:
+//	        uint64 version
+//	        uint16 key length, key bytes
+//	        uint32 value length, value bytes
 //
 // A torn final record (partial write at crash) is tolerated on replay:
-// replay stops at the first short or corrupt record and Append truncates
-// the tail so the log stays consistent.
+// replay stops at the first short or corrupt record and truncates the
+// tail so the log stays consistent. Logs written before the header was
+// introduced (no magic) are recognised and replayed from offset zero
+// with epoch 0; db.Open upgrades them in place via a rewrite.
 type Log struct {
-	f       *os.File
+	fs      FS
+	f       File
+	path    string
 	w       *bufio.Writer
 	healthy int64 // byte offset of the last fully valid record's end
+	// appended mirrors healthy for readers outside the store lock.
+	appended atomic.Int64
+	epoch    uint64
+	hdrLen   int64 // fileHeaderSize, or 0 for a legacy headerless log
 }
 
 // Record is one logged write.
@@ -36,29 +51,137 @@ type Record struct {
 	Version uint64
 }
 
-const logHeaderSize = 8 // length + crc
+const (
+	logHeaderSize  = 8 // per record: length + crc
+	fileHeaderSize = 16
+)
+
+var logMagic = [4]byte{'M', 'R', 'L', '1'}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// OpenLog opens (creating if needed) the log at path.
-func OpenLog(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// ErrCorruptHeader reports a log whose file header carries the right
+// magic but fails its checksum: the epoch is unknown, so opening it
+// would risk violating epoch monotonicity. Operator intervention (or
+// deleting the log) is required.
+var ErrCorruptHeader = errors.New("db: corrupt log file header")
+
+// OpenLog opens the log at path on the real filesystem.
+func OpenLog(path string) (*Log, error) { return OpenLogFS(OSFS(), path) }
+
+// OpenLogFS opens (creating if needed) the log at path on fs. A freshly
+// created log gets a header with epoch 0, synced along with its parent
+// directory so the file cannot vanish at a crash.
+func OpenLogFS(fs FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("db: open log: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f)}, nil
+	l := &Log{fs: fs, f: f, path: path, w: bufio.NewWriter(f)}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: open log: %w", err)
+	}
+	switch {
+	case size == 0:
+		// Fresh file: write the epoch-0 header and make both the header
+		// and the directory entry durable before anyone relies on it.
+		l.hdrLen = fileHeaderSize
+		l.healthy = fileHeaderSize
+		if err := l.writeHeader(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := fs.SyncDir(path); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("db: sync log dir: %w", err)
+		}
+	default:
+		var hdr [fileHeaderSize]byte
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		n, err := io.ReadFull(f, hdr[:])
+		switch {
+		case err == nil && [4]byte(hdr[0:4]) == logMagic:
+			sum := binary.LittleEndian.Uint32(hdr[12:16])
+			if crc32.Checksum(hdr[0:12], castagnoli) != sum {
+				f.Close()
+				return nil, fmt.Errorf("%w: %s", ErrCorruptHeader, path)
+			}
+			l.epoch = binary.LittleEndian.Uint64(hdr[4:12])
+			l.hdrLen = fileHeaderSize
+		default:
+			// No magic: a legacy headerless log (or arbitrary bytes, which
+			// record replay will reject record by record). Replay from 0.
+			_ = n
+			l.hdrLen = 0
+		}
+	}
+	l.healthy = l.hdrLen
+	l.appended.Store(l.healthy)
+	return l, nil
 }
 
-// Replay scans the log from the start, invoking fn for every valid record
-// in order. It stops silently at a torn or corrupt tail, records the
-// healthy prefix length, and truncates the file to it so subsequent
-// appends are safe.
-func (l *Log) Replay(fn func(Record)) error {
+// Epoch returns the store epoch recorded in the log header (0 for a
+// legacy or freshly created log that has not been bumped yet).
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// Legacy reports whether the log predates the epoch header.
+func (l *Log) Legacy() bool { return l.hdrLen == 0 }
+
+// writeHeader rewrites the file header in place with the given epoch
+// and syncs it to stable storage. The header fits one sector, and the
+// checksum catches the torn-write case regardless.
+func (l *Log) writeHeader(epoch uint64) error {
+	var hdr [fileHeaderSize]byte
+	copy(hdr[0:4], logMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(hdr[0:12], castagnoli))
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("db: write log header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("db: sync log header: %w", err)
+	}
+	if _, err := l.f.Seek(l.healthy, io.SeekStart); err != nil {
+		return err
+	}
+	l.epoch = epoch
+	return nil
+}
+
+// SetEpoch durably rewrites the header epoch in place. It is only
+// valid on a headered log; legacy logs are upgraded by rewrite in
+// db.Open before any epoch bump.
+func (l *Log) SetEpoch(epoch uint64) error {
+	if l.hdrLen == 0 {
+		return fmt.Errorf("db: cannot set epoch on legacy headerless log %s", l.path)
+	}
+	return l.writeHeader(epoch)
+}
+
+// Replay scans the log from the end of the header, invoking fn for
+// every valid record in order. It stops silently at a torn or corrupt
+// tail, records the healthy prefix length, and truncates the file to it
+// so subsequent appends are safe. A record length is rejected as corrupt
+// if it exceeds the bytes actually remaining in the file, so a single
+// flipped length header cannot trigger a giant allocation.
+func (l *Log) Replay(fn func(Record)) error {
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.hdrLen, io.SeekStart); err != nil {
+		return err
+	}
 	r := bufio.NewReader(l.f)
-	offset := int64(0)
+	offset := l.hdrLen
 	for {
 		var hdr [logHeaderSize]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -66,8 +189,8 @@ func (l *Log) Replay(fn func(Record)) error {
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length > 1<<30 {
-			break // absurd length: corrupt
+		if int64(length) > size-offset-logHeaderSize {
+			break // claims more bytes than the file holds: corrupt
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
@@ -84,6 +207,7 @@ func (l *Log) Replay(fn func(Record)) error {
 		offset += logHeaderSize + int64(length)
 	}
 	l.healthy = offset
+	l.appended.Store(offset)
 	if err := l.f.Truncate(offset); err != nil {
 		return fmt.Errorf("db: truncate torn tail: %w", err)
 	}
@@ -94,23 +218,40 @@ func (l *Log) Replay(fn func(Record)) error {
 	return nil
 }
 
-// Append writes one record and flushes it to the OS.
+// Append writes one record and flushes it to the OS. Durability is the
+// caller's business: Sync (or the store's sync policy) decides when the
+// record survives a power cut.
 func (l *Log) Append(rec Record) error {
-	payload := encodeRecord(rec)
-	var hdr [logHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return err
+	return l.AppendFramed(frameRecord(rec))
+}
+
+// AppendFramed writes pre-framed record bytes (frameRecord output,
+// possibly several records concatenated) with a single write and
+// flushes them to the OS. The group committer uses it to land a whole
+// batch in one syscall.
+func (l *Log) AppendFramed(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
 	}
-	if _, err := l.w.Write(payload); err != nil {
+	if _, err := l.w.Write(buf); err != nil {
 		return err
 	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	l.healthy += int64(logHeaderSize + len(payload))
+	l.healthy += int64(len(buf))
+	l.appended.Store(l.healthy)
 	return nil
+}
+
+// frameRecord renders one record exactly as it sits on disk: the
+// length+CRC header followed by the encoded payload.
+func frameRecord(rec Record) []byte {
+	payload := encodeRecord(rec)
+	out := make([]byte, logHeaderSize, logHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
 }
 
 // Sync forces the log contents to stable storage.
@@ -120,6 +261,11 @@ func (l *Log) Sync() error {
 	}
 	return l.f.Sync()
 }
+
+// fsync syncs the file without touching the buffered writer; Append and
+// AppendFramed flush on every call, so between appends the bufio buffer
+// is always empty and fsync covers everything written so far.
+func (l *Log) fsync() error { return l.f.Sync() }
 
 // Close flushes, syncs to stable storage, and closes the underlying
 // file. Without the sync a crash right after a clean shutdown could

@@ -1,0 +1,21 @@
+package db
+
+// Durability observability. Same idiom as internal/replica/metrics.go:
+// register once at init, touch pre-resolved handles on the hot path.
+
+import "mobirep/internal/obs"
+
+var (
+	dbReg = obs.Default()
+
+	mFsyncs = dbReg.Counter("mobirep_db_fsyncs_total",
+		"Log fsyncs issued (per-Put under sync=always, per batch under sync=group).")
+	mGroupCommits = dbReg.Counter("mobirep_db_group_commits_total",
+		"Group-commit rounds that made at least one record visible.")
+	mGroupRecords = dbReg.Counter("mobirep_db_group_commit_records_total",
+		"Records committed by group-commit rounds; divide by rounds for the mean batch size.")
+	mSyncFailures = dbReg.Counter("mobirep_db_sync_failures_total",
+		"Append or fsync failures that moved a store to the fail-closed state.")
+	mEpoch = dbReg.Gauge("mobirep_db_store_epoch",
+		"Persistent store epoch of the most recently opened store (bumped durably on every open).")
+)

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registry has %d experiments, want 25", len(all))
+	if len(all) != 26 {
+		t.Fatalf("registry has %d experiments, want 26", len(all))
 	}
 	for i, e := range all {
 		want := "E" + pad(i+1)

@@ -25,7 +25,7 @@ func init() {
 // memory (their outboxes are bounded), and the soft-watermark shedder
 // stays quiet as long as the account is under budget. Numbers are
 // timing-based, so like E23/E24 this experiment is excluded from the
-// byte-for-byte determinism diff (mobirep-bench -skip E23,E24,E25).
+// byte-for-byte determinism diff (mobirep-bench -skip E23,E24,E25,E26).
 func runE25(cfg Config) []*report.Table {
 	capacity := cfg.scale(20_000, 1_000)
 	duration := time.Duration(cfg.scale(2_000, 250)) * time.Millisecond

@@ -1,0 +1,298 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+)
+
+// Kill-and-restart soak: a fleet of warm clients against one server whose
+// store lives on the deterministic power-cut filesystem, with the server
+// process "killed" — links severed, volatile state dropped, the store's
+// unsynced journal cut at a seeded point — and restarted on a cadence
+// while readers and writers keep running. Every restart replays the full
+// production recovery: reopen (epoch bump), rebuild the server, redial
+// every client, warm resync, and a cold reattach wherever the epoch fence
+// fires. The scenario counts what the durability contract forbids —
+// acknowledged writes missing after restart, client-visible version
+// rollbacks — so ci.sh can soak it for 30s and assert both stay zero
+// under sync=always and sync=group.
+
+// RestartConfig describes one kill-and-restart soak.
+type RestartConfig struct {
+	// Sessions is the number of warm client sessions; 0 defaults to 8.
+	Sessions int
+	// Keys is the shared key-pool size; 0 defaults to 16.
+	Keys int
+	// Mode is the per-key allocation mode; zero value is not valid.
+	Mode replica.Mode
+	// Shards is the server shard count (power of two); 0 picks automatic.
+	Shards int
+	// Sync is the store's durability policy. The zero value is SyncGroup.
+	Sync db.SyncPolicy
+	// Duration is the total soak length; 0 defaults to 2s.
+	Duration time.Duration
+	// RestartEvery is the crash cadence; 0 defaults to 200ms.
+	RestartEvery time.Duration
+	// Writers is the number of server-write goroutines; 0 defaults to 2.
+	Writers int
+	// Seed drives the journal-cut choice at each crash.
+	Seed uint64
+}
+
+// RestartResult is one soak's measurements.
+type RestartResult struct {
+	Sessions int
+	Restarts int
+	// Fences counts epoch fences observed during recovery (cold
+	// reattaches forced by the bumped epoch).
+	Fences int
+	// LostAcked counts acknowledged writes missing after a restart.
+	// The durability contract makes this zero under sync=always and
+	// sync=group; sync=never may lose any unsynced suffix.
+	LostAcked int
+	// Rollbacks counts client reads that returned a version below one
+	// the same client had already seen without an intervening fence.
+	// Under sync=always and sync=group this is zero by contract: the
+	// store never regresses, so no read can either. Under sync=never the
+	// store itself may roll back, and a client that held no warm state
+	// across the crash resyncs without a fence — its earlier
+	// observations are not protected, only its held copies are.
+	Rollbacks int
+	Reads     int
+	ReadErrs  int
+	Writes    int
+	WriteErrs int
+	// FinalEpoch is the store epoch after the last restart: initial open
+	// plus one bump per restart.
+	FinalEpoch uint64
+}
+
+// restartWorld is the swap-on-restart state shared by every goroutine in
+// the soak. mu is held for read around every client/server operation and
+// exclusively by the restarter, so a crash is a stop-the-world event —
+// exactly what it is for a single-process server.
+type restartWorld struct {
+	mu  sync.RWMutex
+	srv *replica.Server
+
+	ackedMu sync.Mutex
+	acked   map[string]uint64 // committed version per key, updated post-ack
+}
+
+// RunRestart executes one kill-and-restart soak and tears everything
+// down before returning.
+func RunRestart(cfg RestartConfig) (RestartResult, error) {
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Sessions < 0 {
+		return RestartResult{}, errors.New("load: Sessions must be positive")
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 16
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.RestartEvery == 0 {
+		cfg.RestartEvery = 200 * time.Millisecond
+	}
+	if cfg.Writers == 0 {
+		cfg.Writers = 2
+	}
+
+	cfs := db.NewCrashFS()
+	store, err := db.OpenWith(db.Options{Path: "soak.log", Sync: cfg.Sync, FS: cfs})
+	if err != nil {
+		return RestartResult{}, err
+	}
+	srv, err := replica.NewServerShards(store, cfg.Mode, cfg.Shards)
+	if err != nil {
+		return RestartResult{}, err
+	}
+	w := &restartWorld{srv: srv, acked: make(map[string]uint64)}
+
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("soak-key-%d", i)
+		it, err := srv.Write(keys[i], []byte(fmt.Sprintf("v0-%d", i)))
+		if err != nil {
+			return RestartResult{}, err
+		}
+		w.acked[keys[i]] = it.Version
+	}
+
+	clients := make([]*replica.Client, cfg.Sessions)
+	sessions := make([]*replica.Session, cfg.Sessions)
+	for i := range clients {
+		sl, cl := transport.NewMemPair()
+		cli, err := replica.NewClient(cl, cfg.Mode)
+		if err != nil {
+			return RestartResult{}, err
+		}
+		clients[i] = cli
+		sessions[i] = srv.Attach(sl)
+	}
+
+	var res RestartResult
+	res.Sessions = cfg.Sessions
+	var resMu sync.Mutex // guards the counters below across goroutines
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: acked versions are recorded only after Write returns —
+	// that is the moment the durability contract starts covering them.
+	for wr := 0; wr < cfg.Writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := wr; ; i += cfg.Writers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[i%len(keys)]
+				w.mu.RLock()
+				it, err := w.srv.Write(key, []byte(fmt.Sprintf("soak-%d-%d", wr, i)))
+				if err == nil {
+					w.ackedMu.Lock()
+					w.acked[key] = it.Version
+					w.ackedMu.Unlock()
+				}
+				w.mu.RUnlock()
+				resMu.Lock()
+				if err != nil {
+					res.WriteErrs++
+				} else {
+					res.Writes++
+				}
+				resMu.Unlock()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(wr)
+	}
+
+	// Readers: one per client, hunting silent rollbacks. seen is the
+	// highest version this client observed per key; a fence resets it
+	// (the regression is advertised, so post-fence reads start over).
+	seenByClient := make([]map[string]uint64, cfg.Sessions)
+	for i := range seenByClient {
+		seenByClient[i] = make(map[string]uint64)
+	}
+	for ci := range clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := stats.NewRNG(cfg.Seed ^ (uint64(ci)*2654435761 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[rng.Intn(len(keys))]
+				w.mu.RLock()
+				it, err := clients[ci].Read(key)
+				var rolledBack bool
+				if err == nil {
+					seen := seenByClient[ci] // only this goroutine and the restarter touch it
+					if it.Version < seen[key] {
+						rolledBack = true
+					}
+					seen[key] = it.Version
+				}
+				w.mu.RUnlock()
+				resMu.Lock()
+				if err != nil {
+					res.ReadErrs++
+				} else {
+					res.Reads++
+					if rolledBack {
+						res.Rollbacks++
+					}
+				}
+				resMu.Unlock()
+			}
+		}(ci)
+	}
+
+	// Restarter: the stop-the-world crash loop.
+	rng := stats.NewRNG(cfg.Seed)
+	deadline := time.Now().Add(cfg.Duration)
+	for time.Now().Before(deadline) {
+		time.Sleep(cfg.RestartEvery)
+		if !time.Now().Before(deadline) {
+			break
+		}
+		w.mu.Lock()
+		// Power cut: keep a seeded prefix of the unsynced journal.
+		cut := rng.Intn(cfs.Ops() + 1)
+		for i := range clients {
+			clients[i].Suspend()
+		}
+		cfs.Kill(cut)
+		store, err = db.OpenWith(db.Options{Path: "soak.log", Sync: cfg.Sync, FS: cfs})
+		if err != nil {
+			w.mu.Unlock()
+			return res, fmt.Errorf("load: reopen after crash %d: %w", res.Restarts+1, err)
+		}
+		srv, err = replica.NewServerShards(store, cfg.Mode, cfg.Shards)
+		if err != nil {
+			w.mu.Unlock()
+			return res, fmt.Errorf("load: restart server %d: %w", res.Restarts+1, err)
+		}
+		w.srv = srv
+		res.Restarts++
+
+		// Audit the durability contract, then re-anchor the acked map to
+		// the surviving state so the next round measures from reality.
+		w.ackedMu.Lock()
+		for key, v := range w.acked {
+			it, _ := store.Get(key)
+			if it.Version < v {
+				res.LostAcked++
+			}
+			w.acked[key] = it.Version
+		}
+		w.ackedMu.Unlock()
+
+		// Recovery: redial every client; the epoch fence forces the cold
+		// reattach exactly as the supervisor would.
+		for i := range clients {
+			sl, cl := transport.NewMemPair()
+			sessions[i] = srv.Attach(sl)
+			if _, err := clients[i].ResumeResync(cl); err != nil {
+				w.mu.Unlock()
+				return res, fmt.Errorf("load: resync client %d: %w", i, err)
+			}
+			if clients[i].EpochFenced() {
+				res.Fences++
+				clients[i].Reattach(cl)
+				seenByClient[i] = make(map[string]uint64)
+			}
+			if clients[i].Offline() {
+				w.mu.Unlock()
+				return res, fmt.Errorf("load: client %d offline after recovery", i)
+			}
+		}
+		w.mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := range clients {
+		sessions[i].Detach()
+		clients[i].Disconnect()
+	}
+	res.FinalEpoch = store.Epoch()
+	store.Close()
+	return res, nil
+}

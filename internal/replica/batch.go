@@ -164,6 +164,13 @@ func (c *Client) onBatch(b wire.Batch) {
 		return
 	}
 	c.mu.Lock()
+	if c.epoch == 0 && b.Epoch != 0 {
+		// A joint read can be the first frame that tells an attach-greeting-
+		// deprived client which epoch it is talking to; adopt it. (A changed
+		// epoch cannot arrive here — restarts kill links, and the fence path
+		// is the resync answer's job.)
+		c.epoch = b.Epoch
+	}
 	for _, e := range b.Entries {
 		if !e.Allocate {
 			continue
@@ -209,7 +216,7 @@ func (ss *Session) onBatch(b wire.Batch) {
 	if b.Kind != wire.KindMultiReadReq {
 		return
 	}
-	resp := wire.Batch{Kind: wire.KindMultiReadResp}
+	resp := wire.Batch{Kind: wire.KindMultiReadResp, Epoch: ss.srv.store.Epoch()}
 	sh := ss.shard
 	sh.enter()
 	if ss.detached {
@@ -273,11 +280,24 @@ func (ss *Session) sendBatch(resp wire.Batch) {
 // window back as usual. A duplicated request (chaos) re-asserts
 // idempotently; the duplicated answer is version-guarded at the client.
 func (ss *Session) onResyncReq(b wire.Batch) {
-	resp := wire.Batch{Kind: wire.KindResyncResp}
+	epoch := ss.srv.store.Epoch()
+	resp := wire.Batch{Kind: wire.KindResyncResp, Epoch: epoch}
 	sh := ss.shard
 	sh.enter()
 	if ss.detached {
 		sh.exit()
+		return
+	}
+	if epoch != 0 && b.Epoch != 0 && b.Epoch != epoch {
+		// The declaration was built under a dead epoch: the client's warm
+		// state predates this incarnation, so re-asserting its subscriptions
+		// would resurrect allocation bits the restart wiped. Answer with a
+		// bare fence — the new epoch, no entries — and let the client
+		// reattach cold. (A hint of 0 means the client never learned an
+		// epoch; its copies were placed by some live incarnation and the
+		// version-guarded warm path below handles them.)
+		sh.exit()
+		ss.sendBatch(resp)
 		return
 	}
 	for ki, key := range b.Keys {

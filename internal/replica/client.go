@@ -29,6 +29,11 @@ type Client struct {
 	pending      map[string][]chan wire.Message
 	pendingBatch []chan wire.Batch
 	offline      bool
+	// epoch is the server store epoch the client has adopted (0 = not yet
+	// learned); fenced latches once an epoch change forced the warm state
+	// to be dropped, until a cold Reattach. See epoch.go.
+	epoch  uint64
+	fenced bool
 	// staleMax, when positive, lets offline reads serve the last known
 	// value (flagged with ErrStale) if it was confirmed fresh within
 	// this age. See AllowStale.
@@ -95,6 +100,14 @@ func (c *Client) Read(key string) (db.Item, error) {
 func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 	c.mu.Lock()
 	if c.offline {
+		if c.fenced {
+			// The authority restarted and the warm state is gone; advertise
+			// the reason instead of a generic offline (the fence dropped the
+			// cache, so there is nothing stale to serve either).
+			c.mu.Unlock()
+			mReadOffline.Inc()
+			return db.Item{}, ErrEpochChanged
+		}
 		staleMax := c.staleMax
 		c.mu.Unlock()
 		return c.staleRead(key, staleMax)
@@ -238,6 +251,8 @@ func (c *Client) onFrame(frame []byte) {
 		}
 	case wire.KindBusy:
 		c.onBusyFrame(msg)
+	case wire.KindAttachResp:
+		c.onAttachResp(msg)
 	default:
 		// ReadReq and Ping are client-to-server only; ignore.
 	}

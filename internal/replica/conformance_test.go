@@ -34,8 +34,8 @@ var (
 		"number of seeded fault schedules the conformance explorer runs")
 	confSeed = flag.Uint64("conformance.seed", 0,
 		"replay a single conformance schedule verbosely (0 = explore)")
-	confGen = flag.Int("conformance.gen", 3,
-		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects, 3 adds overload evictions")
+	confGen = flag.Int("conformance.gen", 4,
+		"schedule generator version for -conformance.seed replays: 1 is the original op mix, 2 adds pings and warm reconnects, 3 adds overload evictions, 4 runs the SC on a power-cut-simulated durable store and adds crash+restart")
 	confCoalesce = flag.Bool("conformance.coalesce", false,
 		"carry every frame over real coalescing TCPLinks (in-process pipe) instead of the raw in-memory pair; delivery stays lock-step via a per-frame ack, so schedules and verdicts are unchanged")
 	confShards = flag.Int("conformance.shards", 0,
@@ -151,6 +151,9 @@ func describeMsg(m wire.Message) string {
 	if m.Kind == wire.KindPing || m.Kind == wire.KindPong {
 		s += fmt.Sprintf(" seq=%d", m.Version)
 	}
+	if m.Kind == wire.KindAttachResp {
+		s += fmt.Sprintf(" e%d", m.Version)
+	}
 	if m.Allocate {
 		s += " alloc"
 	}
@@ -162,6 +165,9 @@ func describeMsg(m wire.Message) string {
 
 func describeBatch(b wire.Batch) string {
 	s := fmt.Sprintf("%v(", b.Kind)
+	if b.Epoch != 0 {
+		s += fmt.Sprintf("e%d ", b.Epoch)
+	}
 	for i, k := range b.Keys {
 		if i > 0 {
 			s += " "
@@ -219,12 +225,19 @@ func diffMsg(got, want wire.Message) string {
 type conformance struct {
 	t       *testing.T
 	seed    uint64
+	gen     int
+	shards  int
 	rng     *stats.RNG
 	verbose bool
 
 	mode     Mode
 	chaosCfg transport.Config
 	keys     []string
+
+	// cfs backs the SC's store for gen >= 4: a deterministic power-cut
+	// filesystem, so doCrashRestart can kill the server at a seeded
+	// journal cut and reopen from exactly the bytes that survived.
+	cfs *db.CrashFS
 
 	model *Model
 	srv   *Server
@@ -260,7 +273,7 @@ func (h *conformance) fail(format string, args ...any) error {
 		fmt.Sprintf(format, args...), h.model, strings.Join(h.trace, "\n    "))
 }
 
-func newConformance(t *testing.T, seed uint64, shards int, verbose bool) (*conformance, error) {
+func newConformance(t *testing.T, seed uint64, gen, shards int, verbose bool) (*conformance, error) {
 	rng := stats.NewRNG(seed)
 	modes := []Mode{SW(1), SW(1), SW(3), SW(3), SW(5), SW(5), Static1(), Static2()}
 	mode := modes[rng.Intn(len(modes))]
@@ -276,24 +289,55 @@ func newConformance(t *testing.T, seed uint64, shards int, verbose bool) (*confo
 	if shards == 0 {
 		shards = confShardsFor(seed)
 	}
-	srv, err := NewServerShards(db.NewStore(), mode, shards)
-	if err != nil {
-		return nil, err
-	}
 	h := &conformance{
-		t: t, seed: seed, rng: rng, verbose: verbose,
+		t: t, seed: seed, gen: gen, shards: shards, rng: rng, verbose: verbose,
 		mode: mode, chaosCfg: cfg,
 		keys:  []string{"a", "b", "c"},
 		model: NewModel(mode),
-		srv:   srv,
 	}
-	h.tracef("mode=%v drop=%v dup=%v reorder=%v shards=%d", mode, cfg.Drop, cfg.Dup, cfg.Reorder, shards)
-	// Silent bystander sessions, attached before the client so they also
-	// shift the client's session off shard 0: they must never receive a
-	// single frame, whatever the schedule does.
+	// Gens 1-3 run the SC on the plain in-memory store (epoch 0: no
+	// greeting, batch epochs 0), so their frozen seeds replay the exact
+	// byte streams that caught their bugs. Gen >= 4 runs it on a durable
+	// store over the power-cut simulator with sync=never — the weakest
+	// policy, so crash cuts can surface every survivable prefix — and the
+	// epoch machinery lights up end to end.
+	store := db.NewStore()
+	if gen >= 4 {
+		h.cfs = db.NewCrashFS()
+		var err error
+		store, err = db.OpenWith(db.Options{Path: "sc.log", Sync: db.SyncNever, FS: h.cfs})
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := NewServerShards(store, mode, shards)
+	if err != nil {
+		return nil, err
+	}
+	h.srv = srv
+	h.model.RestartSC(map[string]uint64{}, store.Epoch())
+	h.tracef("mode=%v drop=%v dup=%v reorder=%v shards=%d gen=%d epoch=%d",
+		mode, cfg.Drop, cfg.Dup, cfg.Reorder, shards, gen, store.Epoch())
+	h.attachBystanders()
+	if err := h.connect(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// attachBystanders attaches three silent sessions, before the client so
+// they also shift the client's session off shard 0: they must never
+// receive a single frame, whatever the schedule does. The one exception
+// is the epoch greeting a durable-store server sends every fresh attach
+// — that is liveness traffic addressed to them, not protocol fan-out, so
+// the counter skips it.
+func (h *conformance) attachBystanders() {
 	for i := 0; i < 3; i++ {
 		a, b := transport.NewMemPair()
 		b.SetHandler(func(f []byte) {
+			if k, ok := wire.FrameKind(f); ok && k == wire.KindAttachResp {
+				return
+			}
 			h.bystanderFrames++
 			if m, err := wire.Decode(f); err == nil {
 				h.bystanderLast = describeMsg(m)
@@ -303,10 +347,6 @@ func newConformance(t *testing.T, seed uint64, shards int, verbose bool) (*confo
 		})
 		h.srv.Attach(a)
 	}
-	if err := h.connect(); err != nil {
-		return nil, err
-	}
-	return h, nil
 }
 
 // connect builds a fresh chaos pair and attaches both endpoints to it.
@@ -328,6 +368,11 @@ func (h *conformance) connect() error {
 	}
 	h.s2c, h.c2s = sLink, cLink
 	h.sess = h.srv.Attach(sLink)
+	// A durable-store server greets every attach with its epoch; an
+	// epoch-0 (in-memory) server must stay wire-identical and send nothing.
+	if err := h.expectEmits("server", h.s2c, 0, h.model.AttachGreeting()); err != nil {
+		return err
+	}
 	if h.cli == nil {
 		h.cli, err = NewClient(cLink, h.mode)
 		return err
@@ -375,6 +420,10 @@ func (h *conformance) expectBatchEmits(side string, q *transport.Chaos, before i
 	if b.Kind != want.Kind || len(b.Keys) != len(want.Keys) || len(b.Entries) != len(want.Entries) {
 		return h.fail("%s batch shape diverges: impl %s, model %s",
 			side, describeBatch(b), describeBatch(*want))
+	}
+	if b.Epoch != want.Epoch {
+		return h.fail("%s batch epoch diverges: impl %d, model %d (%s)",
+			side, b.Epoch, want.Epoch, describeBatch(b))
 	}
 	for i := range want.Keys {
 		if b.Keys[i] != want.Keys[i] || b.Versions[i] != want.Versions[i] {
@@ -525,6 +574,9 @@ func (h *conformance) reconnectWarm() error {
 		}
 		h.s2c, h.c2s = sLink, cLink
 		h.sess = h.srv.Attach(sLink)
+		if err := h.expectEmits("server", h.s2c, 0, h.model.AttachGreeting()); err != nil {
+			return err
+		}
 
 		want := h.model.ResyncRequest()
 		before := h.c2s.Pending()
@@ -586,6 +638,102 @@ func (h *conformance) doEvict() error {
 		return h.fail("evict sent %d frames before closing the link, model predicts %d", got, len(want))
 	}
 	return nil
+}
+
+// doCrashRestart power-cuts the SC and restarts it from whatever prefix
+// of the un-synced filesystem journal the seeded cut kept (sync=never, so
+// any prefix is fair game — acknowledged versions may roll back, which is
+// exactly what the epoch fence must surface). The dead store is abandoned
+// un-Closed, links die with the process, and the new incarnation opens
+// the survivor bytes, bumps the persisted epoch, and gets fresh
+// bystanders. The model restarts from the reopened store's contents; the
+// client then recovers the way the supervisor would: warm resync first,
+// and a cold Reattach if the answer fences.
+func (h *conformance) doCrashRestart() error {
+	cut := h.rng.Intn(h.cfs.Ops() + 1)
+	h.tracef("crash sc (keep %d/%d journaled ops) + restart", cut, h.cfs.Ops())
+	h.s2c.Close()
+	h.c2s.Close()
+	h.cli.Suspend()
+	h.cfs.Kill(cut)
+	store, err := db.OpenWith(db.Options{Path: "sc.log", Sync: db.SyncNever, FS: h.cfs})
+	if err != nil {
+		return h.fail("reopen store after crash: %v", err)
+	}
+	srv, err := NewServerShards(store, h.mode, h.shards)
+	if err != nil {
+		return h.fail("restart server: %v", err)
+	}
+	h.srv = srv
+	h.attachBystanders()
+	surviving := make(map[string]uint64)
+	for _, key := range store.Keys() {
+		it, _ := store.Get(key)
+		surviving[key] = it.Version
+	}
+	h.model.RestartSC(surviving, store.Epoch())
+	h.tracef("restarted: epoch=%d survivors=%d", store.Epoch(), len(surviving))
+
+	for attempt := 0; attempt < 25; attempt++ {
+		h.s2c.Close()
+		h.c2s.Close()
+		h.cli.Suspend()
+		h.sess.Detach()
+		h.model.DetachSC()
+
+		cfg := h.chaosCfg
+		cfg.Seed = h.rng.Uint64()
+		sLink, cLink, err := transport.NewChaosPair(cfg)
+		if err != nil {
+			return err
+		}
+		h.s2c, h.c2s = sLink, cLink
+		h.sess = h.srv.Attach(sLink)
+		if err := h.expectEmits("server", h.s2c, 0, h.model.AttachGreeting()); err != nil {
+			return err
+		}
+
+		want := h.model.ResyncRequest()
+		before := h.c2s.Pending()
+		if _, err := h.cli.ResumeResync(cLink); err != nil {
+			return h.fail("resume resync after crash: %v", err)
+		}
+		if want == nil {
+			// Nothing held: online at once; the queued greeting teaches the
+			// client the new epoch whenever the main loop delivers it.
+			if h.cli.Offline() {
+				return h.fail("empty post-crash resync left the client offline")
+			}
+			return h.expectEmits("client", h.c2s, before, nil)
+		}
+		if err := h.expectBatchEmits("client", h.c2s, before, want); err != nil {
+			return err
+		}
+		for steps := 0; h.cli.Offline() && !h.cli.EpochFenced(); steps++ {
+			if steps > 4000 {
+				return h.fail("crash recovery pump exceeded step budget")
+			}
+			if h.s2c.Pending()+h.c2s.Pending() == 0 {
+				h.tracef("post-crash resync lost in transit; redialing")
+				break
+			}
+			if err := h.pumpOne(); err != nil {
+				return err
+			}
+		}
+		if h.cli.EpochFenced() {
+			// Mirror the supervisor: a fence demands a cold restart, done on
+			// the already-dialed link. Fencing dropped every copy on both the
+			// impl and the model, so the cold session starts clean.
+			h.tracef("epoch fence observed; cold reattach")
+			h.cli.Reattach(cLink)
+			return nil
+		}
+		if !h.cli.Offline() {
+			return nil
+		}
+	}
+	return h.fail("post-crash recovery never completed")
 }
 
 func (h *conformance) doWrite(key string) error {
@@ -769,8 +917,12 @@ func (h *conformance) checkFinalState() error {
 // schedule generator: 1 is the original op mix (kept verbatim so the
 // frozen regression seeds replay the exact schedules that caught their
 // bugs), 2 widens the switch with keepalive pings and warm reconnects,
-// 3 adds overload evictions. Each generation only appends die faces, so
-// every older generation's seeds replay byte for byte.
+// 3 adds overload evictions, 4 runs the SC on a power-cut-simulated
+// durable store (sync=never) and adds crash+restart — volatile state
+// lost, durable prefix kept, epoch bumped. Each generation only appends
+// die faces, so every older generation's seeds replay byte for byte
+// (gens 1-3 keep the epoch-0 in-memory store, so no greeting frames and
+// zero batch epochs perturb their schedules).
 func runConformance(t *testing.T, seed uint64, gen int, verbose bool) error {
 	return runConformanceShards(t, seed, gen, 0, verbose)
 }
@@ -778,7 +930,7 @@ func runConformance(t *testing.T, seed uint64, gen int, verbose bool) error {
 // runConformanceShards is runConformance with an explicit server shard
 // count (0 derives it from the seed / -conformance.shards as usual).
 func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bool) error {
-	h, err := newConformance(t, seed, shards, verbose)
+	h, err := newConformance(t, seed, gen, shards, verbose)
 	if err != nil {
 		return err
 	}
@@ -791,6 +943,9 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 	}
 	if gen >= 3 {
 		die = 13
+	}
+	if gen >= 4 {
+		die = 14
 	}
 	nOps := 30 + h.rng.Intn(31)
 	for op := 0; op < nOps; op++ {
@@ -821,6 +976,8 @@ func runConformanceShards(t *testing.T, seed uint64, gen, shards int, verbose bo
 			err = h.reconnectWarm()
 		case 12:
 			err = h.doEvict()
+		case 13:
+			err = h.doCrashRestart()
 		}
 		if err != nil {
 			return err
@@ -895,6 +1052,24 @@ var gen2RegressionSeeds = []uint64{3, 18, 33, 36}
 //     exercised without chaos masking a stray frame.
 var gen3RegressionSeeds = []uint64{2, 5, 17}
 
+// gen4RegressionSeeds pins generator-4 schedules chosen by trace
+// inspection to cover the crash+restart transitions the explorer can
+// reach:
+//
+//   - seed 1: crash cuts that roll acknowledged versions back under
+//     sync=never, repaired without a fence — the client held nothing (or
+//     only hint-0 state) across each crash, so warm recovery adopts the
+//     new epoch silently and post-crash writes re-advance the store.
+//   - seed 3: the fence arrives as the bare ResyncResp answer — the
+//     stale-epoch declaration is refused without re-asserting
+//     subscriptions, and the cold reattach follows.
+//   - seed 10: back-to-back crashes; a fence delivered via the attach
+//     greeting racing the resync answer; a second fence via the bare
+//     ResyncResp after deferred duplicates; plus version rollback.
+//   - seed 49: both fence paths again under a different fault mix, with
+//     rollback and a post-fence warm reconnect in the same schedule.
+var gen4RegressionSeeds = []uint64{1, 3, 10, 49}
+
 func TestConformanceRegressionSeeds(t *testing.T) {
 	// Generator-1 seeds: the original op mix.
 	for _, seed := range []uint64{35, 46, 61} {
@@ -915,6 +1090,12 @@ func TestConformanceRegressionSeeds(t *testing.T) {
 	for _, seed := range gen3RegressionSeeds {
 		if err := runConformance(t, seed, 3, false); err != nil {
 			t.Errorf("regression seed %d (gen 3) diverged:\n%v", seed, err)
+		}
+	}
+	// Generator-4 seeds: schedules that crash and restart the SC mid-flight.
+	for _, seed := range gen4RegressionSeeds {
+		if err := runConformance(t, seed, 4, false); err != nil {
+			t.Errorf("regression seed %d (gen 4) diverged:\n%v", seed, err)
 		}
 	}
 }
@@ -944,6 +1125,11 @@ func TestConformanceShardRegressionSeeds(t *testing.T) {
 				t.Errorf("regression seed %d (gen 3) diverged at %d shards:\n%v", seed, shards, err)
 			}
 		}
+		for _, seed := range gen4RegressionSeeds {
+			if err := runConformanceShards(t, seed, 4, shards, false); err != nil {
+				t.Errorf("regression seed %d (gen 4) diverged at %d shards:\n%v", seed, shards, err)
+			}
+		}
 	}
 }
 
@@ -964,7 +1150,7 @@ func TestConformanceExplorer(t *testing.T) {
 	}
 	failed := 0
 	for seed := uint64(1); seed <= uint64(n); seed++ {
-		if err := runConformance(t, seed, 3, false); err != nil {
+		if err := runConformance(t, seed, 4, false); err != nil {
 			t.Errorf("schedule seed=%d diverged:\n%v\nreplay: go test ./internal/replica -run 'TestConformanceExplorer$' -conformance.seed=%d -v",
 				seed, err, seed)
 			failed++

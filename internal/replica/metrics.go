@@ -65,6 +65,13 @@ var (
 		"Warm resync attempts by outcome.")
 	mResyncSent    = obsReg.Counter(`mobirep_replica_resyncs_total{outcome="sent"}`, "")
 	mResyncApplied = obsReg.Counter(`mobirep_replica_resyncs_total{outcome="applied"}`, "")
+	mResyncFenced  = obsReg.Counter(`mobirep_replica_resyncs_total{outcome="fenced"}`, "")
+
+	// Epoch fencing (epoch.go): warm state dropped because the server's
+	// store epoch changed under the client.
+	mEpochFences = obsReg.Counter("mobirep_replica_epoch_fences_total",
+		"Epoch fences: a client observed the server's store epoch change "+
+			"(authority restarted) and dropped its warm state for a cold reattach.")
 
 	mResyncNotModified = obsReg.Counter(`mobirep_replica_resync_entries_total{result="not-modified"}`,
 		"Resync response entries by result: revalidated in place vs re-shipped payload.")

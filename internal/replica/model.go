@@ -49,6 +49,15 @@ import (
 // until a cold Reconnect or a warm DetachSC resync repairs the pairing,
 // both of which clear the detached flag.
 //
+// The durability layer (internal/db) adds the crash+restart action:
+// RestartSC collapses the store to the versions the new incarnation
+// recovered from its log, wipes all volatile SC state, and advances the
+// store epoch; AttachGreeting predicts the epoch greeting a durable
+// server sends on every attach; and the epoch carried on resync answers
+// fences the MC (FenceMC) — a client whose adopted epoch no longer
+// matches drops every warm copy instead of trusting state that predates
+// the restart.
+//
 // Everything else is the paper's protocol verbatim, mirrored from
 // client.go and server.go.
 type Model struct {
@@ -66,6 +75,10 @@ type Model struct {
 	// ignores everything from this client and propagates nothing to it
 	// until Reconnect or DetachSC re-pairs them.
 	scDetached bool
+	// epoch is the SC store epoch (0 = in-memory store, no fencing);
+	// mcEpoch is the epoch the MC has adopted (0 = not yet learned).
+	epoch   uint64
+	mcEpoch uint64
 }
 
 // modelSide is one side's view of a key: the copy bit and, for SW modes,
@@ -304,6 +317,11 @@ func (m *Model) DeliverToClient(msg wire.Message) (emits []wire.Message, complet
 		// handed to the supervisor); the protocol state machine emits
 		// nothing and changes nothing.
 		return nil, nil
+	case wire.KindAttachResp:
+		// The server's epoch greeting: adopt an unknown epoch, fence on a
+		// changed one, stay inert on a match or a duplicate. Never emits.
+		m.noteEpoch(msg.Version)
+		return nil, nil
 	default:
 		return nil, nil // client ignores client-to-server kinds
 	}
@@ -402,10 +420,67 @@ func (m *Model) EvictSC(reason string, retryMillis uint64) []wire.Message {
 	return []wire.Message{{Kind: wire.KindBusy, Key: reason, Version: retryMillis}}
 }
 
+// RestartSC models the stationary computer crashing and restarting: the
+// durable store collapses to surviving (the per-key versions the new
+// incarnation recovered from its log), all volatile SC-side state —
+// per-session allocation bits, windows, detach flags — is gone, and the
+// store epoch advances to epoch. The MC side is untouched: the client
+// does not yet know the authority restarted and learns it only through
+// the epoch carried on AttachResp and ResyncResp frames.
+func (m *Model) RestartSC(surviving map[string]uint64, epoch uint64) {
+	m.store = make(map[string]uint64, len(surviving))
+	for k, v := range surviving {
+		m.store[k] = v
+	}
+	m.sc = make(map[string]*modelSide)
+	m.scDetached = false
+	m.epoch = epoch
+}
+
+// AttachGreeting returns the frames the server must emit when a session
+// attaches: the AttachResp epoch greeting for a durable store, nothing
+// for an in-memory one (epoch 0) — which keeps pre-durability schedules
+// byte-identical.
+func (m *Model) AttachGreeting() []wire.Message {
+	if m.epoch == 0 {
+		return nil
+	}
+	return []wire.Message{{Kind: wire.KindAttachResp, Version: m.epoch}}
+}
+
+// noteEpoch folds a server-announced epoch into the MC state and reports
+// whether it fenced: 0 is ignored, an unknown epoch is adopted, a
+// matching epoch is inert, and a changed epoch fences (FenceMC).
+func (m *Model) noteEpoch(epoch uint64) bool {
+	if epoch == 0 {
+		return false
+	}
+	if m.mcEpoch == 0 || m.mcEpoch == epoch {
+		m.mcEpoch = epoch
+		return false
+	}
+	m.FenceMC(epoch)
+	return true
+}
+
+// FenceMC models the client's epoch fence: the authority restarted, so
+// every warm copy, window, and cached value is untrustworthy and dropped.
+// The MC restarts from the one-copy scheme exactly like a fresh client.
+func (m *Model) FenceMC(epoch uint64) {
+	m.mc = make(map[string]*modelSide)
+	m.cache = make(map[string]uint64)
+	m.mcEpoch = epoch
+}
+
+// MCEpoch returns the epoch the MC has adopted (0 = not yet learned).
+func (m *Model) MCEpoch() uint64 { return m.mcEpoch }
+
 // ResyncRequest returns the warm-resync declaration the client must emit
-// on ResumeResync: every held key, sorted, with its cached version stamp.
-// nil when no copies are held — the client comes back online immediately
-// and for free.
+// on ResumeResync: every held key, sorted, with its cached version stamp,
+// plus the epoch the client last adopted (0 when it never learned one) so
+// the server can tell a same-incarnation blip from a resync against a
+// dead epoch. nil when no copies are held — the client comes back online
+// immediately and for free.
 func (m *Model) ResyncRequest() *wire.Batch {
 	var keys []string
 	for key, st := range m.mc {
@@ -421,7 +496,7 @@ func (m *Model) ResyncRequest() *wire.Batch {
 	for i, k := range keys {
 		versions[i] = m.cache[k]
 	}
-	return &wire.Batch{Kind: wire.KindResyncReq, Keys: keys, Versions: versions}
+	return &wire.Batch{Kind: wire.KindResyncReq, Epoch: m.mcEpoch, Keys: keys, Versions: versions}
 }
 
 // DeliverResyncToServer feeds a client->server batch to the SC state
@@ -433,7 +508,13 @@ func (m *Model) DeliverResyncToServer(b wire.Batch) *wire.Batch {
 	if b.Kind != wire.KindResyncReq || m.scDetached {
 		return nil
 	}
-	resp := &wire.Batch{Kind: wire.KindResyncResp}
+	if m.epoch != 0 && b.Epoch != 0 && b.Epoch != m.epoch {
+		// The client is resyncing against a dead incarnation: its warm
+		// state predates the restart, so nothing is re-asserted and the
+		// answer carries only the new epoch — the client must fence.
+		return &wire.Batch{Kind: wire.KindResyncResp, Epoch: m.epoch}
+	}
+	resp := &wire.Batch{Kind: wire.KindResyncResp, Epoch: m.epoch}
 	for i, key := range b.Keys {
 		st := m.side(m.sc, key)
 		if m.mode.Kind != ModeStatic1 {
@@ -458,6 +539,12 @@ func (m *Model) DeliverResyncToServer(b wire.Batch) *wire.Batch {
 // only to held keys and are version-guarded, so duplicates are inert.
 func (m *Model) DeliverResyncToClient(b wire.Batch) []wire.Message {
 	if b.Kind != wire.KindResyncResp {
+		return nil
+	}
+	if m.noteEpoch(b.Epoch) {
+		// The answer names a new epoch: fence. The entries (if any) speak
+		// for a dead incarnation and are ignored; the client stays offline
+		// with the fence latched until a cold reattach.
 		return nil
 	}
 	var emits []wire.Message

@@ -99,6 +99,7 @@ func failWaiters(pending map[string][]chan wire.Message, batch []chan wire.Batch
 func (c *Client) Disconnect() {
 	c.mu.Lock()
 	c.offline = true
+	c.fenced = false // the cold drop below is everything a fence demands
 	old := c.link
 	c.link = nil
 	// Drop all cached copies and allocation state.
@@ -156,6 +157,7 @@ func (c *Client) Reattach(link transport.Link) {
 	old := c.link
 	c.link = link
 	c.offline = false
+	c.fenced = false // cold restart: the fence's demand is satisfied
 	c.items = make(map[string]*itemState)
 	pending, batch, done := c.takeWaitersLocked()
 	c.mu.Unlock()
@@ -197,10 +199,14 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 	done := make(chan struct{})
 	if len(keys) == 0 {
 		c.offline = false
+		// A fenced client holds no copies, so it lands here: coming back
+		// online empty is exactly the cold restart the fence demanded.
+		c.fenced = false
 		close(done)
 	} else {
 		c.offline = true
 	}
+	epochHint := c.epoch
 	pending, batch, prevDone := c.takeWaitersLocked()
 	if len(keys) > 0 {
 		c.resyncDone = done
@@ -221,7 +227,10 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 	// One reattachment connection, one control message for the whole
 	// held set.
 	c.meter.addConnection()
-	frame, err := wire.EncodeBatch(wire.Batch{Kind: wire.KindResyncReq, Keys: keys, Versions: hints})
+	// The declaration carries the epoch this state was built under (0 when
+	// never learned): the server answers a dead-epoch resync with a bare
+	// fence instead of re-asserting subscriptions that predate its restart.
+	frame, err := wire.EncodeBatch(wire.Batch{Kind: wire.KindResyncReq, Epoch: epochHint, Keys: keys, Versions: hints})
 	if err != nil {
 		return done, fmt.Errorf("replica: encode resync: %w", err)
 	}
@@ -243,6 +252,23 @@ func (c *Client) onResyncResp(b wire.Batch) {
 	var dealloc []wire.Message
 	var notModified, reshipped int64
 	c.mu.Lock()
+	c.noteEpochLocked(b.Epoch)
+	if c.fenced {
+		// The answer names a new epoch (or an earlier AttachResp already
+		// fenced this outage): the warm state is gone and the entries speak
+		// for a dead incarnation. Stay offline with the fence latched — the
+		// supervisor sees EpochFenced after the resync ends and reattaches
+		// cold — but close the done channel so the attempt resolves.
+		done := c.resyncDone
+		c.resyncDone = nil
+		c.mu.Unlock()
+		mResyncFenced.Inc()
+		obsTr.Record(obs.EvResync, "", "fenced", int64(b.Epoch), 0)
+		if done != nil {
+			close(done)
+		}
+		return
+	}
 	for _, e := range b.Entries {
 		st, ok := c.items[e.Key]
 		if !ok || !st.hasCopy {

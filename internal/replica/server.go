@@ -158,6 +158,11 @@ func (s *Server) attachSession(id uint64, link transport.Link) *Session {
 	gSessions.Add(1)
 	mSessionsOpened.Inc()
 	obsTr.Record(obs.EvSessionOpen, "", "", 0, 0)
+	// Durable servers greet every attach with their store epoch so the
+	// client can fence if the authority restarted (epoch.go); in-memory
+	// servers (epoch 0) stay silent and wire-identical to pre-durability
+	// builds.
+	sess.sendAttachResp()
 	return sess
 }
 

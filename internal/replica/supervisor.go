@@ -87,6 +87,10 @@ type SupervisorStats struct {
 	// BusySignals counts Busy frames the server answered with (attach
 	// refused or session shed) — overload, not death.
 	BusySignals int64
+	// EpochFences counts recoveries where the resync answer named a new
+	// store epoch — the server restarted — and the supervisor fell back to
+	// a cold Reattach on the already-dialed link.
+	EpochFences int64
 }
 
 // Supervisor is the self-healing loop for one client. Create with
@@ -115,6 +119,7 @@ type Supervisor struct {
 	reconns  atomic.Int64
 	hbMisses atomic.Int64
 	busies   atomic.Int64
+	fences   atomic.Int64
 }
 
 // NewSupervisor wires a supervisor to cli. dial must return a link ready
@@ -143,6 +148,7 @@ func (s *Supervisor) Stats() SupervisorStats {
 		Reconnects:      s.reconns.Load(),
 		HeartbeatMisses: s.hbMisses.Load(),
 		BusySignals:     s.busies.Load(),
+		EpochFences:     s.fences.Load(),
 	}
 }
 
@@ -309,6 +315,14 @@ func (s *Supervisor) reattach(link transport.Link) bool {
 		// Closed by the applied resync answer — or by an abandonment;
 		// Offline distinguishes them.
 		if s.cli.Offline() {
+			if s.cli.EpochFenced() {
+				// The answer named a new store epoch: the server restarted
+				// and the warm state is already dropped. The link itself is
+				// fine — reattach cold on it instead of burning a redial.
+				s.fences.Add(1)
+				s.cli.Reattach(link)
+				return true
+			}
 			return false
 		}
 		return true

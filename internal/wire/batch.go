@@ -60,6 +60,11 @@ type Entry struct {
 type Batch struct {
 	// Kind is KindMultiReadReq or KindMultiReadResp.
 	Kind Kind
+	// Epoch carries the server's store epoch on responses (ResyncResp,
+	// MultiReadResp); 0 means no epoch (in-memory store, or a request).
+	// Clients fence on it: a changed epoch means the authority restarted
+	// and warm state cannot be trusted.
+	Epoch uint64
 	// Keys lists the requested keys (requests only).
 	Keys []string
 	// Versions, parallel to Keys, carries revalidation hints: the version
@@ -82,7 +87,7 @@ const maxBatch = 1 << 12
 // AppendEncodeBatch into a new allocation; hot paths should prefer
 // AppendEncodeBatch with a pooled buffer (GetBuf/PutBuf).
 func EncodeBatch(b Batch) ([]byte, error) {
-	size := 3 + 2
+	size := 3 + 2 + 8
 	for _, k := range b.Keys {
 		size += 2 + len(k) + 8
 	}
@@ -116,6 +121,7 @@ func AppendEncodeBatch(dst []byte, b Batch) ([]byte, error) {
 		}
 	}
 	out := append(dst, byte(b.Kind))
+	out = binary.LittleEndian.AppendUint64(out, b.Epoch)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Keys)))
 	for i, k := range b.Keys {
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(k)))
@@ -158,6 +164,9 @@ func DecodeBatch(p []byte) (Batch, error) {
 	b.Kind = Kind(kind)
 	if !isBatchKind(b.Kind) {
 		return b, fmt.Errorf("wire: kind %d is not a batch kind", kind)
+	}
+	if b.Epoch, err = r.uint64(); err != nil {
+		return b, err
 	}
 	nKeys, err := r.uint16()
 	if err != nil {

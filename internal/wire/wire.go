@@ -64,6 +64,15 @@ const (
 	// distinguishing "server full, come back later" from "server dead".
 	// Like Ping/Pong it is liveness traffic, not metered as protocol cost.
 	KindBusy
+	// KindAttachResp is the SC's greeting on a successful attach (SC ->
+	// MC): Version carries the server's store epoch, durably bumped on
+	// every process start. A client that sees the epoch change knows the
+	// authority restarted and must fence: drop warm state and resync cold
+	// (see replica.ErrEpochChanged). Sent only by servers with a
+	// persistent store (epoch > 0); best-effort — the authoritative fence
+	// is the epoch echoed on every ResyncResp. Liveness traffic, not
+	// metered as protocol cost.
+	KindAttachResp
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +92,8 @@ func (k Kind) String() string {
 		return "pong"
 	case KindBusy:
 		return "busy"
+	case KindAttachResp:
+		return "attach-resp"
 	case KindMultiReadReq:
 		return "multi-read-req"
 	case KindMultiReadResp:
@@ -242,7 +253,7 @@ func decodeFrame(p []byte, borrow bool) (Message, error) {
 		return m, errTruncated
 	}
 	m.Kind = Kind(p[0])
-	if m.Kind < KindReadReq || m.Kind > KindBusy {
+	if m.Kind < KindReadReq || m.Kind > KindAttachResp {
 		return m, fmt.Errorf("wire: unknown message kind %d", p[0])
 	}
 	if p[1] > 1 {
