@@ -79,11 +79,17 @@ func (s *Store) Compact() (reclaimed int64, err error) {
 	}
 	if err := fs.Rename(tmpPath, path); err != nil {
 		// The old log file was closed but still intact on disk; reopen it
-		// so the store keeps working.
+		// so the store keeps working. The contents (and so the logical
+		// offsets) are unchanged, but the handle is new, so the generation
+		// must still advance to fence any round pinning the closed one.
 		if reopened, rerr := reopenAtEndFS(fs, path); rerr == nil {
-			s.log = reopened
+			s.swapLogLocked(reopened)
 		} else {
+			// Without a log handle the store cannot persist anything it
+			// acknowledges; fail closed rather than silently going
+			// in-memory.
 			s.log = nil
+			s.failLocked(rerr)
 		}
 		return 0, fmt.Errorf("db: compact rename: %w", err)
 	}
@@ -93,15 +99,30 @@ func (s *Store) Compact() (reclaimed int64, err error) {
 	reopened, err := reopenAtEndFS(fs, path)
 	if err != nil {
 		s.log = nil
+		s.failLocked(err)
 		return 0, err
 	}
-	s.log = reopened
-	s.gc.mu.Lock()
-	s.gc.synced = reopened.healthy
-	s.gc.applied = reopened.healthy
-	s.gc.tail = reopened.healthy
-	s.gc.mu.Unlock()
+	s.swapLogLocked(reopened)
 	return oldSize - newSize, nil
+}
+
+// swapLogLocked installs a replacement log handle after Compact's
+// rename (or its recovery path) and moves the group-commit machinery
+// into the new file's coordinate space. Bumping gen fences every offset
+// captured before the swap: stale waiters (all satisfied — the caller
+// drained first) stop comparing old-space offsets against the new ones,
+// and a stale leader discards its round instead of folding a
+// pre-compaction tail into the fresh synced/applied or writing through
+// the closed old handle. The caller holds s.mu.
+func (s *Store) swapLogLocked(l *Log) {
+	s.log = l
+	s.gc.mu.Lock()
+	s.gc.gen++
+	s.gc.synced = l.healthy
+	s.gc.applied = l.healthy
+	s.gc.tail = l.healthy
+	s.gc.cond.Broadcast()
+	s.gc.mu.Unlock()
 }
 
 // reopenAtEndFS opens the log and replays it purely to position the

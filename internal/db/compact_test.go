@@ -3,8 +3,78 @@ package db
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 )
+
+// TestCompactRacesGroupCommit pins the coordinate-space race between
+// Compact and an in-flight group-commit leader: a leader that finished
+// its batch write before Compact swapped the log must not fold its
+// pre-compaction tail into the compacted log's synced/applied offsets —
+// doing so acknowledges later Puts before their records exist anywhere.
+// The test hammers group-committed Puts against repeated Compacts, then
+// pulls the plug (every un-synced byte lost) and checks that every
+// acknowledged version survived.
+func TestCompactRacesGroupCommit(t *testing.T) {
+	cfs := NewCrashFS()
+	s, err := OpenWith(Options{Path: "items.log", Sync: SyncGroup, FS: cfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, puts = 4, 60
+	acked := make([]uint64, writers) // highest acknowledged version per key
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", w)
+			for i := 0; i < puts; i++ {
+				it, err := s.Put(key, []byte(fmt.Sprintf("%d-%d", w, i)))
+				if err != nil {
+					errs <- fmt.Errorf("writer %d put %d: %w", w, i, err)
+					return
+				}
+				acked[w] = it.Version
+			}
+		}(w)
+	}
+	compDone := make(chan struct{})
+	go func() {
+		defer close(compDone)
+		for i := 0; i < 200; i++ {
+			if _, err := s.Compact(); err != nil {
+				errs <- fmt.Errorf("compact %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-compDone
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Crash without Close: drop every mutation since the last fsync. The
+	// group-commit contract says nothing acknowledged may be among them.
+	cfs.Kill(0)
+	re, err := OpenWith(Options{Path: "items.log", Sync: SyncGroup, FS: cfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for w := 0; w < writers; w++ {
+		it, ok := re.Get(fmt.Sprintf("k%d", w))
+		if !ok || it.Version < acked[w] {
+			t.Fatalf("writer %d: acknowledged version %d, survived %d (ok=%v)",
+				w, acked[w], it.Version, ok)
+		}
+	}
+}
 
 func TestCompactReclaimsSpace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "items.log")

@@ -103,8 +103,15 @@ func OpenLogFS(fs FS, path string) (*Log, error) {
 			f.Close()
 			return nil, err
 		}
-		n, err := io.ReadFull(f, hdr[:])
+		_, err := io.ReadFull(f, hdr[:])
 		switch {
+		case err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF):
+			// A genuine I/O error, not a short file. Treating it as a
+			// legacy headerless log would let Replay truncate a perfectly
+			// valid headered log to nothing and rewrite it; fail the open
+			// instead.
+			f.Close()
+			return nil, fmt.Errorf("db: read log header: %w", err)
 		case err == nil && [4]byte(hdr[0:4]) == logMagic:
 			sum := binary.LittleEndian.Uint32(hdr[12:16])
 			if crc32.Checksum(hdr[0:12], castagnoli) != sum {
@@ -114,9 +121,9 @@ func OpenLogFS(fs FS, path string) (*Log, error) {
 			l.epoch = binary.LittleEndian.Uint64(hdr[4:12])
 			l.hdrLen = fileHeaderSize
 		default:
-			// No magic: a legacy headerless log (or arbitrary bytes, which
-			// record replay will reject record by record). Replay from 0.
-			_ = n
+			// Short file or no magic: a legacy headerless log (or arbitrary
+			// bytes, which record replay will reject record by record).
+			// Replay from 0.
 			l.hdrLen = 0
 		}
 	}
@@ -171,7 +178,9 @@ func (l *Log) SetEpoch(epoch uint64) error {
 // tail, records the healthy prefix length, and truncates the file to it
 // so subsequent appends are safe. A record length is rejected as corrupt
 // if it exceeds the bytes actually remaining in the file, so a single
-// flipped length header cannot trigger a giant allocation.
+// flipped length header cannot trigger a giant allocation. Only short
+// reads count as a tear: a genuine I/O error fails the replay, since
+// truncating on one would discard records that are intact on disk.
 func (l *Log) Replay(fn func(Record)) error {
 	size, err := l.f.Seek(0, io.SeekEnd)
 	if err != nil {
@@ -185,6 +194,11 @@ func (l *Log) Replay(fn func(Record)) error {
 	for {
 		var hdr [logHeaderSize]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// A real read error is not a torn tail: truncating here
+				// would discard records that are intact on disk.
+				return fmt.Errorf("db: replay: %w", err)
+			}
 			break // clean EOF or torn header: stop
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
@@ -194,6 +208,9 @@ func (l *Log) Replay(fn func(Record)) error {
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("db: replay: %w", err)
+			}
 			break // torn payload
 		}
 		if crc32.Checksum(payload, castagnoli) != sum {

@@ -136,6 +136,16 @@ type groupState struct {
 	leading bool   // a leader is between fsyncs
 	err     error  // sticky: first sync failure
 
+	// gen numbers the coordinate space of tail/synced/applied. Compact
+	// bumps it whenever it swaps the log file and resets the offsets:
+	// every offset captured before the bump belongs to the *old* log and
+	// must never be compared with — or folded into — the new offsets. A
+	// gen bump implies Compact first drained and applied everything
+	// queued, so a waiter holding a stale gen is already satisfied, and a
+	// leader holding one must discard its round (the pinned old handle is
+	// closed and its tail is meaningless in the new space).
+	gen uint64
+
 	// wmu serializes the write-the-batch-then-fsync step between leader
 	// rounds and Close/Compact drains. Neither mu nor the store lock is
 	// held while the round is at the disk, so Puts keep buffering under a
@@ -336,6 +346,7 @@ func (s *Store) Put(key string, value []byte) (Item, error) {
 	if s.policy == SyncGroup {
 		log := s.log
 		s.gc.mu.Lock()
+		gen := s.gc.gen
 		for i := len(s.gc.queue) - 1; i >= 0; i-- {
 			if s.gc.queue[i].item.Key == key {
 				it.Version = s.gc.queue[i].item.Version + 1
@@ -349,7 +360,7 @@ func (s *Store) Put(key string, value []byte) (Item, error) {
 		s.gc.queue = append(s.gc.queue, groupEntry{item: it, end: end})
 		s.gc.mu.Unlock()
 		s.mu.Unlock()
-		if err := s.waitGroup(log, end); err != nil {
+		if err := s.waitGroup(log, gen, end); err != nil {
 			return Item{}, err
 		}
 		return it, nil
@@ -397,26 +408,33 @@ func (s *Store) failLocked(err error) {
 	s.gc.mu.Unlock()
 }
 
-// waitGroup blocks until the log is durable and applied through end.
-// The first waiter that finds no leader becomes one: it optionally
-// sleeps the batching interval, snapshots the appended offset, fsyncs,
-// and then applies every covered entry in commit order.
-func (s *Store) waitGroup(log *Log, end int64) error {
+// waitGroup blocks until the log is durable and applied through end, an
+// offset in generation gen's coordinate space. The first waiter that
+// finds no leader becomes one: it optionally sleeps the batching
+// interval, snapshots the appended offset, fsyncs, and then applies
+// every covered entry in commit order.
+func (s *Store) waitGroup(log *Log, gen uint64, end int64) error {
 	s.gc.mu.Lock()
 	for {
+		// Success is checked before the sticky error: an entry that is
+		// already durable and applied acks success even if a *later*
+		// round's sync failed. A generation change also means success —
+		// Compact drained and applied everything queued (this entry
+		// included) before it swapped logs and bumped gen, and end is an
+		// offset in the old log's coordinates, not comparable to applied.
+		if s.gc.gen != gen || s.gc.applied >= end {
+			s.gc.mu.Unlock()
+			return nil
+		}
 		if s.gc.err != nil {
 			err := s.gc.err
 			s.gc.mu.Unlock()
 			return fmt.Errorf("%w: sync: %v", ErrFailed, err)
 		}
-		if s.gc.applied >= end {
-			s.gc.mu.Unlock()
-			return nil
-		}
 		if !s.gc.leading {
 			s.gc.leading = true
 			s.gc.mu.Unlock()
-			s.leadCommit(log)
+			s.leadCommit(log, gen)
 			s.gc.mu.Lock()
 			continue
 		}
@@ -429,29 +447,40 @@ func (s *Store) waitGroup(log *Log, end int64) error {
 // guarantees durable and whether an fsync actually ran; with an empty
 // buffer the tail is already durable (whichever round grabbed those
 // bytes wrote and fsynced them before releasing wmu) and no I/O happens.
-func (s *Store) writeBatch(log *Log) (tail int64, wrote bool, err error) {
+//
+// stale reports that Compact swapped the log since this round's gen was
+// captured: the pinned handle is closed and any buffered records belong
+// to the new log, so the round must not touch the file or the buffer.
+// The check is sound because it happens under wmu: while a live round
+// holds wmu with undrained entries, Compact's own drain blocks on wmu,
+// so gen cannot advance mid-write.
+func (s *Store) writeBatch(log *Log, gen uint64) (tail int64, wrote, stale bool, err error) {
 	s.gc.wmu.Lock()
 	defer s.gc.wmu.Unlock()
 	if s.gc.werr != nil {
-		return 0, false, s.gc.werr
+		return 0, false, false, s.gc.werr
 	}
 	s.gc.mu.Lock()
+	if s.gc.gen != gen {
+		s.gc.mu.Unlock()
+		return 0, false, true, nil
+	}
 	buf := s.gc.buf
 	tail = s.gc.tail
 	s.gc.buf = nil
 	s.gc.mu.Unlock()
 	if len(buf) == 0 {
-		return tail, false, nil
+		return tail, false, false, nil
 	}
 	if err := log.AppendFramed(buf); err != nil {
 		s.gc.werr = err
-		return 0, false, err
+		return 0, false, false, err
 	}
 	if err := log.fsync(); err != nil {
 		s.gc.werr = err
-		return 0, false, err
+		return 0, false, false, err
 	}
-	return tail, true, nil
+	return tail, true, false, nil
 }
 
 // applyLocked commits every queued entry the durable offset now covers,
@@ -476,8 +505,10 @@ func (s *Store) applyLocked() {
 // grow the batch, land the whole buffer on disk, then apply every
 // covered entry. The log handle is pinned by the caller so a concurrent
 // Close cannot pull it away mid-round; a write on a closed file fails
-// loudly and fails the round.
-func (s *Store) leadCommit(log *Log) {
+// loudly and fails the round. gen fences the round against Compact: if
+// the generation moves, the round's work was taken over by Compact's
+// drain and its offsets are from a dead coordinate space.
+func (s *Store) leadCommit(log *Log, gen uint64) {
 	switch {
 	case s.interval > 0:
 		time.Sleep(s.interval)
@@ -500,7 +531,17 @@ func (s *Store) leadCommit(log *Log) {
 			runtime.Gosched()
 		}
 	}
-	tail, wrote, err := s.writeBatch(log)
+	tail, wrote, stale, err := s.writeBatch(log, gen)
+	if stale {
+		// Compact drained, applied, and re-coordinated everything this
+		// round was elected for. Nothing to fold; just hand back
+		// leadership so current-generation waiters can elect their own.
+		s.gc.mu.Lock()
+		s.gc.leading = false
+		s.gc.cond.Broadcast()
+		s.gc.mu.Unlock()
+		return
+	}
 
 	s.mu.Lock()
 	s.gc.mu.Lock()
@@ -521,8 +562,16 @@ func (s *Store) leadCommit(log *Log) {
 	if wrote {
 		mFsyncs.Inc()
 	}
-	if tail > s.gc.synced {
-		s.gc.synced = tail
+	// A Compact may have slipped in between writeBatch releasing wmu and
+	// this lock acquisition. Its drain already folded and applied this
+	// round's records; folding the pre-compaction tail here would inflate
+	// synced/applied past the real end of the *new* file and acknowledge
+	// future Puts that were never written. Fold only if the coordinate
+	// space is still ours.
+	if s.gc.gen == gen {
+		if tail > s.gc.synced {
+			s.gc.synced = tail
+		}
 	}
 	s.applyLocked()
 	s.gc.leading = false
@@ -542,12 +591,17 @@ func (s *Store) drainLocked() {
 		s.gc.mu.Unlock()
 		return
 	}
+	gen := s.gc.gen
 	idle := len(s.gc.buf) == 0 && len(s.gc.queue) == 0 && s.gc.applied >= s.gc.tail
 	s.gc.mu.Unlock()
 	if idle {
 		return
 	}
-	tail, wrote, err := s.writeBatch(s.log)
+	tail, wrote, stale, err := s.writeBatch(s.log, gen)
+	if stale {
+		// Unreachable: gen only moves under s.mu, which the caller holds.
+		return
+	}
 	s.gc.mu.Lock()
 	defer s.gc.mu.Unlock()
 	if err != nil {

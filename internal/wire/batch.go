@@ -20,10 +20,15 @@ import (
 // that revalidates current copies (NotModified, no payload) and re-ships
 // only the keys that changed while the client was away.
 
+// The batch kinds live at 20+ rather than extending the singleton range:
+// they were renumbered when the frame layout changed (see batchFormat),
+// so a pre-epoch peer — which knew the batch kinds only at their old
+// values — rejects a modern frame as an unknown kind instead of
+// misparsing the inserted epoch bytes as a key count.
 const (
 	// KindMultiReadReq is a joint read request (control message) listing
 	// the keys the mobile computer is missing.
-	KindMultiReadReq Kind = 10 + iota
+	KindMultiReadReq Kind = 20 + iota
 	// KindMultiReadResp is the joint response (one data message) carrying
 	// every requested item.
 	KindMultiReadResp
@@ -34,6 +39,17 @@ const (
 	// (the cached copy is current) or the fresh item (data message).
 	KindResyncResp
 )
+
+// batchFormat versions the batch frame layout and sits in the byte right
+// after the kind. A decoder rejects any format it does not know, so a
+// peer speaking a different layout fails loudly instead of silently
+// shifting every later field. Any future layout change must bump this
+// constant (and renumber the kinds if the change must also be rejected
+// by peers predating the format byte itself).
+//
+// Format 2 added the 8-byte store epoch after the format byte; format 1
+// (no epoch, no format byte) used kinds 10–13 and is no longer spoken.
+const batchFormat = 2
 
 // isBatchKind reports whether k uses the batch codec.
 func isBatchKind(k Kind) bool {
@@ -87,7 +103,7 @@ const maxBatch = 1 << 12
 // AppendEncodeBatch into a new allocation; hot paths should prefer
 // AppendEncodeBatch with a pooled buffer (GetBuf/PutBuf).
 func EncodeBatch(b Batch) ([]byte, error) {
-	size := 3 + 2 + 8
+	size := 1 + 1 + 8 + 2 + 2 // kind, format, epoch, nKeys, nEntries
 	for _, k := range b.Keys {
 		size += 2 + len(k) + 8
 	}
@@ -120,7 +136,7 @@ func AppendEncodeBatch(dst []byte, b Batch) ([]byte, error) {
 			return dst, fmt.Errorf("wire: entry field too long for key %q", e.Key)
 		}
 	}
-	out := append(dst, byte(b.Kind))
+	out := append(dst, byte(b.Kind), batchFormat)
 	out = binary.LittleEndian.AppendUint64(out, b.Epoch)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.Keys)))
 	for i, k := range b.Keys {
@@ -164,6 +180,13 @@ func DecodeBatch(p []byte) (Batch, error) {
 	b.Kind = Kind(kind)
 	if !isBatchKind(b.Kind) {
 		return b, fmt.Errorf("wire: kind %d is not a batch kind", kind)
+	}
+	format, err := r.byte()
+	if err != nil {
+		return b, err
+	}
+	if format != batchFormat {
+		return b, fmt.Errorf("wire: unsupported batch format %d (want %d)", format, batchFormat)
 	}
 	if b.Epoch, err = r.uint64(); err != nil {
 		return b, err
