@@ -116,18 +116,34 @@ go test ./internal/load/ -count=1 -run 'TestRestartSoakDurable' -restart.soak=30
 go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.gen=4 -conformance.shards=1 -count=1
 go test ./internal/replica/ -run 'TestConformanceExplorer$' -conformance.gen=4 -conformance.shards=8 -count=1
 
+# Tree slice: the replica-tree conformance sweep (3-node chains through
+# 7-node binary trees with handoffs, relay crashes and root power cuts)
+# pinned to one shard and to eight, frozen tree regression seeds, the
+# handoff race test under the race detector, and a 30s small-tree load
+# smoke with motion: 5k MCs over a 7-station binary tree must attach at
+# >= 500 sessions/sec, read error-free, and land every handoff warm (the
+# binary exits nonzero on any cold arrival).
+go test ./internal/tree/ -run 'TestTreeConformanceSweep$' -tree.shards=1 -count=1
+go test ./internal/tree/ -run 'TestTreeConformanceSweep$' -tree.shards=8 -count=1
+go test ./internal/tree/ -run 'TestTreeConformanceRegressions' -count=1
+go test -race -count=1 -run 'TestHandoffUnderWrites' ./internal/tree/
+go build -o /tmp/mobirep-load-ci ./cmd/mobirep-load
+/tmp/mobirep-load-ci -tree -stations 7 -sessions 5000 -mode ST2 -placement T1:2 \
+    -handoff-every 100 -duration 30s -floor-sessions-per-sec 500
+rm -f /tmp/mobirep-load-ci
+
 # End-to-end: regenerate every experiment table in quick mode and prove the
-# parallel engine reproduces the sequential tables byte-for-byte. E23, E24
-# and E25 are timing-based (throughput and latency numbers change run to
-# run), so they are excluded from the determinism diff; E23 ran standalone
-# above, E24's engine is covered by the load smoke in the shard slice, and
-# E25's by the overload smoke.
+# parallel engine reproduces the sequential tables byte-for-byte. E23, E24,
+# E25, E26 and E27 are timing-based (throughput and latency numbers change
+# run to run), so they are excluded from the determinism diff; E23 ran
+# standalone above, E24's engine is covered by the load smoke in the shard
+# slice, E25's by the overload smoke, and E27's by the tree slice.
 out_seq=$(mktemp)
 out_par=$(mktemp)
 trap 'rm -f "$out_seq" "$out_par"' EXIT
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 -skip E23,E24,E25,E26 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 1 -skip E23,E24,E25,E26,E27 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_seq"
-go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 -skip E23,E24,E25,E26 |
+go run ./cmd/mobirep-bench -quick -seed 1994 -parallel 8 -skip E23,E24,E25,E26,E27 |
     sed 's/completed in [^]]*\]/completed]/' > "$out_par"
 diff "$out_seq" "$out_par"
 

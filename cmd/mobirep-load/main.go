@@ -28,6 +28,7 @@ import (
 	"mobirep/internal/load"
 	"mobirep/internal/replica"
 	"mobirep/internal/transport"
+	"mobirep/internal/tree"
 )
 
 func main() {
@@ -52,6 +53,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut = fs.Bool("json", false, "emit the result as JSON instead of text")
 		floor   = fs.Float64("floor-sessions-per-sec", 0,
 			"exit nonzero when the attach rate falls below this (0 disables; skipped under 100 sessions)")
+
+		treeMode     = fs.Bool("tree", false, "run the fleet over a binary support-station tree instead of one flat server")
+		stations     = fs.Int("stations", 7, "tree: binary-tree station count (heap order, station 0 the root)")
+		handoffEvery = fs.Int("handoff-every", 0,
+			"tree: each worker hands one of its MCs to a random other leaf every N reads (0 = no motion)")
+		placementSpec = fs.String("placement", "none", "tree: per-relay placement policy (none, SWk, T1:m or T2:m)")
 
 		overload    = fs.Bool("overload", false, "run the overload scenario instead of the plain fleet drive")
 		capacity    = fs.Int("capacity", 5000, "overload: server admission cap (MaxSessions)")
@@ -81,6 +88,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mobirep-load:", err)
 		return 2
+	}
+
+	if *treeMode {
+		// The tree drive brings no chaos: conformance owns the fault story;
+		// this measures what the composition carries.
+		place, err := tree.ParsePolicy(*placementSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "mobirep-load:", err)
+			return 2
+		}
+		res, err := load.RunTree(load.TreeConfig{
+			Stations:     *stations,
+			Sessions:     *sessions,
+			Shards:       *shards,
+			Mode:         m,
+			Placement:    place,
+			Keys:         *keys,
+			Duration:     *duration,
+			Workers:      *workers,
+			Seed:         *seed,
+			Timeout:      *timeout,
+			Writers:      *writers,
+			HandoffEvery: *handoffEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mobirep-load:", err)
+			return 1
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(stderr, "mobirep-load:", err)
+				return 1
+			}
+		} else {
+			fmt.Fprintf(stdout, "mobirep-load tree: %d MCs over %d stations / %d leaves (mode %v, placement %v, %d keys, %d workers)\n",
+				res.Sessions, res.Stations, res.Leaves, m, place, res.Keys, res.Workers)
+			fmt.Fprintf(stdout, "  attach: %.2fs  %.0f sessions/sec\n", res.AttachSeconds, res.SessionsPerSec)
+			fmt.Fprintf(stdout, "  drive:  %.2fs  %d reads (%.0f ops/sec), %d errors, %d root writes\n",
+				res.DriveSeconds, res.Ops, res.OpsPerSec, res.Errors, res.Writes)
+			fmt.Fprintf(stdout, "  read latency: p50=%v p90=%v p99=%v max=%v\n", res.P50, res.P90, res.P99, res.Max)
+			fmt.Fprintf(stdout, "  handoffs: %d (%d cold)  latency p50=%v p99=%v max=%v\n",
+				res.Handoffs, res.ColdHandoffs, res.HandoffP50, res.HandoffP99, res.HandoffMax)
+		}
+		if *floor > 0 {
+			if res.Sessions < 100 {
+				fmt.Fprintf(stderr, "mobirep-load: skipping -floor-sessions-per-sec gate: only %d sessions (rates under 100 sessions are noise)\n",
+					res.Sessions)
+			} else if res.SessionsPerSec < *floor {
+				fmt.Fprintf(stderr, "mobirep-load: attach rate %.0f sessions/sec is under the floor %.0f\n",
+					res.SessionsPerSec, *floor)
+				return 1
+			}
+		}
+		if res.ColdHandoffs > 0 {
+			fmt.Fprintf(stderr, "mobirep-load: %d handoffs arrived cold with no root restart in the run\n", res.ColdHandoffs)
+			return 1
+		}
+		return 0
 	}
 
 	if *overload {

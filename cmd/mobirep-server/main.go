@@ -6,12 +6,25 @@
 // Example:
 //
 //	mobirep-server -listen 127.0.0.1:7070 -mode SW9 -key x -write-rate 5
+//
+// With -parent the process runs as a relay support station instead: an
+// in-memory mirror served to its own clients (mobile computers or deeper
+// relays), read-through and write propagation to the parent server over
+// TCP, with the parent link supervised (redial + warm resync) like a
+// mobile client's. Chaining relays builds the replica tree one process
+// per station:
+//
+//	mobirep-server -listen :7070 -mode ST2 -log root.log       # the root
+//	mobirep-server -listen :7071 -mode ST2 -parent :7070 \
+//	    -placement T1:2                                        # a relay
+//	mobirep-client -server 127.0.0.1:7071 -mode ST2 -key x
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"mobirep/internal/db"
@@ -19,6 +32,7 @@ import (
 	"mobirep/internal/replica"
 	"mobirep/internal/stats"
 	"mobirep/internal/transport"
+	"mobirep/internal/tree"
 )
 
 func main() {
@@ -55,6 +69,12 @@ func main() {
 	memSoftLimit := flag.Int64("mem-soft-limit", 0,
 		"soft watermark on accounted session+outbox bytes; while over it, idle-longest sessions are shed with Busy frames (0 = disabled)")
 	shedEvery := flag.Duration("shed-every", time.Second, "mem-soft-limit enforcement interval")
+	parent := flag.String("parent", "",
+		"parent server address; set to run as a relay support station (in-memory mirror, read-through and propagation to the parent) instead of the root")
+	placementSpec := flag.String("placement", "none",
+		"relay placement policy for the mirror: none, SWk, T1:m or T2:m (only with -parent)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second,
+		"keepalive probe interval on the parent link (only with -parent)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -75,22 +95,83 @@ func main() {
 	}
 
 	var store *db.Store
-	if *logPath != "" {
-		store, err = db.OpenWith(db.Options{Path: *logPath, Sync: pol, GroupInterval: *groupInterval})
+	var srv *replica.Server
+	if *parent != "" {
+		// Relay mode: the mirror is rebuilt warm from the parent on every
+		// restart, so a persistence log would only record derived state.
+		if *logPath != "" {
+			fmt.Fprintln(os.Stderr, "-log is the root's job; a relay's mirror is in-memory (drop -log or -parent)")
+			os.Exit(2)
+		}
+		if *writeRate > 0 {
+			fmt.Fprintln(os.Stderr, "-write-rate needs the authoritative store; point it at the root, not a relay")
+			os.Exit(2)
+		}
+		place, err := tree.ParsePolicy(*placementSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		st, err := tree.NewRelay(1, mode, *shards, place)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer store.Close()
-		fmt.Printf("store: log=%s sync=%s epoch=%d\n", *logPath, store.SyncPolicyInUse(), store.Epoch())
+		// The parent link gets the same supervision as a mobile client's
+		// server link: suspect on close, redial under backoff, warm resync.
+		// An epoch fence from a restarted root reaches the children through
+		// the station's InvalidateAll cascade.
+		var sup atomic.Pointer[replica.Supervisor]
+		dial := func() (transport.Link, error) {
+			tcp, err := transport.DialLink(*parent, nil, func(error) {
+				if s := sup.Load(); s != nil {
+					s.Suspect()
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if *coalesce {
+				tcp.SetCoalesce(true)
+			}
+			return tcp, nil
+		}
+		link, err := dial()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dial parent:", err)
+			os.Exit(1)
+		}
+		if err := st.ConnectParent(link); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := replica.NewSupervisor(st.Client(), dial, replica.SupervisorConfig{
+			HeartbeatEvery: *heartbeat,
+			Seed:           int64(*seed),
+		})
+		sup.Store(s)
+		s.Start()
+		defer s.Stop()
+		store = st.Store()
+		srv = st.Server()
+		fmt.Printf("relay: parent=%s placement=%s\n", *parent, place)
 	} else {
-		store = db.NewStore()
-	}
-
-	srv, err := replica.NewServerShards(store, mode, *shards)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if *logPath != "" {
+			store, err = db.OpenWith(db.Options{Path: *logPath, Sync: pol, GroupInterval: *groupInterval})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer store.Close()
+			fmt.Printf("store: log=%s sync=%s epoch=%d\n", *logPath, store.SyncPolicyInUse(), store.Epoch())
+		} else {
+			store = db.NewStore()
+		}
+		srv, err = replica.NewServerShards(store, mode, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *maxSessions > 0 || *attachRate > 0 {
 		if err := srv.SetAdmission(replica.AdmissionConfig{

@@ -1,0 +1,102 @@
+package mobirep
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Facade coverage for distributed.go: the re-exported SC/MC pair driven
+// end to end through the public names only.
+
+func TestFacadeDistributedPair(t *testing.T) {
+	store := NewStore()
+	srv, err := NewServer(store, Static2Mode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverEnd, clientEnd := NewMemPair()
+	sess := srv.Attach(serverEnd)
+	defer sess.Detach()
+	cli, err := NewClient(clientEnd, Static2Mode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Disconnect()
+	cli.Timeout = 5 * time.Second
+
+	if _, err := srv.Write("x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	it, err := cli.Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "hello" || it.Version != 1 {
+		t.Fatalf("read = v%d %q, want v1 hello", it.Version, it.Value)
+	}
+
+	// ST2 keeps a copy after the first read; the next read is local and
+	// free on the wire.
+	if !cli.HasCopy("x") {
+		t.Fatal("ST2 client dropped its copy")
+	}
+	var snap MeterSnapshot = cli.Meter().Snapshot()
+	if _, err := cli.Read("x"); err != nil {
+		t.Fatal(err)
+	}
+	after := cli.Meter().Snapshot()
+	if after.DataMsgs != snap.DataMsgs || after.ControlMsgs != snap.ControlMsgs {
+		t.Fatalf("local read cost traffic: before %+v after %+v", snap, after)
+	}
+}
+
+func TestFacadeModes(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want string
+	}{
+		{SWMode(9), "SW9"},
+		{Static1Mode(), "ST1"},
+		{Static2Mode(), "ST2"},
+	}
+	for _, c := range cases {
+		if got := c.mode.String(); got != c.want {
+			t.Errorf("mode.String() = %q, want %q", got, c.want)
+		}
+		if err := c.mode.Validate(); err != nil {
+			t.Errorf("%s: %v", c.want, err)
+		}
+	}
+	if err := SWMode(0).Validate(); err == nil {
+		t.Error("SWMode(0) validated")
+	}
+}
+
+func TestFacadeOpenStoreReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facade.log")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	var it Item
+	it, ok := reopened.Get("k")
+	if !ok || it.Version != 2 || string(it.Value) != "v2" {
+		t.Fatalf("replayed item = %+v (ok=%v), want v2 \"v2\"", it, ok)
+	}
+}

@@ -384,6 +384,29 @@ func (s *Store) Put(key string, value []byte) (Item, error) {
 	return it, nil
 }
 
+// Install adopts an item replicated from an upstream authority, keeping
+// its version instead of assigning a new one: this is how a relay
+// station's mirror store absorbs values fetched or propagated from its
+// parent. The install is version-guarded — an item at or below the
+// current version is a no-op (false) so duplicated or reordered
+// deliveries are inert — and in-memory only: a log-backed store owns its
+// version chain and refuses with an error rather than splice foreign
+// versions into it. The value is copied; the key is retained (callers
+// holding borrowed transport memory must clone it first).
+func (s *Store) Install(it Item) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		return false, fmt.Errorf("db: Install on a log-backed store (it owns its version chain)")
+	}
+	if cur, ok := s.items[it.Key]; ok && it.Version <= cur.Version {
+		return false, nil
+	}
+	it.Value = append([]byte(nil), it.Value...)
+	s.commitLocked(it)
+	return true, nil
+}
+
 // commitLocked makes it visible and notifies subscribers; the caller
 // holds s.mu.
 func (s *Store) commitLocked(it Item) {

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/obs"
+	"mobirep/internal/replica"
+	"mobirep/internal/report"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+	"mobirep/internal/tree"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E27",
+		Title:    "Replica trees: read cost vs depth and MC handoff latency",
+		Artifact: "Support-station hierarchy with per-key placement (section 8 discussion, extension)",
+		Run:      runE27,
+	})
+}
+
+// runE27 measures the two costs the tree layer introduces over the
+// two-node pair.
+//
+// E27a: read cost vs depth. One MC reads at the leaf of a chain of 1, 2,
+// and 3 stations (depth 1 is exactly the two-node pair) under a theta=0.8
+// read-heavy mix, with the root applying the writes. Three placements: SW9
+// edges (the paper's adaptive window at every hop), and ST2 edges with a
+// T1(3) or T2(3) placement table at each relay. The interesting columns
+// are where reads terminate — at the MC's own copy, at a relay's copy, or
+// all the way up at the root — and the total protocol messages per read
+// across every edge. A good placement keeps deep-tree reads terminating
+// low even though each added level would naively add a round trip.
+//
+// E27b: handoff latency. On a 7-station binary tree an MC bounces among
+// the four leaves while the root keeps writing; each handoff is timed
+// from Handoff() to resync completion (state migrates through the common
+// ancestor and is revalidated, not re-shipped). The distribution is the
+// paper's motion cost made concrete. Both halves are timing-based, so
+// E27 joins E23-E26 outside the byte-for-byte determinism diff
+// (mobirep-bench -skip E23,E24,E25,E26,E27).
+func runE27(cfg Config) []*report.Table {
+	return []*report.Table{runE27Depth(cfg), runE27Handoff(cfg)}
+}
+
+func memConnect(child, parent int) (transport.Link, transport.Link, error) {
+	a, b := transport.NewMemPair()
+	return a, b, nil
+}
+
+func runE27Depth(cfg Config) *report.Table {
+	ops := cfg.scale(4000, 600)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+
+	reg := obs.Default()
+	fetchLocal := reg.Counter(`mobirep_tree_fetches_total{result="local"}`, "")
+	fetchParent := reg.Counter(`mobirep_tree_fetches_total{result="parent"}`, "")
+
+	tbl := report.New(fmt.Sprintf(
+		"E27a: read cost vs tree depth — one leaf MC, theta=0.8, %d keys, %d ops",
+		len(keys), ops),
+		"policy", "depth", "reads", "mc-local", "relay-hit", "root-trip", "msgs/read")
+
+	configs := []struct {
+		name  string
+		mode  replica.Mode
+		place tree.Policy
+	}{
+		{"SW9 edges", replica.SW(9), tree.Policy{Kind: tree.PolicyNone}},
+		{"ST2+T1(3)", replica.Static2(), tree.Policy{Kind: tree.PolicyT1, K: 3}},
+		{"ST2+T2(3)", replica.Static2(), tree.Policy{Kind: tree.PolicyT2, K: 3}},
+	}
+	for _, tc := range configs {
+		for depth := 1; depth <= 3; depth++ {
+			rng := stats.NewRNG(cfg.Seed + uint64(depth)*101)
+			store := db.NewStore()
+			tr, err := tree.Build(tree.Chain(depth), store, tc.mode, 1, tc.place, memConnect)
+			if err != nil {
+				panic(fmt.Sprintf("E27a: build: %v", err))
+			}
+			mcEnd, stEnd := transport.NewMemPair()
+			mc, err := tr.AttachMC(depth-1, mcEnd, stEnd)
+			if err != nil {
+				panic(fmt.Sprintf("E27a: attach: %v", err))
+			}
+			mc.Client.Timeout = 10 * time.Second
+
+			local0, parent0 := fetchLocal.Load(), fetchParent.Load()
+			meters := []*replica.Meter{mc.Client.Meter(), mc.Session().Meter()}
+			for i := 1; i < tr.Topo.N(); i++ {
+				meters = append(meters, tr.Stations[i].Client().Meter(), tr.ParentSession(i).Meter())
+			}
+			var before replica.MeterSnapshot
+			for _, m := range meters {
+				before = before.Add(m.Snapshot())
+			}
+
+			reads, mcRemote := 0, 0
+			version := map[string]int{}
+			for op := 0; op < ops; op++ {
+				key := keys[rng.Intn(len(keys))]
+				if rng.Bernoulli(0.8) {
+					reads++
+					held := mc.Client.HasCopy(key)
+					if _, err := mc.Client.Read(key); err != nil {
+						panic(fmt.Sprintf("E27a: read: %v", err))
+					}
+					if !held {
+						mcRemote++
+					}
+				} else {
+					version[key]++
+					if _, err := tr.Stations[0].Server().Write(key,
+						[]byte(fmt.Sprintf("%s#%d", key, version[key]))); err != nil {
+						panic(fmt.Sprintf("E27a: write: %v", err))
+					}
+				}
+			}
+			// Let the last propagations drain before reading the meters.
+			time.Sleep(20 * time.Millisecond)
+
+			var after replica.MeterSnapshot
+			for _, m := range meters {
+				after = after.Add(m.Snapshot())
+			}
+			msgs := after.DataMsgs + after.ControlMsgs - before.DataMsgs - before.ControlMsgs
+			relayHit := fetchLocal.Load() - local0
+			rootTrip := fetchParent.Load() - parent0
+			tbl.AddRow(tc.name, report.I(depth), report.I(reads),
+				report.F(float64(reads-mcRemote)/float64(reads)*100, 1)+"%",
+				report.I(int(relayHit)), report.I(int(rootTrip)),
+				report.F(float64(msgs)/float64(reads), 2))
+		}
+	}
+	tbl.AddNote("depth 1 is the plain MC/SC pair (no relays: relay-hit and root-trip are structurally 0); at depth d a cold read costs d upstream round trips, so the mc-local and relay-hit columns are what placement earns back")
+	tbl.AddNote("relay-hit / root-trip: where a relay fetch terminated — served from the station's own parent-face copy vs a full trip further up; msgs/read sums data+control frames on every edge of the tree over reads")
+	return tbl
+}
+
+func runE27Handoff(cfg Config) *report.Table {
+	moves := cfg.scale(400, 60)
+	rng := stats.NewRNG(cfg.Seed + 2700)
+	store := db.NewStore()
+	tr, err := tree.Build(tree.Binary(7), store, replica.Static2(), 1,
+		tree.Policy{Kind: tree.PolicyNone}, memConnect)
+	if err != nil {
+		panic(fmt.Sprintf("E27b: build: %v", err))
+	}
+	leaves := tr.Topo.Leaves()
+	mcEnd, stEnd := transport.NewMemPair()
+	mc, err := tr.AttachMC(leaves[0], mcEnd, stEnd)
+	if err != nil {
+		panic(fmt.Sprintf("E27b: attach: %v", err))
+	}
+	mc.Client.Timeout = 10 * time.Second
+
+	keys := []string{"a", "b", "c", "d"}
+	version := map[string]int{}
+	write := func(key string) {
+		version[key]++
+		if _, err := tr.Stations[0].Server().Write(key,
+			[]byte(fmt.Sprintf("%s#%d", key, version[key]))); err != nil {
+			panic(fmt.Sprintf("E27b: write: %v", err))
+		}
+	}
+	for _, k := range keys {
+		write(k)
+		if _, err := mc.Client.Read(k); err != nil {
+			panic(fmt.Sprintf("E27b: warm read: %v", err))
+		}
+	}
+
+	durations := make([]float64, 0, moves)
+	cold := 0
+	for move := 0; move < moves; move++ {
+		// Keep the declared state busy between moves.
+		write(keys[rng.Intn(len(keys))])
+		if _, err := mc.Client.Read(keys[rng.Intn(len(keys))]); err != nil {
+			panic(fmt.Sprintf("E27b: read: %v", err))
+		}
+		to := leaves[rng.Intn(len(leaves))]
+		for to == mc.Station() {
+			to = leaves[rng.Intn(len(leaves))]
+		}
+		a, b := transport.NewMemPair()
+		start := time.Now()
+		done, err := mc.Handoff(to, a, b)
+		if err != nil {
+			panic(fmt.Sprintf("E27b: handoff: %v", err))
+		}
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			panic("E27b: handoff resync did not complete")
+		}
+		durations = append(durations, float64(time.Since(start).Microseconds()))
+		if !mc.FinishHandoff(a) {
+			cold++
+		}
+	}
+	sort.Float64s(durations)
+
+	tbl := report.New(fmt.Sprintf(
+		"E27b: MC handoff latency — 7-station binary tree, %d moves between leaves, %d warm keys, writes in flight",
+		moves, len(keys)),
+		"moves", "cold", "p50 us", "p90 us", "p99 us", "max us")
+	tbl.AddRow(report.I(moves), report.I(cold),
+		report.F(stats.Quantile(durations, 0.50), 0),
+		report.F(stats.Quantile(durations, 0.90), 0),
+		report.F(stats.Quantile(durations, 0.99), 0),
+		report.F(durations[len(durations)-1], 0))
+	tbl.AddNote("each move is Suspend -> detach -> attach at the target leaf -> warm resync; the declared keys migrate through the common ancestor and are revalidated (NotModified) or re-shipped, never lost; cold counts fence-forced restarts (0 expected: the root never restarts here)")
+	tbl.AddNote("timing-based: excluded from the byte-for-byte determinism diff alongside E23-E26")
+	return tbl
+}

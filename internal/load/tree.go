@@ -1,0 +1,330 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+	"mobirep/internal/tree"
+)
+
+// TreeConfig describes one tree load run: a fleet of mobile computers
+// spread over the leaves of a binary support-station tree, reading while
+// the root writes and a fraction of the fleet keeps moving between
+// leaves. It is the tree-layer counterpart of Config — the same knobs
+// where they overlap — and the engine behind `mobirep-load -tree` and
+// the ci.sh tree smoke.
+type TreeConfig struct {
+	// Stations is the binary-tree size (heap order, station 0 the root).
+	// 0 defaults to 7 — depth 2, four leaves.
+	Stations int
+	// Sessions is the number of MCs, assigned round-robin over the
+	// leaves. Required.
+	Sessions int
+	// Shards is each station's server shard count; 0 picks automatic.
+	Shards int
+	// Mode is the per-key allocation mode on every edge.
+	Mode replica.Mode
+	// Placement is the per-relay placement policy. Zero value is
+	// PolicyNone (hold everything the protocol allocates).
+	Placement tree.Policy
+	// Keys is the shared key-pool size; 0 defaults to Sessions/8,
+	// floored at 16.
+	Keys int
+	// Duration is the steady-state drive phase length. 0 defaults to 2s.
+	Duration time.Duration
+	// Workers is the number of driver goroutines; 0 defaults to
+	// 16*GOMAXPROCS capped at 128.
+	Workers int
+	// Seed derives every per-worker RNG.
+	Seed uint64
+	// Timeout bounds each MC read; 0 defaults to 250ms. Tree reads can
+	// legitimately take a fetch round trip per level, so the default is
+	// wider than the flat fleet's.
+	Timeout time.Duration
+	// Writers is the number of background goroutines cycling root writes
+	// during the drive phase; 0 defaults to 2.
+	Writers int
+	// WritePause throttles each background writer; 0 defaults to 200µs.
+	WritePause time.Duration
+	// HandoffEvery makes each worker hand one of its MCs off to a random
+	// other leaf every N reads; 0 disables motion.
+	HandoffEvery int
+}
+
+// TreeResult is one tree run's measurements.
+type TreeResult struct {
+	Stations int
+	Leaves   int
+	Sessions int
+	Shards   int
+	Keys     int
+	Workers  int
+
+	AttachSeconds  float64
+	SessionsPerSec float64
+
+	DriveSeconds float64
+	Ops          int
+	OpsPerSec    float64
+	Errors       int
+	Writes       int
+
+	// Motion during the drive phase: completed handoffs and how many of
+	// them fell back to a cold reattach (0 expected — the root never
+	// restarts here).
+	Handoffs     int
+	ColdHandoffs int
+
+	// Read latency over successful reads, exact nearest-rank
+	// percentiles.
+	Samples            int
+	P50, P90, P99, Max time.Duration
+
+	// Handoff latency (Handoff call to resync completion).
+	HandoffP50, HandoffP99, HandoffMax time.Duration
+}
+
+// RunTree executes one tree load run and tears everything down before
+// returning.
+func RunTree(cfg TreeConfig) (TreeResult, error) {
+	if cfg.Sessions <= 0 {
+		return TreeResult{}, errors.New("load: Sessions must be positive")
+	}
+	if cfg.Stations == 0 {
+		cfg.Stations = 7
+	}
+	topo := tree.Binary(cfg.Stations)
+	if err := topo.Validate(); err != nil {
+		return TreeResult{}, err
+	}
+	leaves := topo.Leaves()
+	if cfg.Keys == 0 {
+		cfg.Keys = cfg.Sessions / 8
+		if cfg.Keys < 16 {
+			cfg.Keys = 16
+		}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 16 * runtime.GOMAXPROCS(0)
+		if cfg.Workers > 128 {
+			cfg.Workers = 128
+		}
+	}
+	if cfg.Workers > cfg.Sessions {
+		cfg.Workers = cfg.Sessions
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.Writers == 0 {
+		cfg.Writers = 2
+	}
+	if cfg.WritePause == 0 {
+		cfg.WritePause = 200 * time.Microsecond
+	}
+
+	connect := func(child, parent int) (transport.Link, transport.Link, error) {
+		a, b := transport.NewMemPair()
+		return a, b, nil
+	}
+	tr, err := tree.Build(topo, db.NewStore(), cfg.Mode, cfg.Shards, cfg.Placement, connect)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	root := tr.Stations[0].Server()
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tree-key-%d", i)
+		if _, err := root.Write(keys[i], []byte(fmt.Sprintf("v0-%d", i))); err != nil {
+			return TreeResult{}, err
+		}
+	}
+
+	mcs := make([]*tree.MC, cfg.Sessions)
+	bounds := make([]int, cfg.Workers+1)
+	for w := 0; w <= cfg.Workers; w++ {
+		bounds[w] = w * cfg.Sessions / cfg.Workers
+	}
+
+	// Attach phase: every MC lands on its round-robin home leaf.
+	var wg sync.WaitGroup
+	attachErrs := make([]error, cfg.Workers)
+	attachStart := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				a, b := transport.NewMemPair()
+				mc, err := tr.AttachMC(leaves[i%len(leaves)], a, b)
+				if err != nil {
+					attachErrs[w] = err
+					return
+				}
+				mc.Client.Timeout = cfg.Timeout
+				mcs[i] = mc
+			}
+		}(w)
+	}
+	wg.Wait()
+	attachSecs := time.Since(attachStart).Seconds()
+	for _, err := range attachErrs {
+		if err != nil {
+			return TreeResult{}, err
+		}
+	}
+
+	// Drive phase: workers sweep their MCs issuing reads (mostly each
+	// MC's home key), writers keep the root's propagation paths hot, and
+	// every HandoffEvery reads a worker moves one MC to another leaf.
+	type workerStats struct {
+		lats     []time.Duration
+		handoffs []time.Duration
+		ops      int
+		errs     int
+		cold     int
+	}
+	perWorker := make([]workerStats, cfg.Workers)
+	stopWriters := make(chan struct{})
+	var writes atomic.Int64
+	var writerWg sync.WaitGroup
+	for wr := 0; wr < cfg.Writers; wr++ {
+		writerWg.Add(1)
+		go func(wr int) {
+			defer writerWg.Done()
+			payload := []byte(fmt.Sprintf("write-from-%d", wr))
+			for i := wr; ; i += cfg.Writers {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				if _, err := root.Write(keys[i%len(keys)], payload); err != nil {
+					return
+				}
+				writes.Add(1)
+				time.Sleep(cfg.WritePause)
+			}
+		}(wr)
+	}
+
+	driveStart := time.Now()
+	deadline := driveStart.Add(cfg.Duration)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(cfg.Seed ^ (uint64(w) + 0x9e3779b97f4a7c15))
+			st := &perWorker[w]
+			lo, hi := bounds[w], bounds[w+1]
+			st.lats = make([]time.Duration, 0, 4096)
+			for i := lo; ; i++ {
+				if i == hi {
+					i = lo
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				key := keys[i%len(keys)]
+				if rng.Intn(16) == 0 {
+					key = keys[rng.Intn(len(keys))]
+				}
+				t0 := time.Now()
+				_, err := mcs[i].Client.Read(key)
+				d := time.Since(t0)
+				st.ops++
+				if err != nil {
+					st.errs++
+				} else {
+					st.lats = append(st.lats, d)
+				}
+				if cfg.HandoffEvery > 0 && st.ops%cfg.HandoffEvery == 0 {
+					mc := mcs[i]
+					to := leaves[rng.Intn(len(leaves))]
+					for len(leaves) > 1 && to == mc.Station() {
+						to = leaves[rng.Intn(len(leaves))]
+					}
+					a, b := transport.NewMemPair()
+					h0 := time.Now()
+					done, err := mc.Handoff(to, a, b)
+					if err != nil {
+						st.errs++
+						continue
+					}
+					<-done
+					st.handoffs = append(st.handoffs, time.Since(h0))
+					if !mc.FinishHandoff(a) {
+						st.cold++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	driveSecs := time.Since(driveStart).Seconds()
+	close(stopWriters)
+	writerWg.Wait()
+
+	// Teardown: detach every MC so chaos-free links die quietly.
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				mcs[i].Session().Detach()
+				mcs[i].Client.Disconnect()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := TreeResult{
+		Stations:       cfg.Stations,
+		Leaves:         len(leaves),
+		Sessions:       cfg.Sessions,
+		Shards:         tr.Stations[0].Server().Shards(),
+		Keys:           cfg.Keys,
+		Workers:        cfg.Workers,
+		AttachSeconds:  attachSecs,
+		SessionsPerSec: float64(cfg.Sessions) / attachSecs,
+		DriveSeconds:   driveSecs,
+		Writes:         int(writes.Load()),
+	}
+	var all, allHandoffs []time.Duration
+	for w := range perWorker {
+		res.Ops += perWorker[w].ops
+		res.Errors += perWorker[w].errs
+		res.ColdHandoffs += perWorker[w].cold
+		all = append(all, perWorker[w].lats...)
+		allHandoffs = append(allHandoffs, perWorker[w].handoffs...)
+	}
+	res.OpsPerSec = float64(res.Ops) / driveSecs
+	res.Handoffs = len(allHandoffs)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.Samples = len(all)
+	if n := len(all); n > 0 {
+		res.P50 = percentile(all, 0.50)
+		res.P90 = percentile(all, 0.90)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[n-1]
+	}
+	sort.Slice(allHandoffs, func(i, j int) bool { return allHandoffs[i] < allHandoffs[j] })
+	if n := len(allHandoffs); n > 0 {
+		res.HandoffP50 = percentile(allHandoffs, 0.50)
+		res.HandoffP99 = percentile(allHandoffs, 0.99)
+		res.HandoffMax = allHandoffs[n-1]
+	}
+	return res, nil
+}

@@ -3,6 +3,7 @@ package replica
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mobirep/internal/db"
@@ -56,6 +57,7 @@ func (c *Client) ReadManyContext(ctx context.Context, keys []string) ([]db.Item,
 				if st.mode.Kind == ModeSW {
 					st.window.Push(sched.Read)
 				}
+				c.noteFloorLocked(key, it.Version)
 				out[i] = it
 				continue
 			}
@@ -194,6 +196,13 @@ func (c *Client) onBatch(b wire.Batch) {
 		}
 		c.cache.Install(item)
 	}
+	if c.trackFloors {
+		// Joint reads record floors (they raise what singleton reads must
+		// honor) but are not floor-gated themselves.
+		for _, e := range b.Entries {
+			c.noteFloorLocked(e.Key, e.Version)
+		}
+	}
 	var ch chan wire.Batch
 	if len(c.pendingBatch) > 0 {
 		ch = c.pendingBatch[0]
@@ -207,7 +216,9 @@ func (c *Client) onBatch(b wire.Batch) {
 
 // onBatch handles client-to-server batch messages. For a MultiReadReq:
 // every key gets the same treatment as a singleton read request, but the
-// whole answer rides one data message.
+// whole answer rides one data message. On a relay the items are resolved
+// through the origin first (see fetchAll); the allocation pass runs only
+// once every key is in hand, so the answer is still one frame.
 func (ss *Session) onBatch(b wire.Batch) {
 	if b.Kind == wire.KindResyncReq {
 		ss.onResyncReq(b)
@@ -216,6 +227,51 @@ func (ss *Session) onBatch(b wire.Batch) {
 	if b.Kind != wire.KindMultiReadReq {
 		return
 	}
+	ss.fetchAll(b, ss.finishMultiRead)
+}
+
+// fetchAll resolves every key of a batch request — locally, or through
+// the origin hook on a relay — and calls finish with the items once all
+// have resolved. Any failed origin fetch drops the whole request (to the
+// client, a lost frame). The batch's memory is owned (wire.DecodeBatch
+// copies), so retaining b in the continuation is safe. The version hints
+// double as fetch floors: the client has seen the hinted version, so the
+// origin must not answer below it.
+func (ss *Session) fetchAll(b wire.Batch, finish func(b wire.Batch, items []db.Item)) {
+	items := make([]db.Item, len(b.Keys))
+	o := ss.srv.origin.Load()
+	if o == nil || len(b.Keys) == 0 {
+		for i, key := range b.Keys {
+			items[i], _ = ss.srv.store.Get(key)
+		}
+		finish(b, items)
+		return
+	}
+	var failed atomic.Bool
+	var left atomic.Int64
+	left.Store(int64(len(b.Keys)))
+	for i, key := range b.Keys {
+		floor := uint64(0)
+		if i < len(b.Versions) {
+			floor = b.Versions[i]
+		}
+		i := i
+		(*o)(key, floor, func(it db.Item, ok bool) {
+			if ok {
+				items[i] = it
+			} else {
+				failed.Store(true)
+			}
+			if left.Add(-1) == 0 && !failed.Load() {
+				finish(b, items)
+			}
+		})
+	}
+}
+
+// finishMultiRead is the allocation half of a MultiReadReq, run with
+// every item already resolved.
+func (ss *Session) finishMultiRead(b wire.Batch, items []db.Item) {
 	resp := wire.Batch{Kind: wire.KindMultiReadResp, Epoch: ss.srv.store.Epoch()}
 	sh := ss.shard
 	sh.enter()
@@ -224,7 +280,7 @@ func (ss *Session) onBatch(b wire.Batch) {
 		return
 	}
 	for ki, key := range b.Keys {
-		it, _ := ss.srv.store.Get(key)
+		it := items[ki]
 		st := ss.state(key)
 		e := wire.Entry{Key: key, Value: it.Value, Version: it.Version}
 		if ki < len(b.Versions) && b.Versions[ki] != 0 && b.Versions[ki] == it.Version {
@@ -235,14 +291,14 @@ func (ss *Session) onBatch(b wire.Batch) {
 		switch st.mode.Kind {
 		case ModeStatic1:
 		case ModeStatic2:
-			if !st.hasCopy {
+			if !st.hasCopy && ss.allocAllowed(key) {
 				e.Allocate = true
 				st.hasCopy = true
 			}
 		default:
 			if !st.hasCopy {
 				st.window.Push(sched.Read)
-				if st.window.ReadMajority() {
+				if st.window.ReadMajority() && ss.allocAllowed(key) {
 					e.Allocate = true
 					e.Window = st.window.Bits()
 					st.hasCopy = true
@@ -281,13 +337,6 @@ func (ss *Session) sendBatch(resp wire.Batch) {
 // idempotently; the duplicated answer is version-guarded at the client.
 func (ss *Session) onResyncReq(b wire.Batch) {
 	epoch := ss.srv.store.Epoch()
-	resp := wire.Batch{Kind: wire.KindResyncResp, Epoch: epoch}
-	sh := ss.shard
-	sh.enter()
-	if ss.detached {
-		sh.exit()
-		return
-	}
 	if epoch != 0 && b.Epoch != 0 && b.Epoch != epoch {
 		// The declaration was built under a dead epoch: the client's warm
 		// state predates this incarnation, so re-asserting its subscriptions
@@ -296,17 +345,46 @@ func (ss *Session) onResyncReq(b wire.Batch) {
 		// reattach cold. (A hint of 0 means the client never learned an
 		// epoch; its copies were placed by some live incarnation and the
 		// version-guarded warm path below handles them.)
+		sh := ss.shard
+		sh.enter()
+		dead := ss.detached
 		sh.exit()
-		ss.sendBatch(resp)
+		if !dead {
+			ss.sendBatch(wire.Batch{Kind: wire.KindResyncResp, Epoch: epoch})
+		}
+		return
+	}
+	ss.fetchAll(b, ss.finishResync)
+}
+
+// finishResync is the subscription half of a ResyncReq, run with every
+// declared key's item already resolved. On a relay the allocation gate
+// decides per key whether the declared copy may stand: a key the relay
+// could not secure upstream is answered normally but then revoked with a
+// DeleteReq, so the child drops a copy that would sit outside the
+// root-to-leaf placement path.
+func (ss *Session) finishResync(b wire.Batch, items []db.Item) {
+	resp := wire.Batch{Kind: wire.KindResyncResp, Epoch: ss.srv.store.Epoch()}
+	var revoke []string
+	sh := ss.shard
+	sh.enter()
+	if ss.detached {
+		sh.exit()
 		return
 	}
 	for ki, key := range b.Keys {
-		it, _ := ss.srv.store.Get(key)
+		it := items[ki]
 		st := ss.state(key)
 		if st.mode.Kind != ModeStatic1 {
 			// ST1 never places copies; a declared copy there is a client
 			// bug and gets a refresh without a subscription.
-			st.hasCopy = true
+			if ss.allocAllowed(key) {
+				st.hasCopy = true
+			} else {
+				// b's memory is owned (wire.DecodeBatch copies), so the key
+				// can be retained as-is.
+				revoke = append(revoke, key)
+			}
 		}
 		e := wire.Entry{Key: key, Version: it.Version}
 		hint := uint64(0)
@@ -322,4 +400,7 @@ func (ss *Session) onResyncReq(b wire.Batch) {
 	}
 	sh.exit()
 	ss.sendBatch(resp)
+	for _, key := range revoke {
+		ss.sendControl(wire.Message{Kind: wire.KindDeleteReq, Key: key})
+	}
 }

@@ -26,9 +26,13 @@ type Client struct {
 
 	mu           sync.Mutex
 	items        map[string]*itemState
-	pending      map[string][]chan wire.Message
+	pending      map[string][]readWaiter
 	pendingBatch []chan wire.Batch
-	offline      bool
+	// pendingFn holds continuation-style read waiters (ReadThrough): a
+	// relay station's fetches, which must never park a goroutine on a
+	// channel because they run on transport delivery goroutines.
+	pendingFn map[string][]*fnWaiter
+	offline   bool
 	// epoch is the server store epoch the client has adopted (0 = not yet
 	// learned); fenced latches once an epoch change forced the warm state
 	// to be dropped, until a cold Reattach. See epoch.go.
@@ -50,6 +54,19 @@ type Client struct {
 	// and the retry-after hint from each Busy frame.
 	onBusy func(retryAfter time.Duration, reason string)
 
+	// Tree hooks (readthrough.go). applyFn/dropFn let a relay station
+	// mirror parent-face state changes downward; fenceFn announces an
+	// epoch fence so the station can invalidate its subtree. trackFloors
+	// turns on per-key read floors: remote reads then carry the highest
+	// version this client has observed, making reads monotone per key
+	// even across relay staleness. All off by default — a plain client
+	// stays wire-identical.
+	applyFn     func(it db.Item)
+	dropFn      func(key string)
+	fenceFn     func()
+	trackFloors bool
+	floors      map[string]uint64
+
 	// Timeout bounds how long a remote read waits for its response;
 	// zero means wait forever (the in-memory transport responds inline).
 	Timeout time.Duration
@@ -66,12 +83,13 @@ func NewClient(link transport.Link, mode Mode) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		link:    link,
-		cache:   mobile.NewCache(),
-		mode:    mode,
-		meter:   newMeter(mcMirror),
-		items:   make(map[string]*itemState),
-		pending: make(map[string][]chan wire.Message),
+		link:      link,
+		cache:     mobile.NewCache(),
+		mode:      mode,
+		meter:     newMeter(mcMirror),
+		items:     make(map[string]*itemState),
+		pending:   make(map[string][]readWaiter),
+		pendingFn: make(map[string][]*fnWaiter),
 	}
 	link.SetHandler(c.onFrame)
 	return c, nil
@@ -120,6 +138,7 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 			if st.mode.Kind == ModeSW {
 				st.window.Push(sched.Read)
 			}
+			c.noteFloorLocked(key, it.Version)
 			c.mu.Unlock()
 			mReadLocal.Inc()
 			return it, nil
@@ -131,13 +150,17 @@ func (c *Client) ReadContext(ctx context.Context, key string) (db.Item, error) {
 		// Record the miss in the cache statistics.
 		c.cache.Get(key)
 	}
+	var floor uint64
+	if c.trackFloors {
+		floor = c.floors[key]
+	}
 	ch := make(chan wire.Message, 1)
-	c.pending[key] = append(c.pending[key], ch)
+	c.pending[key] = append(c.pending[key], readWaiter{ch: ch, floor: floor})
 	link := c.link
 	c.mu.Unlock()
 
 	c.meter.addConnection()
-	if err := c.sendControlOn(link, wire.Message{Kind: wire.KindReadReq, Key: key}); err != nil {
+	if err := c.sendControlOn(link, wire.Message{Kind: wire.KindReadReq, Key: key, Version: floor}); err != nil {
 		c.cancelPending(key, ch)
 		mReadOffline.Inc()
 		// A link that fails mid-send is an offline condition to the
@@ -210,7 +233,7 @@ func (c *Client) cancelPending(key string, ch chan wire.Message) {
 	defer c.mu.Unlock()
 	waiters := c.pending[key]
 	for i, w := range waiters {
-		if w == ch {
+		if w.ch == ch {
 			c.pending[key] = append(waiters[:i], waiters[i+1:]...)
 			return
 		}
@@ -340,9 +363,31 @@ func (c *Client) suspect(link transport.Link, err error) {
 // onReadResp completes a pending remote read and applies an allocation.
 // Allocation applies only while no copy is held: a duplicated allocating
 // response must not reinstall a possibly older value or roll the window
-// back to the bits that rode the original handoff.
+// back to the bits that rode the original handoff. A response below the
+// head waiter's floor is fully inert — every upstream serve respects the
+// request's floor, so such a frame can only be a stale chaos duplicate,
+// and completing a floored read (or installing a copy) with it would
+// hand back data older than the reader has already seen.
 func (c *Client) onReadResp(msg wire.Message) {
 	c.mu.Lock()
+	if msg.Version < c.headFloorLocked(msg.Key) {
+		// For fn waiters the head may be a stranded continuation from a
+		// request chaos ate; the response is inert only if it satisfies
+		// none of them.
+		inert := true
+		if len(c.pending[msg.Key]) == 0 {
+			for _, fw := range c.pendingFn[msg.Key] {
+				if fw.floor <= msg.Version {
+					inert = false
+					break
+				}
+			}
+		}
+		if inert {
+			c.mu.Unlock()
+			return
+		}
+	}
 	if msg.Allocate && !c.state(msg.Key).hasCopy {
 		st := c.state(msg.Key)
 		st.hasCopy = true
@@ -365,8 +410,11 @@ func (c *Client) onReadResp(msg wire.Message) {
 		c.cache.Install(db.Item{Key: msg.Key, Value: msg.Value, Version: msg.Version})
 	}
 	var ch chan wire.Message
+	var fws []*fnWaiter
+	var dealloc *wire.Message
+	var dropped string
 	if waiters := c.pending[msg.Key]; len(waiters) > 0 {
-		ch = waiters[0]
+		ch = waiters[0].ch
 		if len(waiters) == 1 {
 			// delete never retains its argument, so the borrowed msg.Key
 			// is safe here — and popping the entry keeps the map from
@@ -379,13 +427,52 @@ func (c *Client) onReadResp(msg wire.Message) {
 			// bytes in the map; clone first.
 			c.pending[strings.Clone(msg.Key)] = waiters[1:]
 		}
+		c.noteFloorLocked(msg.Key, msg.Version)
+	} else if fns := c.pendingFn[msg.Key]; len(fns) > 0 {
+		// One response satisfies EVERY continuation whose floor it
+		// clears, not just the head. A request chaos ate leaves its
+		// waiter stranded; if each answer resolved only the oldest, every
+		// retry would complete its predecessor and strand itself — the
+		// queue stays one resolution behind forever.
+		var keep []*fnWaiter
+		for _, f := range fns {
+			if f.floor <= msg.Version {
+				fws = append(fws, f)
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.pendingFn, msg.Key)
+		} else {
+			// Clone before assigning: see the pending-map note above.
+			c.pendingFn[strings.Clone(msg.Key)] = keep
+		}
+		c.noteFloorLocked(msg.Key, msg.Version)
+		// A ReadThrough goes remote while still holding a copy only when
+		// the cached version sat below the floor; fold the answer in like
+		// a one-key resync.
+		dealloc, dropped = c.absorbLocked(msg)
 	}
+	drop := c.dropFn
 	c.mu.Unlock()
 	if ch != nil {
 		// The waiter consumes the message on another goroutine, after this
 		// handler has returned and the frame buffer has been reused: hand
 		// it an owning copy.
 		ch <- msg.Clone()
+	}
+	if dealloc != nil {
+		_ = c.sendControl(*dealloc)
+	}
+	for _, f := range fws {
+		// Synchronous completion on the delivery goroutine: msg is
+		// borrowed, so the continuations must finish with it before
+		// returning (relay stations copy at every retention point).
+		f.fn(msg, true)
+	}
+	if dropped != "" && drop != nil {
+		drop(dropped)
 	}
 }
 
@@ -426,11 +513,26 @@ func (c *Client) onWriteProp(msg wire.Message) {
 			}
 		}
 	}
+	apply := c.applyFn
+	drop := c.dropFn
 	c.mu.Unlock()
+	var key string
+	if (fresh && apply != nil) || (out != nil && drop != nil) {
+		key = strings.Clone(msg.Key) // the handlers may retain the key
+	}
+	if fresh && apply != nil {
+		// The relay mirrors the write downward before any revocation:
+		// children that keep their copies see the value; Value stays
+		// borrowed (the handler copies at retention points).
+		apply(db.Item{Key: key, Value: msg.Value, Version: msg.Version})
+	}
 	if out != nil {
 		// The delete-request rides the write's connection: it is a
 		// control message but not a new connection.
 		_ = c.sendControl(*out)
+		if drop != nil {
+			drop(key)
+		}
 	}
 }
 
@@ -445,10 +547,15 @@ func (c *Client) onDeleteReq(msg wire.Message) {
 		st.window.Fill(sched.Write)
 	}
 	c.cache.Drop(msg.Key)
+	drop := c.dropFn
 	c.mu.Unlock()
 	if had {
 		mDeallocs.Inc()
-		obsTr.Record(obs.EvDeallocate, strings.Clone(msg.Key), "delete-req", 0, 0)
+		key := strings.Clone(msg.Key)
+		obsTr.Record(obs.EvDeallocate, key, "delete-req", 0, 0)
+		if drop != nil {
+			drop(key)
+		}
 	}
 }
 

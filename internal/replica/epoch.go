@@ -73,6 +73,11 @@ func (c *Client) fenceLocked(epoch uint64) {
 		}
 	}
 	c.items = make(map[string]*itemState)
+	if c.trackFloors {
+		// A restarted authority may legitimately have rolled back; stale
+		// floors would make every future read unsatisfiable.
+		c.floors = make(map[string]uint64)
+	}
 	old := c.epoch
 	c.epoch = epoch
 	if c.offline {
@@ -87,8 +92,14 @@ func (c *Client) fenceLocked(epoch uint64) {
 // ResyncResp instead.
 func (c *Client) onAttachResp(msg wire.Message) {
 	c.mu.Lock()
-	c.noteEpochLocked(msg.Version)
+	fenced := c.noteEpochLocked(msg.Version)
+	fence := c.fenceFn
 	c.mu.Unlock()
+	if fenced && fence != nil {
+		// A relay that fenced must invalidate its subtree even when the
+		// fence arrived via the greeting rather than the resync answer.
+		fence()
+	}
 }
 
 // sendAttachResp sends the epoch greeting to a freshly attached session.

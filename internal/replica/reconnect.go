@@ -62,29 +62,37 @@ func (c *Client) AllowStale(maxAge time.Duration) {
 }
 
 // takeWaitersLocked clears and returns everything currently blocked on
-// the link: pending singleton reads, pending joint reads, and the
-// in-flight resync signal. The caller must hold c.mu and close them all
-// after releasing it.
-func (c *Client) takeWaitersLocked() (map[string][]chan wire.Message, []chan wire.Batch, chan struct{}) {
+// the link: pending singleton reads, pending joint reads, pending
+// continuation reads, and the in-flight resync signal. The caller must
+// hold c.mu and fail them all after releasing it.
+func (c *Client) takeWaitersLocked() (map[string][]readWaiter, []chan wire.Batch, map[string][]*fnWaiter, chan struct{}) {
 	pending := c.pending
-	c.pending = make(map[string][]chan wire.Message)
+	c.pending = make(map[string][]readWaiter)
 	batch := c.pendingBatch
 	c.pendingBatch = nil
+	fns := c.pendingFn
+	c.pendingFn = make(map[string][]*fnWaiter)
 	done := c.resyncDone
 	c.resyncDone = nil
-	return pending, batch, done
+	return pending, batch, fns, done
 }
 
-// failWaiters closes every channel collected by takeWaitersLocked;
-// receivers treat a closed channel as ErrOffline.
-func failWaiters(pending map[string][]chan wire.Message, batch []chan wire.Batch, done chan struct{}) {
+// failWaiters closes every channel collected by takeWaitersLocked
+// (receivers treat a closed channel as ErrOffline) and fails every
+// continuation waiter with ok=false.
+func failWaiters(pending map[string][]readWaiter, batch []chan wire.Batch, fns map[string][]*fnWaiter, done chan struct{}) {
 	for _, waiters := range pending {
-		for _, ch := range waiters {
-			close(ch)
+		for _, w := range waiters {
+			close(w.ch)
 		}
 	}
 	for _, ch := range batch {
 		close(ch)
+	}
+	for _, waiters := range fns {
+		for _, fw := range waiters {
+			fw.fn(wire.Message{}, false)
+		}
 	}
 	if done != nil {
 		close(done)
@@ -109,13 +117,13 @@ func (c *Client) Disconnect() {
 		}
 	}
 	c.items = make(map[string]*itemState)
-	pending, batch, done := c.takeWaitersLocked()
+	pending, batch, fns, done := c.takeWaitersLocked()
 	c.mu.Unlock()
 
 	if old != nil {
 		old.Close()
 	}
-	failWaiters(pending, batch, done)
+	failWaiters(pending, batch, fns, done)
 }
 
 // Suspend takes the client offline warm: cached copies, windows, and
@@ -128,13 +136,13 @@ func (c *Client) Suspend() {
 	c.offline = true
 	old := c.link
 	c.link = nil
-	pending, batch, done := c.takeWaitersLocked()
+	pending, batch, fns, done := c.takeWaitersLocked()
 	c.mu.Unlock()
 
 	if old != nil {
 		old.Close()
 	}
-	failWaiters(pending, batch, done)
+	failWaiters(pending, batch, fns, done)
 }
 
 // Offline reports whether the client is currently disconnected.
@@ -159,13 +167,18 @@ func (c *Client) Reattach(link transport.Link) {
 	c.offline = false
 	c.fenced = false // cold restart: the fence's demand is satisfied
 	c.items = make(map[string]*itemState)
-	pending, batch, done := c.takeWaitersLocked()
+	if c.trackFloors {
+		// A cold restart starts monotonicity over: the old floors may be
+		// unsatisfiable if the authority legitimately rolled back.
+		c.floors = make(map[string]uint64)
+	}
+	pending, batch, fns, done := c.takeWaitersLocked()
 	c.mu.Unlock()
 
 	if old != nil && old != link {
 		old.Close()
 	}
-	failWaiters(pending, batch, done)
+	failWaiters(pending, batch, fns, done)
 	link.SetHandler(c.onFrame)
 }
 
@@ -207,7 +220,7 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 		c.offline = true
 	}
 	epochHint := c.epoch
-	pending, batch, prevDone := c.takeWaitersLocked()
+	pending, batch, fns, prevDone := c.takeWaitersLocked()
 	if len(keys) > 0 {
 		c.resyncDone = done
 	}
@@ -216,7 +229,7 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 	if old != nil && old != link {
 		old.Close()
 	}
-	failWaiters(pending, batch, prevDone)
+	failWaiters(pending, batch, fns, prevDone)
 	link.SetHandler(c.onFrame)
 	if len(keys) == 0 {
 		mResyncImmediate.Inc()
@@ -250,6 +263,7 @@ func (c *Client) ResumeResync(link transport.Link) (<-chan struct{}, error) {
 // inert on the copies themselves.
 func (c *Client) onResyncResp(b wire.Batch) {
 	var dealloc []wire.Message
+	var applied []db.Item
 	var notModified, reshipped int64
 	c.mu.Lock()
 	c.noteEpochLocked(b.Epoch)
@@ -261,9 +275,13 @@ func (c *Client) onResyncResp(b wire.Batch) {
 		// cold — but close the done channel so the attempt resolves.
 		done := c.resyncDone
 		c.resyncDone = nil
+		fence := c.fenceFn
 		c.mu.Unlock()
 		mResyncFenced.Inc()
 		obsTr.Record(obs.EvResync, "", "fenced", int64(b.Epoch), 0)
+		if fence != nil {
+			fence()
+		}
 		if done != nil {
 			close(done)
 		}
@@ -284,6 +302,11 @@ func (c *Client) onResyncResp(b wire.Batch) {
 		cur, _ := c.cache.Peek(e.Key)
 		if !c.cache.Update(db.Item{Key: e.Key, Value: e.Value, Version: e.Version}) {
 			continue
+		}
+		if c.applyFn != nil {
+			// Batch memory is owned (wire.DecodeBatch copies), so the
+			// entry can ride to the handler as-is.
+			applied = append(applied, db.Item{Key: e.Key, Value: e.Value, Version: e.Version})
 		}
 		if st.mode.Kind != ModeSW {
 			continue
@@ -313,6 +336,8 @@ func (c *Client) onResyncResp(b wire.Batch) {
 	c.offline = false
 	done := c.resyncDone
 	c.resyncDone = nil
+	apply := c.applyFn
+	drop := c.dropFn
 	c.mu.Unlock()
 
 	mResyncApplied.Inc()
@@ -320,10 +345,19 @@ func (c *Client) onResyncResp(b wire.Batch) {
 	mResyncReshipped.Add(uint64(reshipped))
 	obsTr.Record(obs.EvResync, "", "applied", notModified, reshipped)
 
+	if apply != nil {
+		for _, it := range applied {
+			// Re-shipped values mirror downward like live propagations.
+			apply(it)
+		}
+	}
 	for _, msg := range dealloc {
 		// Deallocations ride the resync connection: control messages,
 		// no new connection.
 		_ = c.sendControl(msg)
+		if drop != nil {
+			drop(msg.Key)
+		}
 	}
 	if done != nil {
 		close(done)

@@ -33,6 +33,15 @@ type Server struct {
 	nSessions atomic.Int64
 	admission atomic.Pointer[AdmissionConfig]
 	memSoft   atomic.Int64
+
+	// Tree hooks (relay.go). origin, when set, intercepts every read-path
+	// store fetch so a relay station can pull the value from its parent;
+	// allocGate, when set, is consulted before any child allocation so a
+	// relay never places a copy below itself that it does not hold above.
+	// Both nil (the default) leaves the server byte-for-byte identical to
+	// the plain two-node SC.
+	origin    atomic.Pointer[Origin]
+	allocGate atomic.Pointer[func(key string) bool]
 }
 
 // Session is the SC-side state for one mobile client. It is created by
@@ -293,6 +302,16 @@ func (s *Server) Write(key string, value []byte) (db.Item, error) {
 	if err != nil {
 		return db.Item{}, err
 	}
+	s.fanOut(it)
+	return it, nil
+}
+
+// fanOut runs the write side of the protocol for one committed item
+// toward every attached client. It is the propagation half of Write,
+// shared with Apply (relay.go), which commits through Install instead of
+// Put. it.Value is read only to encode the shared frame, so a borrowed
+// value is safe for the duration of the call.
+func (s *Server) fanOut(it db.Item) {
 	var propBuf, delBuf *wire.Buf
 	for _, sh := range s.shards {
 		// fanMu serializes fan-outs through this shard so the scratch
@@ -333,7 +352,6 @@ func (s *Server) Write(key string, value []byte) (db.Item, error) {
 	}
 	wire.PutBuf(propBuf)
 	wire.PutBuf(delBuf)
-	return it, nil
 }
 
 // encodePooled encodes msg into a pooled buffer. The caller releases it
@@ -478,32 +496,58 @@ func (ss *Session) onPing(msg wire.Message) {
 	wire.PutBuf(buf)
 }
 
-// onReadReq runs the SC read path: serve the item and decide allocation.
+// onReadReq runs the SC read path: resolve the item — from the local
+// store, or through the origin hook when this server is a relay whose
+// value may live upstream — then serve it and decide allocation. The
+// request's Version field is the reader's floor (0 when the client does
+// not track floors), forwarded to the origin so a relay never completes
+// a read below what the reader has already seen.
 func (ss *Session) onReadReq(msg wire.Message) {
+	if o := ss.srv.origin.Load(); o != nil {
+		// The continuation outlives this handler (an upstream fetch may
+		// resolve on a later delivery); msg.Key is borrowed transport
+		// memory, so clone it now.
+		key := strings.Clone(msg.Key)
+		(*o)(key, msg.Version, func(it db.Item, ok bool) {
+			if ok {
+				ss.finishReadReq(key, it)
+			}
+			// A failed fetch answers nothing: to the client it is a lost
+			// frame, repaired by its usual timeout/reconnect machinery.
+		})
+		return
+	}
 	it, _ := ss.srv.store.Get(msg.Key)
+	ss.finishReadReq(msg.Key, it)
+}
+
+// finishReadReq is the second half of onReadReq: with the item in hand,
+// run the allocation decision under the shard token and send the
+// response.
+func (ss *Session) finishReadReq(key string, it db.Item) {
 	sh := ss.shard
 	sh.enter()
 	if ss.detached {
 		sh.exit()
 		return
 	}
-	st := ss.state(msg.Key)
+	st := ss.state(key)
 	resp := wire.Message{
-		Kind: wire.KindReadResp, Key: msg.Key, Value: it.Value, Version: it.Version,
+		Kind: wire.KindReadResp, Key: key, Value: it.Value, Version: it.Version,
 	}
 	switch st.mode.Kind {
 	case ModeStatic1:
 		// Never allocate.
 	case ModeStatic2:
 		// Always allocate on first contact.
-		if !st.hasCopy {
+		if !st.hasCopy && ss.allocAllowed(key) {
 			resp.Allocate = true
 			st.hasCopy = true
 		}
 	default:
 		if !st.hasCopy {
 			st.window.Push(sched.Read)
-			if st.window.ReadMajority() {
+			if st.window.ReadMajority() && ss.allocAllowed(key) {
 				// Allocate: piggyback the save indication and the window;
 				// the MC takes charge.
 				resp.Allocate = true
@@ -516,6 +560,14 @@ func (ss *Session) onReadReq(msg wire.Message) {
 	}
 	sh.exit()
 	ss.sendData(resp)
+}
+
+// allocAllowed consults the allocation gate; nil (no relay) always
+// grants. Caller holds the shard token; the gate must not call back into
+// this server.
+func (ss *Session) allocAllowed(key string) bool {
+	g := ss.srv.allocGate.Load()
+	return g == nil || (*g)(key)
 }
 
 // onDeleteReq runs the SC side of an MC-initiated deallocation: take the

@@ -1,0 +1,631 @@
+package tree
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mobirep/internal/db"
+	"mobirep/internal/replica"
+	"mobirep/internal/stats"
+	"mobirep/internal/transport"
+)
+
+// The tree conformance sweep extends the two-node explorer's method to
+// whole hierarchies: seeded random schedules of reads, root writes,
+// handoffs, reconnects, partitions, relay crashes, and root power-cuts
+// run over chains and small trees with every edge behind manual chaos.
+// Where the two-node explorer checks each frame against a lock-step
+// model, the tree sweep is invariant-based — the composition argument
+// (every edge IS the verified two-node protocol) covers the frames, and
+// the sweep checks what composition alone cannot prove:
+//
+//   - no invented values: every read returns exactly the payload the
+//     root committed for that version;
+//   - no lost acked writes: the root (sync=always) never loses a
+//     version, and after repair every MC converges to it exactly;
+//   - no unflagged staleness: reads never run ahead of the root and
+//     never step backwards per MC per key (floors survive handoffs; a
+//     cold arrival resets them, which is the flag);
+//   - bounded recovery: every read, resync, and handoff resolves within
+//     a fixed pump budget once links are repaired.
+//
+// A failure report carries the seed and the op trace; replay with
+//
+//	go test ./internal/tree -run TestTreeConformanceSweep -tree.seed=<seed> -v
+var (
+	treeSchedules = flag.Int("tree.schedules", 150,
+		"number of seeded fault schedules the tree conformance sweep runs")
+	treeSeed = flag.Uint64("tree.seed", 0,
+		"replay a single tree schedule verbosely (0 = explore)")
+	treeShards = flag.Int("tree.shards", 0,
+		"station shard count for tree conformance (power of two); 0 cycles 1/8 by seed")
+)
+
+func valueFor(key string, version uint64) []byte {
+	if version == 0 {
+		return nil
+	}
+	return []byte(fmt.Sprintf("%s#%d", key, version))
+}
+
+// treeEdge is one chaos-wrapped edge: the parent's outbound queue and
+// the child's outbound queue.
+type treeEdge struct {
+	p2c, c2p *transport.Chaos
+}
+
+func (e *treeEdge) close() {
+	e.p2c.Close()
+	e.c2p.Close()
+}
+
+type treeMC struct {
+	idx  int
+	mc   *MC
+	edge *treeEdge
+	// last is the per-key monotonicity floor this MC's reads must respect;
+	// reset only on a cold arrival (the protocol's advertised flag).
+	last map[string]uint64
+}
+
+type treeConf struct {
+	t       *testing.T
+	seed    uint64
+	rng     *stats.RNG
+	verbose bool
+
+	mode   replica.Mode
+	place  Policy
+	chaos  transport.Config
+	shards int
+
+	topo  Topology
+	tr    *Tree
+	cfs   *db.CrashFS
+	store *db.Store
+
+	edges   []*treeEdge // station i's parent edge; nil for the root
+	mcs     []*treeMC
+	keys    []string
+	written map[string]uint64 // last acked root version per key
+	trace   []string
+}
+
+func (h *treeConf) tracef(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	h.trace = append(h.trace, line)
+	if h.verbose {
+		h.t.Logf("seed %d: %s", h.seed, line)
+	}
+}
+
+func (h *treeConf) fail(format string, args ...any) error {
+	return fmt.Errorf("%s\n  trace:\n    %s",
+		fmt.Sprintf(format, args...), strings.Join(h.trace, "\n    "))
+}
+
+// connectCfg returns a LinkFactory that builds chaos edges with the
+// given fault profile, retiring the child's previous edge.
+func (h *treeConf) connectCfg(cfg transport.Config) LinkFactory {
+	return func(child, parent int) (transport.Link, transport.Link, error) {
+		c := cfg
+		c.Seed = h.rng.Uint64()
+		p2c, c2p, err := transport.NewChaosPair(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if old := h.edges[child]; old != nil {
+			old.close()
+		}
+		h.edges[child] = &treeEdge{p2c: p2c, c2p: c2p}
+		return c2p, p2c, nil
+	}
+}
+
+func (h *treeConf) connect(child, parent int) (transport.Link, transport.Link, error) {
+	return h.connectCfg(h.chaos)(child, parent)
+}
+
+func (h *treeConf) newMCEdge(cfg transport.Config) (mcEnd, stEnd transport.Link, e *treeEdge, err error) {
+	cfg.Seed = h.rng.Uint64()
+	p2c, c2p, err := transport.NewChaosPair(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c2p, p2c, &treeEdge{p2c: p2c, c2p: c2p}, nil
+}
+
+func newTreeConf(t *testing.T, seed uint64, shards int, verbose bool) (*treeConf, error) {
+	rng := stats.NewRNG(seed)
+	modes := []replica.Mode{replica.SW(1), replica.SW(3), replica.SW(5), replica.Static1(), replica.Static2()}
+	mode := modes[rng.Intn(len(modes))]
+	places := []Policy{
+		{Kind: PolicyNone}, {Kind: PolicyNone},
+		{Kind: PolicySW, K: 9}, {Kind: PolicyT1, K: 2}, {Kind: PolicyT2, K: 2},
+	}
+	place := places[rng.Intn(len(places))]
+	topos := []Topology{Chain(2), Chain(3), Binary(3), Binary(7)}
+	topo := topos[rng.Intn(len(topos))]
+	drops := []float64{0, 0.05, 0.15}
+	dups := []float64{0, 0.05, 0.15}
+	reorders := []float64{0, 0.1, 0.3}
+	cfg := transport.Config{
+		Drop:    drops[rng.Intn(len(drops))],
+		Dup:     dups[rng.Intn(len(dups))],
+		Reorder: reorders[rng.Intn(len(reorders))],
+		Manual:  true,
+	}
+	if shards == 0 {
+		shards = []int{1, 8}[seed%2]
+	}
+	// The root is durable with sync=always: acknowledged writes survive
+	// any power cut, so floors stay satisfiable across restarts and the
+	// sweep can demand exact convergence.
+	cfs := db.NewCrashFS()
+	store, err := db.OpenWith(db.Options{Path: "root.log", Sync: db.SyncAlways, FS: cfs})
+	if err != nil {
+		return nil, err
+	}
+	h := &treeConf{
+		t: t, seed: seed, rng: rng, verbose: verbose,
+		mode: mode, place: place, chaos: cfg, shards: shards,
+		topo: topo, cfs: cfs, store: store,
+		edges:   make([]*treeEdge, topo.N()),
+		keys:    []string{"a", "b", "c"},
+		written: map[string]uint64{},
+	}
+	h.tracef("mode=%v place=%v topo=%v drop=%v dup=%v reorder=%v shards=%d",
+		mode, place, topo.Parent, cfg.Drop, cfg.Dup, cfg.Reorder, shards)
+	h.tr, err = Build(topo, store, mode, shards, place, h.connect)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		station := 1 + rng.Intn(topo.N()-1)
+		mcEnd, stEnd, e, err := h.newMCEdge(h.chaos)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := h.tr.AttachMC(station, mcEnd, stEnd)
+		if err != nil {
+			return nil, err
+		}
+		h.mcs = append(h.mcs, &treeMC{idx: i, mc: mc, edge: e, last: map[string]uint64{}})
+		h.tracef("mc%d at station %d", i, station)
+	}
+	return h, nil
+}
+
+func (h *treeConf) randKey() string { return h.keys[h.rng.Intn(len(h.keys))] }
+func (h *treeConf) randMC() *treeMC { return h.mcs[h.rng.Intn(len(h.mcs))] }
+func (h *treeConf) randRelay() int  { return 1 + h.rng.Intn(h.topo.N()-1) }
+
+func (h *treeConf) queues() []*transport.Chaos {
+	var qs []*transport.Chaos
+	for _, e := range h.edges {
+		if e != nil {
+			qs = append(qs, e.p2c, e.c2p)
+		}
+	}
+	for _, m := range h.mcs {
+		qs = append(qs, m.edge.p2c, m.edge.c2p)
+	}
+	return qs
+}
+
+// pumpOne steps one frame on a randomly chosen non-empty queue.
+func (h *treeConf) pumpOne() bool {
+	var ready []*transport.Chaos
+	for _, q := range h.queues() {
+		if q.Pending() > 0 {
+			ready = append(ready, q)
+		}
+	}
+	if len(ready) == 0 {
+		return false
+	}
+	ready[h.rng.Intn(len(ready))].Step()
+	return true
+}
+
+func (h *treeConf) settle(budget int) {
+	for i := 0; i < budget; i++ {
+		if !h.pumpOne() {
+			return
+		}
+	}
+}
+
+// pumpResync pumps until the client comes back online (or fences), or
+// the traffic dries out / the budget runs dry (false: the resync was
+// lost to chaos and needs a fresh attempt).
+func (h *treeConf) pumpResync(cli *replica.Client, done <-chan struct{}, budget int) bool {
+	for i := 0; i < budget; i++ {
+		if cli.EpochFenced() || !cli.Offline() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		if !h.pumpOne() {
+			return false
+		}
+	}
+	return false
+}
+
+func (h *treeConf) doWrite() error {
+	key := h.randKey()
+	next := h.written[key] + 1
+	it, err := h.tr.Stations[0].Server().Write(key, valueFor(key, next))
+	if err != nil {
+		return h.fail("root write %s: %v", key, err)
+	}
+	if it.Version != next {
+		return h.fail("root write %s: committed v%d, want v%d", key, it.Version, next)
+	}
+	h.written[key] = next
+	h.tracef("write %s v%d", key, next)
+	return nil
+}
+
+// doRead issues a read at an MC and pumps it to resolution, repairing
+// links when chaos strands it. Every resolved read must satisfy the
+// sweep's invariants.
+func (h *treeConf) doRead(m *treeMC) error {
+	key := h.randKey()
+	h.tracef("mc%d read %s", m.idx, key)
+	for attempt := 0; attempt < 10; attempt++ {
+		it, resolved, err := h.runRead(m, key)
+		if err != nil {
+			return err
+		}
+		if !resolved {
+			continue
+		}
+		if it.Version > h.written[key] {
+			return h.fail("mc%d read %s: v%d ahead of last acked v%d", m.idx, key, it.Version, h.written[key])
+		}
+		if !bytes.Equal(it.Value, valueFor(key, it.Version)) {
+			return h.fail("mc%d read %s: value %q does not match v%d", m.idx, key, it.Value, it.Version)
+		}
+		if it.Version < m.last[key] {
+			return h.fail("mc%d read %s: v%d went back in time after v%d", m.idx, key, it.Version, m.last[key])
+		}
+		m.last[key] = it.Version
+		h.tracef("mc%d read %s = v%d", m.idx, key, it.Version)
+		return nil
+	}
+	return h.fail("mc%d read %s never resolved", m.idx, key)
+}
+
+func (h *treeConf) runRead(m *treeMC, key string) (db.Item, bool, error) {
+	type result struct {
+		it  db.Item
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		it, err := m.mc.Client.Read(key)
+		ch <- result{it, err}
+	}()
+	stuck := 0
+	for steps := 0; steps < 8000; steps++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				// Offline/severed: the mobile user cycles the connection.
+				h.tracef("mc%d read %s failed (%v); reconnecting", m.idx, key, r.err)
+				return db.Item{}, false, h.handoffTo(m, m.mc.Station(), h.chaos)
+			}
+			return r.it, true, nil
+		default:
+		}
+		if h.pumpOne() {
+			stuck = 0
+			continue
+		}
+		// Quiescent: give the read goroutine a beat to resolve or settle
+		// into blocked, then count it toward stranded.
+		time.Sleep(2 * time.Millisecond)
+		if stuck++; stuck < 3 {
+			continue
+		}
+		// The request (or a relay's upstream fetch) was lost to chaos and
+		// nothing will ever answer. Cycle every edge: suspending the MC
+		// fails the blocked read, and the relay reconnects fail any
+		// stranded fetch continuations upstream.
+		h.tracef("mc%d read %s stranded; cycling every edge", m.idx, key)
+		m.mc.Client.Suspend()
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			return db.Item{}, false, h.fail("mc%d read %s still blocked after suspend", m.idx, key)
+		}
+		if err := h.repairAll(); err != nil {
+			return db.Item{}, false, err
+		}
+		return db.Item{}, false, h.handoffTo(m, m.mc.Station(), h.chaos)
+	}
+	return db.Item{}, false, h.fail("mc%d read %s exceeded the pump budget", m.idx, key)
+}
+
+// handoffTo moves (or warm-reconnects, when to == current) an MC over a
+// fresh edge with the given fault profile, retrying lost resyncs.
+func (h *treeConf) handoffTo(m *treeMC, to int, cfg transport.Config) error {
+	for attempt := 0; attempt < 25; attempt++ {
+		if attempt > 0 && attempt%5 == 0 {
+			// Persistent failures usually mean a relay edge is wedged too.
+			if err := h.repairAll(); err != nil {
+				return err
+			}
+		}
+		mcEnd, stEnd, e, err := h.newMCEdge(cfg)
+		if err != nil {
+			return err
+		}
+		m.edge.close()
+		m.edge = e
+		done, err := m.mc.Handoff(to, mcEnd, stEnd)
+		if err != nil {
+			continue
+		}
+		if !h.pumpResync(m.mc.Client, done, 4000) {
+			continue
+		}
+		if !m.mc.FinishHandoff(mcEnd) {
+			// Cold arrival: the advertised flag; monotonicity starts over.
+			h.tracef("mc%d arrived cold at station %d", m.idx, to)
+			m.last = map[string]uint64{}
+		}
+		if m.mc.Client.Offline() {
+			continue
+		}
+		return nil
+	}
+	return h.fail("mc%d handoff to station %d never completed", m.idx, to)
+}
+
+func (h *treeConf) doHandoff(m *treeMC) error {
+	to := h.randRelay()
+	h.tracef("mc%d handoff %d -> %d", m.idx, m.mc.Station(), to)
+	return h.handoffTo(m, to, h.chaos)
+}
+
+// repairEdgeWith cycles a relay's parent edge warm (cold after a fence),
+// retrying resyncs the chaos eats.
+func (h *treeConf) repairEdgeWith(i int, connect LinkFactory) error {
+	cli := h.tr.Stations[i].Client()
+	for attempt := 0; attempt < 25; attempt++ {
+		done, err := h.tr.ReconnectEdge(i, connect)
+		if err != nil {
+			return h.fail("edge %d reconnect: %v", i, err)
+		}
+		if !h.pumpResync(cli, done, 4000) {
+			continue
+		}
+		if cli.EpochFenced() {
+			h.tracef("edge %d fenced; cold reattach", i)
+			if err := h.tr.ColdReconnectEdge(i, connect); err != nil {
+				return h.fail("edge %d cold reattach: %v", i, err)
+			}
+			return nil
+		}
+		if !cli.Offline() {
+			return nil
+		}
+	}
+	return h.fail("edge %d reconnect never completed", i)
+}
+
+func (h *treeConf) doEdgeReconnect() error {
+	i := h.randRelay()
+	h.tracef("edge %d warm reconnect", i)
+	return h.repairEdgeWith(i, h.connect)
+}
+
+// repairAll cycles every relay edge top-down; parents first so a child's
+// resync always finds a live upstream.
+func (h *treeConf) repairAll() error {
+	for i := 1; i < h.topo.N(); i++ {
+		if err := h.repairEdgeWith(i, h.connect); err != nil {
+			return err
+		}
+	}
+	h.settle(8000)
+	return nil
+}
+
+func (h *treeConf) doPartition() {
+	qs := h.queues()
+	n := 1 + h.rng.Intn(3)
+	qs[h.rng.Intn(len(qs))].Partition(n)
+	h.tracef("partition swallowing next %d frames", n)
+}
+
+// doRelayCrash loses a relay wholesale: fresh mirror, fresh placement,
+// fresh parent edge. Its children and MCs reattach warm; the fresh relay
+// revokes every copy it cannot vouch for and refetches on demand.
+func (h *treeConf) doRelayCrash() error {
+	i := h.randRelay()
+	h.tracef("relay %d crash", i)
+	if _, err := h.tr.ReplaceRelay(i, h.connect); err != nil {
+		return h.fail("replace relay %d: %v", i, err)
+	}
+	for c := i + 1; c < h.topo.N(); c++ {
+		if h.topo.Parent[c] == i {
+			if err := h.repairEdgeWith(c, h.connect); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range h.mcs {
+		if m.mc.Station() == i {
+			if err := h.handoffTo(m, i, h.chaos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// doRootCrash power-cuts the root and restarts it. sync=always means no
+// acked write may be missing from the reopened store; the bumped epoch
+// fences the direct children on reattach and the fence cascades cold
+// through the whole tree.
+func (h *treeConf) doRootCrash() error {
+	cut := h.rng.Intn(h.cfs.Ops() + 1)
+	h.tracef("root crash (cut %d/%d) + restart", cut, h.cfs.Ops())
+	h.cfs.Kill(cut)
+	store, err := db.OpenWith(db.Options{Path: "root.log", Sync: db.SyncAlways, FS: h.cfs})
+	if err != nil {
+		return h.fail("reopen root store: %v", err)
+	}
+	for k, v := range h.written {
+		it, _ := store.Get(k)
+		if it.Version != v {
+			return h.fail("root lost acked write %s v%d across the crash (has v%d)", k, v, it.Version)
+		}
+	}
+	h.store = store
+	root, err := NewRoot(store, h.mode, h.shards)
+	if err != nil {
+		return h.fail("restart root: %v", err)
+	}
+	h.tr.Stations[0] = root
+	h.tracef("root restarted: epoch=%d", store.Epoch())
+	for c := 1; c < h.topo.N(); c++ {
+		if h.topo.Parent[c] == 0 {
+			if err := h.repairEdgeWith(c, h.connect); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finalCheck repairs every link clean and demands exact convergence:
+// each MC reads back precisely the last acked root version of every key.
+func (h *treeConf) finalCheck() error {
+	h.tracef("final: clean repair + exact convergence")
+	clean := transport.Config{Manual: true}
+	cleanConnect := h.connectCfg(clean)
+	for i := 1; i < h.topo.N(); i++ {
+		if err := h.repairEdgeWith(i, cleanConnect); err != nil {
+			return err
+		}
+	}
+	for _, m := range h.mcs {
+		if err := h.handoffTo(m, m.mc.Station(), clean); err != nil {
+			return err
+		}
+	}
+	h.settle(20000)
+	for _, m := range h.mcs {
+		for _, key := range h.keys {
+			want := h.written[key]
+			var got db.Item
+			resolved := false
+			for attempt := 0; attempt < 5 && !resolved; attempt++ {
+				var err error
+				got, resolved, err = h.runRead(m, key)
+				if err != nil {
+					return err
+				}
+			}
+			if !resolved {
+				return h.fail("final: mc%d read %s never resolved over clean links", m.idx, key)
+			}
+			if got.Version != want || !bytes.Equal(got.Value, valueFor(key, want)) {
+				return h.fail("final: mc%d %s = v%d %q, want v%d", m.idx, key, got.Version, got.Value, want)
+			}
+			// Drain the allocation traffic the read itself caused before
+			// the next assertion.
+			h.settle(20000)
+		}
+	}
+	return nil
+}
+
+func (h *treeConf) run() error {
+	nOps := 25 + h.rng.Intn(26)
+	for op := 0; op < nOps; op++ {
+		var err error
+		switch die := h.rng.Intn(16); {
+		case die < 6:
+			err = h.doRead(h.randMC())
+		case die < 10:
+			err = h.doWrite()
+		case die == 10:
+			err = h.doHandoff(h.randMC())
+		case die == 11:
+			m := h.randMC()
+			h.tracef("mc%d warm reconnect", m.idx)
+			err = h.handoffTo(m, m.mc.Station(), h.chaos)
+		case die == 12:
+			err = h.doEdgeReconnect()
+		case die == 13:
+			h.doPartition()
+		case die == 14:
+			err = h.doRelayCrash()
+		default:
+			err = h.doRootCrash()
+		}
+		if err != nil {
+			return err
+		}
+		if h.rng.Bernoulli(0.6) {
+			for j := h.rng.Intn(6); j > 0; j-- {
+				h.pumpOne()
+			}
+		}
+	}
+	return h.finalCheck()
+}
+
+func runTreeSchedule(t *testing.T, seed uint64, shards int, verbose bool) {
+	t.Helper()
+	h, err := newTreeConf(t, seed, shards, verbose)
+	if err != nil {
+		t.Fatalf("seed %d: harness: %v", seed, err)
+	}
+	if err := h.run(); err != nil {
+		t.Fatalf("seed %d diverged: %v\nreplay: go test ./internal/tree -run 'TestTreeConformanceSweep$' -tree.seed=%d -tree.shards=%d -v",
+			seed, err, seed, h.shards)
+	}
+}
+
+func TestTreeConformanceSweep(t *testing.T) {
+	if *treeSeed != 0 {
+		runTreeSchedule(t, *treeSeed, *treeShards, true)
+		return
+	}
+	for seed := uint64(1); seed <= uint64(*treeSchedules); seed++ {
+		runTreeSchedule(t, seed, *treeShards, false)
+	}
+}
+
+// Frozen regression seeds. 94 caught a real bug: a fetch request chaos
+// ate left its continuation stranded at a relay, and because responses
+// resolved only the head waiter, every resync retry completed its
+// predecessor's dead fetch and stranded its own — the edge below a
+// crashed relay could never finish reattaching (fixed by letting one
+// response satisfy every satisfiable continuation). The others pin
+// schedules whose op mixes exercise the deep-recovery paths: handoffs
+// landing cold, relay crashes under SW and T* placement, root
+// power-cuts fencing a 7-station tree.
+var treeRegressionSeeds = []uint64{2, 7, 11, 19, 42, 94}
+
+func TestTreeConformanceRegressions(t *testing.T) {
+	for _, seed := range treeRegressionSeeds {
+		for _, shards := range []int{1, 8} {
+			runTreeSchedule(t, seed, shards, false)
+		}
+	}
+}

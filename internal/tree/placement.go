@@ -1,0 +1,286 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Per-key replica placement. The edge protocol decides where copies MAY
+// live (a child can only hold a key its parent grants, and the
+// allocation gate keeps copies on a contiguous root-to-leaf path); the
+// placement table decides where they SHOULD: each station runs one of
+// the paper's adaptive policies — the SWk sliding window, or the
+// competitive T1m/T2m threshold schemes of section 7.1 — over the
+// read/write traffic it actually observes for each key, and sheds
+// (DropCopy) any copy the policy votes against. Placement is advisory:
+// it only ever removes copies, so it shifts cost, never correctness.
+//
+// The table is packed as a struct-of-arrays: one map lookup resolves a
+// key to a row, and a row is a 64-bit window word, a ring head, a
+// counter, and one bit in a hold bitset — four parallel arrays that stay
+// cache-resident at fleet-scale key counts, instead of one heap-
+// allocated core.Window or core.T1 per (station, key). placement_test.go
+// proves every transition bit-equivalent to the internal/core originals.
+
+// PolicyKind selects the placement algorithm.
+type PolicyKind uint8
+
+const (
+	// PolicyNone disables placement: the edge protocol alone decides.
+	PolicyNone PolicyKind = iota
+	// PolicySW holds a copy while reads hold the majority of the last K
+	// observed requests (the paper's SWk, core.Window semantics).
+	PolicySW
+	// PolicyT1 holds a copy after K consecutive reads, until the next
+	// write (the paper's T1m, core.T1 semantics; K is m).
+	PolicyT1
+	// PolicyT2 holds a copy until K consecutive writes, re-holding on
+	// the next read (the paper's T2m, core.T2 semantics; K is m).
+	PolicyT2
+)
+
+// Policy is a placement policy choice: the algorithm and its parameter
+// (window size for SW, threshold m for T1/T2).
+type Policy struct {
+	Kind PolicyKind
+	K    int
+}
+
+// ParsePolicy parses a placement spec: "none", "SWk", "T1:m" or "T2:m".
+func ParsePolicy(s string) (Policy, error) {
+	if s == "" || s == "none" {
+		return Policy{Kind: PolicyNone}, nil
+	}
+	var k int
+	switch {
+	case parseInt(s, "SW%d", &k):
+		return checkPolicy(Policy{Kind: PolicySW, K: k})
+	case parseInt(s, "T1:%d", &k):
+		return checkPolicy(Policy{Kind: PolicyT1, K: k})
+	case parseInt(s, "T2:%d", &k):
+		return checkPolicy(Policy{Kind: PolicyT2, K: k})
+	}
+	return Policy{}, fmt.Errorf("tree: bad placement %q (want none, SWk, T1:m or T2:m)", s)
+}
+
+func parseInt(s, format string, k *int) bool {
+	n, err := fmt.Sscanf(s, format, k)
+	return err == nil && n == 1 && fmt.Sprintf(format, *k) == s
+}
+
+func checkPolicy(p Policy) (Policy, error) {
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyNone:
+		return "none"
+	case PolicySW:
+		return fmt.Sprintf("SW%d", p.K)
+	case PolicyT1:
+		return fmt.Sprintf("T1(%d)", p.K)
+	case PolicyT2:
+		return fmt.Sprintf("T2(%d)", p.K)
+	}
+	return "?"
+}
+
+// Validate checks the parameter range. SW windows must fit the packed
+// 64-bit row; the paper's experiments stop at k=9, so 64 is generous.
+func (p Policy) Validate() error {
+	switch p.Kind {
+	case PolicyNone:
+		return nil
+	case PolicySW:
+		if p.K < 1 || p.K > 64 {
+			return fmt.Errorf("tree: SW placement window %d outside [1, 64]", p.K)
+		}
+		return nil
+	case PolicyT1, PolicyT2:
+		if p.K < 1 {
+			return fmt.Errorf("tree: T* placement threshold %d must be positive", p.K)
+		}
+		return nil
+	}
+	return fmt.Errorf("tree: unknown placement kind %d", p.Kind)
+}
+
+// Table is the packed per-key placement state for one station. Not
+// goroutine-safe; the owning station serializes access.
+type Table struct {
+	pol Policy
+	ids map[string]uint32
+
+	// Parallel per-row arrays. For SW: bits is the window ring (bit set =
+	// write; K low bits in use), head the ring index, cnt the write
+	// count. For T1: cnt counts consecutive reads while not holding. For
+	// T2: cnt counts consecutive writes while holding.
+	bits []uint64
+	head []uint8
+	cnt  []uint32
+
+	// hold is a bitset over rows: whether the policy currently votes for
+	// a copy at this station.
+	hold []uint64
+}
+
+// NewTable returns an empty table for the given policy. Panics on an
+// invalid policy; PolicyNone yields a table that always votes to hold
+// (placement disabled — the edge protocol alone decides).
+func NewTable(p Policy) *Table {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Table{pol: p, ids: make(map[string]uint32)}
+}
+
+// Len returns the number of tracked keys.
+func (t *Table) Len() int { return len(t.ids) }
+
+// Policy returns the table's policy.
+func (t *Table) Policy() Policy { return t.pol }
+
+// row resolves key to its row, creating it in the policy's initial
+// state: SW starts all-writes (one-copy scheme, like a freshly attached
+// MC), T1 starts not holding, T2 starts holding.
+func (t *Table) row(key string) uint32 {
+	r, ok := t.ids[key]
+	if ok {
+		return r
+	}
+	r = uint32(len(t.bits))
+	// The map retains its key; clone in case the caller's aliases
+	// transport memory.
+	t.ids[strings.Clone(key)] = r
+	var w uint64
+	var c uint32
+	if t.pol.Kind == PolicySW {
+		w = (uint64(1) << uint(t.pol.K)) - 1 // all writes
+		c = uint32(t.pol.K)
+	}
+	t.bits = append(t.bits, w)
+	t.head = append(t.head, 0)
+	t.cnt = append(t.cnt, c)
+	if int(r)>>6 >= len(t.hold) {
+		t.hold = append(t.hold, 0)
+	}
+	if t.pol.Kind == PolicyT2 {
+		t.setHold(r, true)
+	}
+	return r
+}
+
+func (t *Table) holds(r uint32) bool {
+	return t.hold[r>>6]&(1<<(r&63)) != 0
+}
+
+func (t *Table) setHold(r uint32, on bool) {
+	if on {
+		t.hold[r>>6] |= 1 << (r & 63)
+	} else {
+		t.hold[r>>6] &^= 1 << (r & 63)
+	}
+}
+
+// Holds reports whether the policy currently votes for a copy of key at
+// this station. Untracked keys answer the policy's initial state without
+// allocating a row.
+func (t *Table) Holds(key string) bool {
+	if t.pol.Kind == PolicyNone {
+		return true
+	}
+	if r, ok := t.ids[key]; ok {
+		return t.holds(r)
+	}
+	return t.pol.Kind == PolicyT2
+}
+
+// OnRead records a read of key observed at this station and returns the
+// policy's (possibly changed) vote.
+func (t *Table) OnRead(key string) bool {
+	if t.pol.Kind == PolicyNone {
+		return true
+	}
+	r := t.row(key)
+	switch t.pol.Kind {
+	case PolicySW:
+		t.push(r, false)
+		t.setHold(r, t.readMajority(r))
+	case PolicyT1:
+		if !t.holds(r) {
+			t.cnt[r]++
+			if t.cnt[r] == uint32(t.pol.K) {
+				t.setHold(r, true)
+				t.cnt[r] = 0
+			}
+		}
+		// Reads while holding keep the copy; nothing to count.
+	case PolicyT2:
+		if t.holds(r) {
+			t.cnt[r] = 0 // a read breaks the consecutive-write run
+		} else {
+			t.setHold(r, true) // first read of the one-copy phase re-holds
+		}
+	}
+	return t.holds(r)
+}
+
+// OnWrite records a write of key observed at this station and returns
+// the policy's (possibly changed) vote.
+func (t *Table) OnWrite(key string) bool {
+	if t.pol.Kind == PolicyNone {
+		return true
+	}
+	r := t.row(key)
+	switch t.pol.Kind {
+	case PolicySW:
+		t.push(r, true)
+		t.setHold(r, t.readMajority(r))
+	case PolicyT1:
+		if t.holds(r) {
+			t.setHold(r, false) // any write ends the two-copies phase
+		}
+		t.cnt[r] = 0
+	case PolicyT2:
+		if t.holds(r) {
+			t.cnt[r]++
+			if t.cnt[r] == uint32(t.pol.K) {
+				t.setHold(r, false)
+				t.cnt[r] = 0
+			}
+		}
+		// Writes while not holding are free; nothing to count.
+	}
+	return t.holds(r)
+}
+
+// push slides row r's SW window: drop the oldest bit, record isWrite as
+// the newest, maintaining the write count exactly like core.Window.Push.
+func (t *Table) push(r uint32, isWrite bool) {
+	h := uint(t.head[r])
+	old := t.bits[r]&(1<<h) != 0
+	if old {
+		t.cnt[r]--
+	}
+	if isWrite {
+		t.bits[r] |= 1 << h
+		t.cnt[r]++
+	} else {
+		t.bits[r] &^= 1 << h
+	}
+	h++
+	if h == uint(t.pol.K) {
+		h = 0
+	}
+	t.head[r] = uint8(h)
+}
+
+// readMajority mirrors core.Window.ReadMajority: reads strictly
+// outnumber writes among the K tracked bits.
+func (t *Table) readMajority(r uint32) bool {
+	return uint32(t.pol.K)-t.cnt[r] > t.cnt[r]
+}

@@ -1,0 +1,145 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"mobirep/internal/core"
+	"mobirep/internal/sched"
+	"mobirep/internal/stats"
+)
+
+// The packed struct-of-arrays table must be transition-for-transition
+// equivalent to the heap-allocated originals in internal/core: SW rows
+// track core.Window (seeded all-writes, like a freshly attached MC) with
+// hold = read majority, T1/T2 rows track core.T1/core.T2's HasCopy.
+// Random op streams over several interleaved keys exercise ring
+// wraparound, row growth, and the hold bitset across word boundaries.
+
+func TestPlacementSWEquivalence(t *testing.T) {
+	for _, k := range []int{1, 3, 5, 9, 17, 64} {
+		t.Run(fmt.Sprintf("SW%d", k), func(t *testing.T) {
+			rng := stats.NewRNG(uint64(1000 + k))
+			tab := NewTable(Policy{Kind: PolicySW, K: k})
+			keys := manyKeys(70) // spans two hold-bitset words
+			ref := map[string]*core.Window{}
+			for step := 0; step < 4000; step++ {
+				key := keys[rng.Intn(len(keys))]
+				w, ok := ref[key]
+				if !ok {
+					w = core.NewWindow(k, sched.Write)
+					ref[key] = w
+				}
+				var got bool
+				if rng.Intn(2) == 0 {
+					w.Push(sched.Read)
+					got = tab.OnRead(key)
+				} else {
+					w.Push(sched.Write)
+					got = tab.OnWrite(key)
+				}
+				if want := w.ReadMajority(); got != want {
+					t.Fatalf("step %d key %s: table holds=%v, core.Window read-majority=%v (window %s)",
+						step, key, got, want, w)
+				}
+				if tab.Holds(key) != got {
+					t.Fatalf("step %d key %s: Holds disagrees with the On* return", step, key)
+				}
+			}
+		})
+	}
+}
+
+func TestPlacementTStarEquivalence(t *testing.T) {
+	type refPolicy interface {
+		Apply(op sched.Op) core.Step
+		HasCopy() bool
+	}
+	for _, m := range []int{1, 2, 3, 7} {
+		for _, kind := range []PolicyKind{PolicyT1, PolicyT2} {
+			pol := Policy{Kind: kind, K: m}
+			t.Run(pol.String(), func(t *testing.T) {
+				rng := stats.NewRNG(uint64(2000 + m + int(kind)*100))
+				tab := NewTable(pol)
+				keys := manyKeys(70)
+				ref := map[string]refPolicy{}
+				for step := 0; step < 4000; step++ {
+					key := keys[rng.Intn(len(keys))]
+					p, ok := ref[key]
+					if !ok {
+						if kind == PolicyT1 {
+							p = core.NewT1(m)
+						} else {
+							p = core.NewT2(m)
+						}
+						ref[key] = p
+					}
+					var got bool
+					if rng.Intn(2) == 0 {
+						p.Apply(sched.Read)
+						got = tab.OnRead(key)
+					} else {
+						p.Apply(sched.Write)
+						got = tab.OnWrite(key)
+					}
+					if want := p.HasCopy(); got != want {
+						t.Fatalf("step %d key %s: table holds=%v, core %s has-copy=%v",
+							step, key, got, pol, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPlacementInitialVotes(t *testing.T) {
+	// Untracked keys answer the policy's initial state without allocating.
+	sw := NewTable(Policy{Kind: PolicySW, K: 3})
+	if sw.Holds("x") {
+		t.Fatal("SW starts all-writes: must not vote to hold an untracked key")
+	}
+	t1 := NewTable(Policy{Kind: PolicyT1, K: 2})
+	if t1.Holds("x") {
+		t.Fatal("T1 starts not holding")
+	}
+	t2 := NewTable(Policy{Kind: PolicyT2, K: 2})
+	if !t2.Holds("x") {
+		t.Fatal("T2 starts holding")
+	}
+	if sw.Len() != 0 || t1.Len() != 0 || t2.Len() != 0 {
+		t.Fatal("Holds must not allocate rows")
+	}
+	none := NewTable(Policy{Kind: PolicyNone})
+	if !none.OnRead("x") || !none.OnWrite("x") || !none.Holds("x") {
+		t.Fatal("PolicyNone always votes to hold")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []Policy{
+		{Kind: PolicySW, K: 0},
+		{Kind: PolicySW, K: 65},
+		{Kind: PolicyT1, K: 0},
+		{Kind: PolicyT2, K: -1},
+		{Kind: PolicyKind(9), K: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	good := []Policy{{Kind: PolicyNone}, {Kind: PolicySW, K: 64}, {Kind: PolicyT1, K: 1}, {Kind: PolicyT2, K: 9}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected %v: %v", p, err)
+		}
+	}
+}
+
+func manyKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("k%02d", i)
+	}
+	return out
+}

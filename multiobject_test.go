@@ -1,0 +1,89 @@
+package mobirep
+
+import (
+	"math"
+	"testing"
+)
+
+// Facade coverage for multiobject.go: the section 7.2 multi-object
+// extension through the public names only.
+
+// facadeFreqs is a small two-object workload: object 0 read-heavy,
+// object 1 write-heavy, plus a joint read tying them together.
+func facadeFreqs() FreqTable {
+	x, y := NewObjectSet(0), NewObjectSet(1)
+	return FreqTable{
+		{Kind: MultiRead, Objects: x}:     8,
+		{Kind: MultiWrite, Objects: x}:    1,
+		{Kind: MultiRead, Objects: y}:     1,
+		{Kind: MultiWrite, Objects: y}:    8,
+		{Kind: MultiRead, Objects: x | y}: 2,
+	}
+}
+
+func TestFacadeObjectSet(t *testing.T) {
+	s := NewObjectSet(0, 2)
+	if !s.Has(0) || s.Has(1) || !s.Has(2) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !NewObjectSet(0).SubsetOf(s) || NewObjectSet(1).SubsetOf(s) {
+		t.Fatal("SubsetOf wrong")
+	}
+}
+
+func TestFacadeOptimalBeatsAlternatives(t *testing.T) {
+	f := facadeFreqs()
+	n := 2
+	for _, m := range []MultiCostModel{MultiConnModel(), MultiMsgModel(0.5)} {
+		best, bestCost := OptimalStaticAllocation(f, n, m)
+		// The optimum is no worse than every allocation, including the
+		// empty and full ones.
+		for alloc := ObjectSet(0); alloc < 1<<n; alloc++ {
+			if c := MultiExpectedCost(f, alloc, m); c < bestCost-1e-12 {
+				t.Fatalf("allocation %v costs %.4f, under the claimed optimum %v at %.4f",
+					alloc, c, best, bestCost)
+			}
+		}
+		// Greedy must land within the enumerated optimum on a 2-object
+		// instance (its multi-start covers this space exactly).
+		gAlloc, gCost := GreedyAllocation(f, n, m)
+		if math.Abs(gCost-bestCost) > 1e-9 {
+			t.Fatalf("greedy %v at %.4f missed the optimum %v at %.4f", gAlloc, gCost, best, bestCost)
+		}
+	}
+	// The read-heavy object belongs in the message-model optimum.
+	best, _ := OptimalStaticAllocation(f, n, MultiMsgModel(0.5))
+	if !best.Has(0) {
+		t.Fatalf("message optimum %v leaves out the read-heavy object", best)
+	}
+}
+
+func TestFacadeDynamicMultiConverges(t *testing.T) {
+	m := MultiMsgModel(0.5)
+	d := NewDynamicMulti(2, 32, 8, m)
+	f := facadeFreqs()
+	classes := f.Classes()
+
+	// Feed the workload round-robin proportionally to its frequencies;
+	// the dynamic allocator must converge to the static optimum.
+	for round := 0; round < 40; round++ {
+		for _, c := range classes {
+			for i := 0; i < int(f[c]); i++ {
+				d.Apply(MultiOp{Kind: c.Kind, Objects: c.Objects})
+			}
+		}
+	}
+	best, _ := OptimalStaticAllocation(f, 2, m)
+	if d.Alloc() != best {
+		t.Fatalf("dynamic settled on %v, static optimum is %v", d.Alloc(), best)
+	}
+	if d.Ops() == 0 || d.Cost() <= 0 || d.PerOp() <= 0 {
+		t.Fatalf("accounting empty: ops=%d cost=%.2f", d.Ops(), d.Cost())
+	}
+	if d.Transitions() == 0 {
+		t.Fatal("allocator never re-solved despite the recompute interval")
+	}
+}
